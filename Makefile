@@ -1,0 +1,45 @@
+# Development targets for the cqp reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench bench-full vet fmt examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/server/ ./internal/client/ ./internal/wire/
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# The evaluation benchmarks (laptop scale).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The full experiment tables (see EXPERIMENTS.md).
+bench-full:
+	$(GO) run ./cmd/cqp-bench -exp all | tee bench_results.txt
+
+# Run every example once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/trafficmonitor -objects 1000 -queries 200 -ticks 5
+	$(GO) run ./examples/fleetknn -taxis 150 -customers 3 -ticks 5
+	$(GO) run ./examples/predictive
+	$(GO) run ./examples/outofsync
+	$(GO) run ./examples/timetravel
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,206 @@
+// Command cqp-client subscribes to a continuous query on a running
+// cqp-server and prints the incremental update stream as it arrives. It
+// can simultaneously simulate a fleet of moving objects feeding the
+// server, which makes it a self-contained demo against cqp-server.
+//
+// Examples:
+//
+//	cqp-client -addr 127.0.0.1:7171 -query 1 -region 0.4,0.4,0.6,0.6
+//	cqp-client -addr 127.0.0.1:7171 -query 2 -kind knn -focal 0.5,0.5 -k 5 -feed 500
+//	cqp-client -addr 127.0.0.1:7171 -query 3 -kind predictive -region 0.4,0.4,0.6,0.6 -window 60,120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cqp"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7171", "server address")
+		queryID   = flag.Uint64("query", 1, "query identifier")
+		kind      = flag.String("kind", "range", "query kind: range | knn | predictive")
+		regionArg = flag.String("region", "0.4,0.4,0.6,0.6", "query region minx,miny,maxx,maxy (range, predictive)")
+		focalArg  = flag.String("focal", "0.5,0.5", "kNN focal point x,y")
+		k         = flag.Int("k", 3, "kNN cardinality")
+		windowArg = flag.String("window", "60,120", "predictive future window t1,t2 (server-clock seconds)")
+		feed      = flag.Int("feed", 0, "also simulate this many moving objects on a road network")
+		seed      = flag.Int64("seed", 1, "seed for the simulated feed")
+		commitEvr = flag.Duration("commit", 30*time.Second, "commit (checkpoint) period")
+		statsEvr  = flag.Duration("stats", 0, "print server stats at this period (0 = off)")
+	)
+	flag.Parse()
+
+	u := cqp.QueryUpdate{ID: cqp.QueryID(*queryID)}
+	var err error
+	switch *kind {
+	case "range":
+		u.Kind = cqp.Range
+		u.Region, err = parseRegion(*regionArg)
+	case "knn":
+		u.Kind = cqp.KNN
+		u.K = *k
+		u.Focal, err = parsePoint(*focalArg)
+	case "predictive":
+		u.Kind = cqp.PredictiveRange
+		if u.Region, err = parseRegion(*regionArg); err == nil {
+			u.T1, u.T2, err = parseWindow(*windowArg)
+		}
+	default:
+		err = fmt.Errorf("unknown query kind %q", *kind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqp-client:", err)
+		os.Exit(1)
+	}
+	c, err := cqp.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqp-client:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	q := u.ID
+	if err := c.RegisterQuery(u); err != nil {
+		fmt.Fprintln(os.Stderr, "cqp-client: register:", err)
+		os.Exit(1)
+	}
+	switch u.Kind {
+	case cqp.Range:
+		fmt.Printf("subscribed: Q%d (range) over %v\n", q, u.Region)
+	case cqp.KNN:
+		fmt.Printf("subscribed: Q%d (knn) k=%d at %v\n", q, u.K, u.Focal)
+	case cqp.PredictiveRange:
+		fmt.Printf("subscribed: Q%d (predictive) over %v during [%g,%g]\n", q, u.Region, u.T1, u.T2)
+	}
+
+	if *feed > 0 {
+		go runFeed(c, *feed, *seed)
+	}
+
+	commits := time.NewTicker(*commitEvr)
+	defer commits.Stop()
+	statsTick := make(<-chan time.Time)
+	if *statsEvr > 0 {
+		t := time.NewTicker(*statsEvr)
+		defer t.Stop()
+		statsTick = t.C
+	}
+	for {
+		select {
+		case <-statsTick:
+			if err := c.RequestStats(); err != nil {
+				fmt.Fprintln(os.Stderr, "cqp-client: stats:", err)
+			}
+		case ev, ok := <-c.Events():
+			if !ok {
+				return
+			}
+			switch ev.Kind {
+			case cqp.EventUpdates:
+				for _, u := range ev.Updates {
+					fmt.Printf("t=%.1f %v\n", ev.Time, u)
+				}
+			case cqp.EventRecovered:
+				fmt.Printf("t=%.1f recovered with %d updates\n", ev.Time, len(ev.Updates))
+			case cqp.EventFullAnswer:
+				ans, _ := c.Answer(ev.Query)
+				fmt.Printf("t=%.1f full answer for Q%d: %v\n", ev.Time, ev.Query, ans)
+			case cqp.EventCommitted:
+				fmt.Printf("commit acknowledged for Q%d\n", ev.Query)
+			case cqp.EventStats:
+				st := ev.Stats
+				fmt.Printf("server: %d objects, %d queries, %d steps, +%d/−%d updates, uptime %.0fs\n",
+					st.Objects, st.Queries, st.Stats.Steps,
+					st.Stats.PositiveUpdates, st.Stats.NegativeUpdates, st.Uptime)
+			case cqp.EventDisconnected:
+				fmt.Fprintln(os.Stderr, "cqp-client: disconnected:", ev.Err)
+				for {
+					time.Sleep(time.Second)
+					if err := c.Reconnect(*addr); err == nil {
+						fmt.Println("reconnected; recovery in progress")
+						break
+					}
+				}
+			}
+		case <-commits.C:
+			if err := c.Commit(q); err != nil {
+				fmt.Fprintln(os.Stderr, "cqp-client: commit:", err)
+			}
+		}
+	}
+}
+
+// runFeed simulates network-constrained moving objects reporting through
+// the same connection.
+func runFeed(c *cqp.Client, n int, seed int64) {
+	net := cqp.GenerateRoadNetwork(cqp.RoadNetworkConfig{Seed: seed})
+	world := cqp.MustNewWorld(cqp.WorldConfig{Net: net, NumObjects: n, Seed: seed})
+	for i := 0; i < n; i++ {
+		loc, _ := world.Object(i)
+		c.ReportObject(cqp.ObjectUpdate{ID: cqp.ObjectID(i + 1), Kind: cqp.Moving, Loc: loc})
+	}
+	for range time.Tick(time.Second) {
+		world.Advance(1)
+		for i := 0; i < n; i++ {
+			loc, _ := world.Object(i)
+			if err := c.ReportObject(cqp.ObjectUpdate{
+				ID: cqp.ObjectID(i + 1), Kind: cqp.Moving, Loc: loc, T: world.Now(),
+			}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func parsePoint(s string) (cqp.Point, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return cqp.Point{}, fmt.Errorf("point must be x,y, got %q", s)
+	}
+	x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return cqp.Point{}, err
+	}
+	y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return cqp.Point{}, err
+	}
+	return cqp.Pt(x, y), nil
+}
+
+func parseWindow(s string) (t1, t2 float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("window must be t1,t2, got %q", s)
+	}
+	if t1, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return 0, 0, err
+	}
+	if t2, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+		return 0, 0, err
+	}
+	return t1, t2, nil
+}
+
+func parseRegion(s string) (cqp.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return cqp.Rect{}, fmt.Errorf("region must be minx,miny,maxx,maxy, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return cqp.Rect{}, fmt.Errorf("region coordinate %q: %v", p, err)
+		}
+		v[i] = f
+	}
+	return cqp.R(v[0], v[1], v[2], v[3]), nil
+}

@@ -1,0 +1,101 @@
+// Command cqp-replay feeds a cqp-gen trace into a running cqp-server
+// over TCP, pacing ticks in real or accelerated time, and reports
+// throughput. Together with cqp-gen and cqp-client it forms a complete
+// load-testing rig:
+//
+//	cqp-gen -objects 10000 -queries 1000 -ticks 100 -o trace.csv
+//	cqp-server -addr :7171 -interval 1s &
+//	cqp-replay -addr 127.0.0.1:7171 -trace trace.csv -speedup 10
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cqp"
+	"cqp/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cqp-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7171", "server address")
+		traceFile = flag.String("trace", "-", "trace file from cqp-gen (default stdin)")
+		speedup   = flag.Float64("speedup", 1, "time acceleration factor (0 = as fast as possible)")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *traceFile != "-" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	c, err := cqp.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	// Drain events; the replayer only feeds.
+	go func() {
+		for range c.Events() {
+		}
+	}()
+
+	var (
+		reports  int
+		lastTime = -1.0
+		started  = time.Now()
+	)
+	tr := trace.NewReader(in)
+	for {
+		rec, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+
+		// Pace: wait until the trace time maps to wall time.
+		if *speedup > 0 && rec.Time > lastTime {
+			lastTime = rec.Time
+			target := time.Duration(rec.Time / *speedup * float64(time.Second))
+			if sleep := target - time.Since(started); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+
+		if rec.IsQuery {
+			err = c.RegisterQuery(rec.QueryUpdate())
+		} else {
+			err = c.ReportObject(rec.ObjectUpdate())
+		}
+		if err != nil {
+			return err
+		}
+		reports++
+		if reports%10000 == 0 {
+			fmt.Fprintf(os.Stderr, "cqp-replay: %d reports (%.0f/s)\n",
+				reports, float64(reports)/time.Since(started).Seconds())
+		}
+	}
+	elapsed := time.Since(started)
+	fmt.Printf("replayed %d reports in %v (%.0f reports/s)\n",
+		reports, elapsed.Round(time.Millisecond), float64(reports)/elapsed.Seconds())
+	return nil
+}

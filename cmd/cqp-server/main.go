@@ -1,0 +1,63 @@
+// Command cqp-server runs the location-aware server: a TCP endpoint that
+// accepts object/query reports, evaluates all continuous queries in bulk
+// every interval, and streams incremental positive/negative updates to
+// subscribers, with durable committed answers for out-of-sync recovery.
+//
+// Example:
+//
+//	cqp-server -addr :7171 -interval 5s -grid 64 -repo /var/lib/cqp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cqp"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7171", "listen address")
+		interval = flag.Duration("interval", 5*time.Second, "bulk evaluation period (the paper's Δt)")
+		gridN    = flag.Int("grid", 64, "grid cells per axis")
+		size     = flag.Float64("size", 1.0, "monitored space is the square [0,size)²")
+		horizon  = flag.Float64("horizon", 100, "predictive trajectory horizon (seconds)")
+		repoDir  = flag.String("repo", "", "repository directory for durable commits and location history (empty = in-memory only)")
+	)
+	flag.Parse()
+
+	srv, err := cqp.Listen(*addr, cqp.ServerConfig{
+		Engine: cqp.Options{
+			Bounds:            cqp.R(0, 0, *size, *size),
+			GridN:             *gridN,
+			PredictiveHorizon: *horizon,
+		},
+		Interval:      *interval,
+		RepositoryDir: *repoDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqp-server:", err)
+		os.Exit(1)
+	}
+	log.Printf("cqp-server listening on %s (Δt=%v, grid %dx%d, space [0,%g)²)",
+		srv.Addr(), *interval, *gridN, *gridN, *size)
+	if *repoDir != "" {
+		log.Printf("repository: %s", *repoDir)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Println("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	st := srv.Stats()
+	log.Printf("served %d steps: %d object reports, %d query reports, +%d/−%d updates",
+		st.Steps, st.ObjectReports, st.QueryReports, st.PositiveUpdates, st.NegativeUpdates)
+}

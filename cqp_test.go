@@ -1,0 +1,118 @@
+package cqp_test
+
+import (
+	"io"
+	"log"
+	"testing"
+	"time"
+
+	"cqp"
+)
+
+// TestPublicAPIEngine exercises the embeddable engine through the root
+// package exactly as the README quick start does.
+func TestPublicAPIEngine(t *testing.T) {
+	e, err := cqp.NewEngine(cqp.Options{Bounds: cqp.R(0, 0, 100, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.ReportObject(cqp.ObjectUpdate{ID: 1, Kind: cqp.Moving, Loc: cqp.Pt(10, 10)})
+	e.ReportQuery(cqp.QueryUpdate{ID: 1, Kind: cqp.Range, Region: cqp.R(5, 5, 15, 15)})
+	updates := e.Step(0)
+	if len(updates) != 1 || !updates[0].Positive {
+		t.Fatalf("updates = %v", updates)
+	}
+
+	// Client-side replay helper.
+	answer := map[cqp.ObjectID]struct{}{}
+	cqp.ApplyUpdates(answer, updates, 1)
+	if _, ok := answer[1]; !ok {
+		t.Fatal("replayed answer missing object")
+	}
+	if cqp.ChecksumIDs([]cqp.ObjectID{1}) == 0 {
+		t.Fatal("checksum of non-empty set should be non-zero")
+	}
+	if cqp.MustNewEngine(cqp.Options{Bounds: cqp.R(0, 0, 1, 1)}) == nil {
+		t.Fatal("MustNewEngine returned nil")
+	}
+}
+
+// TestPublicAPIKinds pins the re-exported enum values to their String
+// forms so facade and core cannot drift apart.
+func TestPublicAPIKinds(t *testing.T) {
+	if cqp.Stationary.String() != "stationary" || cqp.Moving.String() != "moving" ||
+		cqp.Predictive.String() != "predictive" {
+		t.Error("object kinds mis-exported")
+	}
+	if cqp.Range.String() != "range" || cqp.KNN.String() != "knn" ||
+		cqp.PredictiveRange.String() != "predictive-range" {
+		t.Error("query kinds mis-exported")
+	}
+}
+
+// TestPublicAPIWorkload exercises the generator surface.
+func TestPublicAPIWorkload(t *testing.T) {
+	net := cqp.GenerateRoadNetwork(cqp.RoadNetworkConfig{Lattice: 8, Seed: 3})
+	if net.NumNodes() != 64 {
+		t.Fatalf("NumNodes = %d", net.NumNodes())
+	}
+	if cqp.SideRoad.String() != "side" || cqp.MainRoad.String() != "main" ||
+		cqp.HighwayRoad.String() != "highway" {
+		t.Error("road classes mis-exported")
+	}
+	world, err := cqp.NewWorld(cqp.WorldConfig{Net: net, NumObjects: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := cqp.NewWorkload(world, 5, 0.05, 3)
+	e := cqp.MustNewEngine(cqp.Options{Bounds: cqp.R(0, 0, 1, 1), GridN: 8})
+	wl.Bootstrap(e)
+	e.Step(0)
+	if e.NumObjects() != 10 || e.NumQueries() != 5 {
+		t.Fatalf("population: %d/%d", e.NumObjects(), e.NumQueries())
+	}
+	if cqp.MustNewWorld(cqp.WorldConfig{Net: net, NumObjects: 1, Seed: 1}) == nil {
+		t.Fatal("MustNewWorld returned nil")
+	}
+}
+
+// TestPublicAPINetwork exercises the TCP surface end to end through the
+// facade.
+func TestPublicAPINetwork(t *testing.T) {
+	srv, err := cqp.Listen("127.0.0.1:0", cqp.ServerConfig{
+		Engine:   cqp.Options{Bounds: cqp.R(0, 0, 10, 10), GridN: 8},
+		Interval: 5 * time.Millisecond,
+		Logger:   log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := cqp.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.ReportObject(cqp.ObjectUpdate{ID: 1, Kind: cqp.Moving, Loc: cqp.Pt(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterQuery(cqp.QueryUpdate{ID: 1, Kind: cqp.Range, Region: cqp.R(0, 0, 2, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-c.Events():
+			if ev.Kind == cqp.EventUpdates && len(ev.Updates) == 1 {
+				ans, ok := c.Answer(1)
+				if !ok || len(ans) != 1 || ans[0] != 1 {
+					t.Fatalf("answer = %v %v", ans, ok)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("no update event")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command trafficmonitor runs the paper's evaluation scenario end to end:
+// a synthetic city road network, a population of network-constrained
+// moving vehicles, and a population of moving range queries ("alert me
+// about vehicles near me"), evaluated in bulk every period. It prints,
+// per evaluation, the size of the incremental answer against the size of
+// the complete answer the naive snapshot approach would transmit — the
+// paper's Figure 5 measurement, live.
+//
+// Run with:
+//
+//	go run ./examples/trafficmonitor [-objects 2000] [-queries 500] [-ticks 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cqp"
+)
+
+func main() {
+	var (
+		objects   = flag.Int("objects", 2000, "number of moving vehicles")
+		queries   = flag.Int("queries", 500, "number of moving range queries")
+		ticks     = flag.Int("ticks", 20, "number of evaluation periods")
+		rate      = flag.Float64("rate", 0.3, "fraction of vehicles reporting per period")
+		querySide = flag.Float64("side", 0.01, "query square side (fraction of the city)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("building city (lattice 32x32) and %d vehicles...\n", *objects)
+	net := cqp.GenerateRoadNetwork(cqp.RoadNetworkConfig{Seed: *seed})
+	world := cqp.MustNewWorld(cqp.WorldConfig{Net: net, NumObjects: *objects, Seed: *seed})
+	wl := cqp.NewWorkload(world, *queries, *querySide, *seed)
+
+	engine := cqp.MustNewEngine(cqp.Options{Bounds: cqp.R(0, 0, 1, 1), GridN: 64})
+	wl.Bootstrap(engine)
+	engine.Step(world.Now())
+
+	// Per-update and per-answer-tuple wire costs (see internal/wire):
+	// an update tuple is (qid, oid, sign) = 17 bytes; a complete answer
+	// tuple is (qid, oid) = 16 bytes.
+	const updateBytes, tupleBytes = 17, 16
+
+	fmt.Printf("\n%6s %10s %12s %14s %14s %8s\n",
+		"tick", "reports", "updates", "incr. KB", "complete KB", "ratio")
+	for tick := 1; tick <= *ticks; tick++ {
+		objReports, qryReports := wl.Tick(engine, 5, *rate, *rate)
+		updates := engine.Step(world.Now())
+
+		// The complete answer the naive server would send: every query's
+		// whole answer, every period.
+		completeTuples := 0
+		for j := 0; j < *queries; j++ {
+			ans, _ := engine.Answer(cqp.QueryID(j + 1))
+			completeTuples += len(ans)
+		}
+		incKB := float64(len(updates)*updateBytes) / 1024
+		compKB := float64(completeTuples*tupleBytes) / 1024
+		ratio := 0.0
+		if compKB > 0 {
+			ratio = incKB / compKB
+		}
+		fmt.Printf("%6d %10d %12d %14.1f %14.1f %7.1f%%\n",
+			tick, objReports+qryReports, len(updates), incKB, compKB, 100*ratio)
+	}
+
+	st := engine.Stats()
+	fmt.Printf("\ntotals: +%d/−%d updates over %d steps; %d kNN recomputes; %d candidate checks\n",
+		st.PositiveUpdates, st.NegativeUpdates, st.Steps, st.KNNRecomputes, st.CandidateChecks)
+	fmt.Println("\nThe incremental stream is a small fraction of the complete answers —")
+	fmt.Println("the bandwidth saving the paper reports as ~10% in Figure 5.")
+}

@@ -1,0 +1,45 @@
+package cqp_test
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example with small parameters,
+// asserting clean exits and a recognizable line of output. It is the
+// repository's end-to-end smoke test; skip with -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are skipped in -short mode")
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stdout
+	}{
+		{"quickstart", nil, "(Q1, +O1)"},
+		{"trafficmonitor", []string{"-objects", "300", "-queries", "60", "-ticks", "3"}, "complete KB"},
+		{"fleetknn", []string{"-taxis", "80", "-customers", "2", "-ticks", "3"}, "final assignments:"},
+		{"predictive", nil, "predicted intruders: [1 3]"},
+		{"outofsync", nil, "recovery diff (3 tuples)"},
+		{"timetravel", nil, "FUTURE"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			args := append([]string{"run", "./examples/" + tc.name}, tc.args...)
+			cmd := exec.Command("go", args...)
+			var out, errb bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = &errb
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("example failed: %v\nstderr:\n%s", err, errb.String())
+			}
+			if !strings.Contains(out.String(), tc.want) {
+				t.Fatalf("output missing %q:\n%s", tc.want, out.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,113 @@
+// Package qindex implements the Q-index baseline from the related work
+// the paper positions against (Prabhakar et al., "Query Indexing and
+// Velocity Constrained Indexing"): instead of indexing objects, an R-tree
+// is built over the *query* regions, and at each evaluation interval
+// every moving object probes the index to find the queries it belongs to.
+//
+// As the paper notes, the Q-index (1) re-evaluates all queries every
+// interval and (2) supports only stationary queries; both limitations are
+// preserved here so the comparison is faithful.
+package qindex
+
+import (
+	"fmt"
+	"sort"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+	"cqp/internal/rtree"
+)
+
+// Engine is the Q-index baseline.
+type Engine struct {
+	tree *rtree.Tree
+	qrys map[core.QueryID]geo.Rect
+	objs map[core.ObjectID]geo.Point
+
+	objBuf []core.ObjectUpdate
+}
+
+// New constructs an empty Q-index engine.
+func New() *Engine {
+	return &Engine{
+		tree: rtree.New(),
+		qrys: make(map[core.QueryID]geo.Rect),
+		objs: make(map[core.ObjectID]geo.Point),
+	}
+}
+
+// RegisterQuery adds a stationary range query. Re-registering an ID
+// replaces its region. Only stationary rectangular queries are supported;
+// this mirrors the baseline's documented limitation.
+func (e *Engine) RegisterQuery(id core.QueryID, region geo.Rect) {
+	if old, ok := e.qrys[id]; ok {
+		e.tree.Delete(uint64(id), old)
+	}
+	e.qrys[id] = region
+	e.tree.Insert(uint64(id), region)
+}
+
+// RemoveQuery deletes a query. It reports whether the query existed.
+func (e *Engine) RemoveQuery(id core.QueryID) bool {
+	region, ok := e.qrys[id]
+	if !ok {
+		return false
+	}
+	e.tree.Delete(uint64(id), region)
+	delete(e.qrys, id)
+	return true
+}
+
+// ReportObject buffers an object location report (or removal) for the
+// next Step.
+func (e *Engine) ReportObject(u core.ObjectUpdate) { e.objBuf = append(e.objBuf, u) }
+
+// ReportQuery satisfies gen.Sink for stationary range workloads; it
+// panics on unsupported query kinds, documenting the baseline's limits.
+func (e *Engine) ReportQuery(u core.QueryUpdate) {
+	if u.Remove {
+		e.RemoveQuery(u.ID)
+		return
+	}
+	if u.Kind != core.Range {
+		panic(fmt.Sprintf("qindex: unsupported query kind %v (Q-index handles stationary range queries only)", u.Kind))
+	}
+	e.RegisterQuery(u.ID, u.Region)
+}
+
+// NumQueries returns the registered query count.
+func (e *Engine) NumQueries() int { return len(e.qrys) }
+
+// NumObjects returns the known object count.
+func (e *Engine) NumObjects() int { return len(e.objs) }
+
+// Step applies buffered object reports and then has *every* object probe
+// the query index, rebuilding the answer of every query from scratch —
+// the Q-index evaluation model. Answers are sorted by query then object.
+func (e *Engine) Step(now float64) []core.Snapshot {
+	for _, u := range e.objBuf {
+		if u.Remove {
+			delete(e.objs, u.ID)
+			continue
+		}
+		e.objs[u.ID] = u.Loc
+	}
+	e.objBuf = e.objBuf[:0]
+
+	answers := make(map[core.QueryID][]core.ObjectID, len(e.qrys))
+	for oid, loc := range e.objs {
+		e.tree.SearchPoint(loc, func(qid uint64, _ geo.Rect) bool {
+			answers[core.QueryID(qid)] = append(answers[core.QueryID(qid)], oid)
+			return true
+		})
+	}
+
+	out := make([]core.Snapshot, 0, len(e.qrys))
+	for qid := range e.qrys {
+		objs := answers[qid]
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		out = append(out, core.Snapshot{Query: qid, Objects: objs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	return out
+}

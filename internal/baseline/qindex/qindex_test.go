@@ -1,0 +1,108 @@
+package qindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+func TestQIndexBasics(t *testing.T) {
+	e := New()
+	e.RegisterQuery(1, geo.R(0, 0, 5, 5))
+	e.RegisterQuery(2, geo.R(4, 4, 8, 8))
+	e.ReportObject(core.ObjectUpdate{ID: 1, Loc: geo.Pt(4.5, 4.5)})
+	e.ReportObject(core.ObjectUpdate{ID: 2, Loc: geo.Pt(9, 9)})
+	snaps := e.Step(0)
+	if len(snaps) != 2 {
+		t.Fatalf("snaps = %+v", snaps)
+	}
+	if len(snaps[0].Objects) != 1 || snaps[0].Objects[0] != 1 {
+		t.Fatalf("Q1 = %v", snaps[0].Objects)
+	}
+	if len(snaps[1].Objects) != 1 || snaps[1].Objects[0] != 1 {
+		t.Fatalf("Q2 = %v", snaps[1].Objects)
+	}
+
+	// Re-registration replaces the region.
+	e.RegisterQuery(1, geo.R(8.5, 8.5, 9.5, 9.5))
+	snaps = e.Step(1)
+	if len(snaps[0].Objects) != 1 || snaps[0].Objects[0] != 2 {
+		t.Fatalf("after move Q1 = %v", snaps[0].Objects)
+	}
+
+	if !e.RemoveQuery(2) || e.RemoveQuery(2) {
+		t.Error("RemoveQuery semantics broken")
+	}
+	e.ReportObject(core.ObjectUpdate{ID: 2, Remove: true})
+	snaps = e.Step(2)
+	if len(snaps) != 1 || len(snaps[0].Objects) != 0 {
+		t.Fatalf("after removals: %+v", snaps)
+	}
+	if e.NumQueries() != 1 || e.NumObjects() != 1 {
+		t.Fatalf("counts: %d/%d", e.NumQueries(), e.NumObjects())
+	}
+}
+
+func TestQIndexRejectsNonRange(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for kNN query")
+		}
+	}()
+	e.ReportQuery(core.QueryUpdate{ID: 1, Kind: core.KNN, Focal: geo.Pt(1, 1), K: 2})
+}
+
+func TestQIndexSinkInterface(t *testing.T) {
+	e := New()
+	e.ReportQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(0, 0, 1, 1)})
+	e.ReportQuery(core.QueryUpdate{ID: 1, Remove: true})
+	if e.NumQueries() != 0 {
+		t.Fatalf("NumQueries = %d", e.NumQueries())
+	}
+}
+
+// TestQIndexMatchesIncremental cross-checks the Q-index against the
+// incremental engine on stationary queries with moving objects.
+func TestQIndexMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inc := core.MustNewEngine(core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: 8})
+	qi := New()
+
+	for j := core.QueryID(1); j <= 20; j++ {
+		u := core.QueryUpdate{ID: j, Kind: core.Range,
+			Region: geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.15)}
+		inc.ReportQuery(u)
+		qi.ReportQuery(u)
+	}
+	for i := core.ObjectID(1); i <= 60; i++ {
+		u := core.ObjectUpdate{ID: i, Kind: core.Moving, Loc: geo.Pt(rng.Float64(), rng.Float64())}
+		inc.ReportObject(u)
+		qi.ReportObject(u)
+	}
+
+	for step := 0; step < 30; step++ {
+		for n := rng.Intn(15); n > 0; n-- {
+			u := core.ObjectUpdate{
+				ID: core.ObjectID(1 + rng.Intn(60)), Kind: core.Moving,
+				Loc: geo.Pt(rng.Float64(), rng.Float64()),
+			}
+			inc.ReportObject(u)
+			qi.ReportObject(u)
+		}
+		inc.Step(float64(step))
+		for _, s := range qi.Step(float64(step)) {
+			want, _ := inc.Answer(s.Query)
+			if len(want) != len(s.Objects) {
+				t.Fatalf("step %d query %d: qindex %v incremental %v", step, s.Query, s.Objects, want)
+			}
+			for i := range want {
+				if want[i] != s.Objects[i] {
+					t.Fatalf("step %d query %d: qindex %v incremental %v", step, s.Query, s.Objects, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package tprq is a predictive-query baseline built on the TPR-tree
+// (internal/tpr), the access-method family the paper's related work uses
+// for querying the future. Predictive objects are indexed by
+// time-parameterized bounding rectangles; each evaluation answers every
+// predictive range query from scratch by probing the tree and applying
+// the exact motion predicate to the candidates.
+//
+// Like the other baselines it returns complete answers per evaluation;
+// the benchmarks compare its evaluation cost against the paper's shared
+// grid with incremental updates.
+package tprq
+
+import (
+	"sort"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+	"cqp/internal/tpr"
+)
+
+// Engine is the TPR-tree predictive baseline.
+type Engine struct {
+	tree    *tpr.Tree
+	horizon float64
+	objs    map[core.ObjectID]core.ObjectUpdate
+	qrys    map[core.QueryID]query
+
+	objBuf []core.ObjectUpdate
+	qryBuf []core.QueryUpdate
+}
+
+type query struct {
+	region geo.Rect
+	t1, t2 float64
+}
+
+// New creates a baseline engine. refTime anchors the TPR-tree; horizon
+// bounds prediction validity exactly as core.Options.PredictiveHorizon
+// does, so answers are comparable.
+func New(refTime, horizon float64) *Engine {
+	return &Engine{
+		tree:    tpr.New(refTime, horizon),
+		horizon: horizon,
+		objs:    make(map[core.ObjectID]core.ObjectUpdate),
+		qrys:    make(map[core.QueryID]query),
+	}
+}
+
+// ReportObject buffers a predictive object report. Non-predictive kinds
+// are ignored (this baseline only serves predictive queries).
+func (e *Engine) ReportObject(u core.ObjectUpdate) { e.objBuf = append(e.objBuf, u) }
+
+// ReportQuery buffers a predictive range query registration or removal.
+// Other kinds are ignored.
+func (e *Engine) ReportQuery(u core.QueryUpdate) { e.qryBuf = append(e.qryBuf, u) }
+
+// NumObjects returns the number of indexed predictive objects.
+func (e *Engine) NumObjects() int { return e.tree.Len() }
+
+// NumQueries returns the number of registered queries.
+func (e *Engine) NumQueries() int { return len(e.qrys) }
+
+// Step applies buffered reports and evaluates every registered query
+// from scratch against the TPR-tree, returning complete answers sorted
+// by query then object.
+func (e *Engine) Step(now float64) []core.Snapshot {
+	for _, u := range e.objBuf {
+		switch {
+		case u.Remove:
+			delete(e.objs, u.ID)
+			e.tree.Delete(uint64(u.ID))
+		case u.Kind == core.Predictive:
+			e.objs[u.ID] = u
+			e.tree.Insert(tpr.Entry{ID: uint64(u.ID), Loc: u.Loc, Vel: u.Vel, T: u.T})
+		}
+	}
+	for _, u := range e.qryBuf {
+		switch {
+		case u.Remove:
+			delete(e.qrys, u.ID)
+		case u.Kind == core.PredictiveRange:
+			e.qrys[u.ID] = query{region: u.Region, t1: u.T1, t2: u.T2}
+		}
+	}
+	e.objBuf = e.objBuf[:0]
+	e.qryBuf = e.qryBuf[:0]
+
+	out := make([]core.Snapshot, 0, len(e.qrys))
+	for qid, q := range e.qrys {
+		out = append(out, core.Snapshot{Query: qid, Objects: e.evaluate(q)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	return out
+}
+
+// evaluate probes the tree for candidates and applies the exact motion
+// predicate with the same horizon clipping as the core engine.
+func (e *Engine) evaluate(q query) []core.ObjectID {
+	var out []core.ObjectID
+	e.tree.SearchInterval(q.region, q.t1, q.t2, func(cand tpr.Entry) bool {
+		u := e.objs[core.ObjectID(cand.ID)]
+		t1, t2 := q.t1, q.t2
+		if t1 < u.T {
+			t1 = u.T
+		}
+		if max := u.T + e.horizon; t2 > max {
+			t2 = max
+		}
+		if t1 > t2 {
+			return true
+		}
+		m := geo.Motion{Start: u.Loc, Vel: u.Vel, T0: u.T}
+		if m.IntersectsRectDuring(q.region, t1, t2) {
+			out = append(out, core.ObjectID(cand.ID))
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,89 @@
+package tprq
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+func TestBasicsAndLifecycle(t *testing.T) {
+	e := New(0, 100)
+	e.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Predictive, Loc: geo.Pt(0, 5), Vel: geo.Vec(1, 0), T: 0})
+	e.ReportObject(core.ObjectUpdate{ID: 2, Kind: core.Predictive, Loc: geo.Pt(9, 9), T: 0})
+	e.ReportObject(core.ObjectUpdate{ID: 3, Kind: core.Moving, Loc: geo.Pt(5, 5), T: 0}) // ignored
+	e.ReportQuery(core.QueryUpdate{ID: 1, Kind: core.PredictiveRange, Region: geo.R(4, 4, 6, 6), T1: 4, T2: 6})
+	e.ReportQuery(core.QueryUpdate{ID: 2, Kind: core.Range, Region: geo.R(0, 0, 1, 1)}) // ignored
+	snaps := e.Step(0)
+	if len(snaps) != 1 || snaps[0].Query != 1 {
+		t.Fatalf("snaps = %+v", snaps)
+	}
+	if len(snaps[0].Objects) != 1 || snaps[0].Objects[0] != 1 {
+		t.Fatalf("answer = %v", snaps[0].Objects)
+	}
+	if e.NumObjects() != 2 || e.NumQueries() != 1 {
+		t.Fatalf("counts: %d/%d", e.NumObjects(), e.NumQueries())
+	}
+
+	// Velocity change removes object 1 from the answer.
+	e.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Predictive, Loc: geo.Pt(2, 5), Vel: geo.Vec(0, 1), T: 2})
+	snaps = e.Step(2)
+	if len(snaps[0].Objects) != 0 {
+		t.Fatalf("after turn: %v", snaps[0].Objects)
+	}
+
+	// Removals.
+	e.ReportObject(core.ObjectUpdate{ID: 1, Remove: true})
+	e.ReportQuery(core.QueryUpdate{ID: 1, Remove: true})
+	if snaps = e.Step(3); len(snaps) != 0 {
+		t.Fatalf("after removal: %+v", snaps)
+	}
+	if e.NumObjects() != 1 {
+		t.Fatalf("objects = %d", e.NumObjects())
+	}
+}
+
+// TestMatchesCoreEngine cross-validates the TPR baseline against the
+// incremental engine on an identical predictive workload.
+func TestMatchesCoreEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const horizon = 100
+	inc := core.MustNewEngine(core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: 8, PredictiveHorizon: horizon})
+	bl := New(0, horizon)
+
+	for j := core.QueryID(1); j <= 15; j++ {
+		u := core.QueryUpdate{
+			ID: j, Kind: core.PredictiveRange,
+			Region: geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.1+rng.Float64()*0.2),
+			T1:     rng.Float64() * 20, T2: 20 + rng.Float64()*30,
+		}
+		inc.ReportQuery(u)
+		bl.ReportQuery(u)
+	}
+	for step := 0; step < 30; step++ {
+		now := float64(step)
+		for n := rng.Intn(10); n > 0; n-- {
+			u := core.ObjectUpdate{
+				ID: core.ObjectID(1 + rng.Intn(50)), Kind: core.Predictive,
+				Loc: geo.Pt(rng.Float64(), rng.Float64()),
+				Vel: geo.Vec(rng.Float64()*0.02-0.01, rng.Float64()*0.02-0.01),
+				T:   now,
+			}
+			inc.ReportObject(u)
+			bl.ReportObject(u)
+		}
+		inc.Step(now)
+		for _, s := range bl.Step(now) {
+			want, _ := inc.Answer(s.Query)
+			if len(want) != len(s.Objects) {
+				t.Fatalf("step %d query %d: tpr %v core %v", step, s.Query, s.Objects, want)
+			}
+			for i := range want {
+				if want[i] != s.Objects[i] {
+					t.Fatalf("step %d query %d: tpr %v core %v", step, s.Query, s.Objects, want)
+				}
+			}
+		}
+	}
+}

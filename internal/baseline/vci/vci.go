@@ -1,0 +1,161 @@
+// Package vci implements the Velocity-Constrained Indexing baseline from
+// Prabhakar et al. ("Query Indexing and Velocity Constrained Indexing:
+// Scalable Techniques for Continuous Queries on Moving Objects"), the
+// second technique of the paper's citation [20]. An R-tree over object
+// positions is built at a reference time and deliberately *not* updated
+// as objects move; instead, every query region is expanded by
+// vmax·(now − buildTime) before probing — objects cannot have escaped
+// farther than the speed bound allows — and the conservative candidates
+// are refined against current exact positions. The index is rebuilt when
+// the expansion grows past a threshold.
+//
+// Like the paper's other comparison engines it re-evaluates every query
+// per step and returns complete answers.
+package vci
+
+import (
+	"fmt"
+	"sort"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+	"cqp/internal/rtree"
+)
+
+// Engine is the VCI baseline for rectangular range queries over moving
+// objects with a known maximum speed.
+type Engine struct {
+	maxSpeed     float64
+	rebuildEvery float64
+
+	tree      *rtree.Tree
+	builtAt   float64
+	inTree    map[core.ObjectID]geo.Point // position as indexed
+	current   map[core.ObjectID]geo.Point // latest reported position
+	unindexed map[core.ObjectID]struct{}  // appeared since the last rebuild
+
+	qrys map[core.QueryID]geo.Rect
+
+	objBuf []core.ObjectUpdate
+	qryBuf []core.QueryUpdate
+
+	rebuilds int
+}
+
+// New creates a VCI engine. maxSpeed bounds every object's speed (space
+// units per time unit) — reports that violate it can be missed, exactly
+// as in the original technique. rebuildEvery bounds the index staleness;
+// the expansion radius never exceeds maxSpeed·rebuildEvery.
+func New(maxSpeed, rebuildEvery float64) *Engine {
+	if maxSpeed <= 0 || rebuildEvery <= 0 {
+		panic(fmt.Sprintf("vci: maxSpeed and rebuildEvery must be positive, got %v, %v", maxSpeed, rebuildEvery))
+	}
+	return &Engine{
+		maxSpeed:     maxSpeed,
+		rebuildEvery: rebuildEvery,
+		tree:         rtree.New(),
+		inTree:       make(map[core.ObjectID]geo.Point),
+		current:      make(map[core.ObjectID]geo.Point),
+		unindexed:    make(map[core.ObjectID]struct{}),
+		qrys:         make(map[core.QueryID]geo.Rect),
+	}
+}
+
+// ReportObject buffers an object report.
+func (e *Engine) ReportObject(u core.ObjectUpdate) { e.objBuf = append(e.objBuf, u) }
+
+// ReportQuery buffers a range-query registration or removal. Non-range
+// kinds panic: VCI serves range queries.
+func (e *Engine) ReportQuery(u core.QueryUpdate) {
+	if !u.Remove && u.Kind != core.Range {
+		panic(fmt.Sprintf("vci: unsupported query kind %v", u.Kind))
+	}
+	e.qryBuf = append(e.qryBuf, u)
+}
+
+// NumObjects returns the known object count.
+func (e *Engine) NumObjects() int { return len(e.current) }
+
+// NumQueries returns the registered query count.
+func (e *Engine) NumQueries() int { return len(e.qrys) }
+
+// Rebuilds returns how many times the index has been rebuilt.
+func (e *Engine) Rebuilds() int { return e.rebuilds }
+
+// Step applies buffered reports and evaluates every query with
+// velocity-constrained expansion, returning complete answers sorted by
+// query then object.
+func (e *Engine) Step(now float64) []core.Snapshot {
+	for _, u := range e.objBuf {
+		if u.Remove {
+			if p, ok := e.inTree[u.ID]; ok {
+				e.tree.Delete(uint64(u.ID), pointRect(p))
+				delete(e.inTree, u.ID)
+			}
+			delete(e.current, u.ID)
+			delete(e.unindexed, u.ID)
+			continue
+		}
+		if _, known := e.current[u.ID]; !known {
+			if _, indexed := e.inTree[u.ID]; !indexed {
+				e.unindexed[u.ID] = struct{}{}
+			}
+		}
+		e.current[u.ID] = u.Loc
+	}
+	for _, u := range e.qryBuf {
+		if u.Remove {
+			delete(e.qrys, u.ID)
+		} else {
+			e.qrys[u.ID] = u.Region
+		}
+	}
+	e.objBuf = e.objBuf[:0]
+	e.qryBuf = e.qryBuf[:0]
+
+	if now-e.builtAt >= e.rebuildEvery || e.tree.Len() == 0 {
+		e.rebuild(now)
+	}
+
+	expand := e.maxSpeed * (now - e.builtAt)
+	out := make([]core.Snapshot, 0, len(e.qrys))
+	for qid, region := range e.qrys {
+		var ans []core.ObjectID
+		probe := region.Expand(expand)
+		e.tree.Search(probe, func(id uint64, _ geo.Rect) bool {
+			oid := core.ObjectID(id)
+			if cur, ok := e.current[oid]; ok && region.Contains(cur) {
+				ans = append(ans, oid)
+			}
+			return true
+		})
+		// Objects that appeared after the last rebuild are checked
+		// linearly — the technique's sideline list.
+		for oid := range e.unindexed {
+			if region.Contains(e.current[oid]) {
+				ans = append(ans, oid)
+			}
+		}
+		sort.Slice(ans, func(i, j int) bool { return ans[i] < ans[j] })
+		out = append(out, core.Snapshot{Query: qid, Objects: ans})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	return out
+}
+
+// rebuild re-creates the R-tree from the current positions.
+func (e *Engine) rebuild(now float64) {
+	e.tree = rtree.New()
+	e.inTree = make(map[core.ObjectID]geo.Point, len(e.current))
+	for oid, p := range e.current {
+		e.tree.Insert(uint64(oid), pointRect(p))
+		e.inTree[oid] = p
+	}
+	e.unindexed = make(map[core.ObjectID]struct{})
+	e.builtAt = now
+	e.rebuilds++
+}
+
+func pointRect(p geo.Point) geo.Rect {
+	return geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}

@@ -1,0 +1,152 @@
+package vci
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct{ v, r float64 }{{0, 1}, {1, 0}, {-1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v,%v) should panic", tc.v, tc.r)
+				}
+			}()
+			New(tc.v, tc.r)
+		}()
+	}
+}
+
+func TestRejectsNonRangeQueries(t *testing.T) {
+	e := New(1, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for kNN query")
+		}
+	}()
+	e.ReportQuery(core.QueryUpdate{ID: 1, Kind: core.KNN})
+}
+
+func TestBasicsAndStaleness(t *testing.T) {
+	e := New(0.5, 100)
+	e.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: geo.Pt(5, 5)})
+	e.ReportObject(core.ObjectUpdate{ID: 2, Kind: core.Moving, Loc: geo.Pt(9, 9)})
+	e.ReportQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(4, 4, 6, 6)})
+	snaps := e.Step(0)
+	if len(snaps) != 1 || len(snaps[0].Objects) != 1 || snaps[0].Objects[0] != 1 {
+		t.Fatalf("snaps = %+v", snaps)
+	}
+	if e.Rebuilds() != 1 {
+		t.Fatalf("rebuilds = %d", e.Rebuilds())
+	}
+
+	// Object 2 drifts into the region (within the speed bound) without the
+	// index being rebuilt: the expansion must still find it.
+	e.ReportObject(core.ObjectUpdate{ID: 2, Kind: core.Moving, Loc: geo.Pt(5.5, 5.5), T: 10})
+	snaps = e.Step(10)
+	if len(snaps[0].Objects) != 2 {
+		t.Fatalf("after drift: %v", snaps[0].Objects)
+	}
+	if e.Rebuilds() != 1 {
+		t.Fatalf("premature rebuild: %d", e.Rebuilds())
+	}
+
+	// A brand-new object lands inside: found via the sideline list.
+	e.ReportObject(core.ObjectUpdate{ID: 3, Kind: core.Moving, Loc: geo.Pt(5, 5.2), T: 20})
+	snaps = e.Step(20)
+	if len(snaps[0].Objects) != 3 {
+		t.Fatalf("sideline: %v", snaps[0].Objects)
+	}
+
+	// Past the rebuild interval the index refreshes.
+	e.Step(150)
+	if e.Rebuilds() != 2 {
+		t.Fatalf("rebuilds = %d", e.Rebuilds())
+	}
+
+	// Removal works in both indexed and sideline states.
+	e.ReportObject(core.ObjectUpdate{ID: 1, Remove: true})
+	e.ReportObject(core.ObjectUpdate{ID: 99, Remove: true}) // unknown: no-op
+	snaps = e.Step(151)
+	if len(snaps[0].Objects) != 2 {
+		t.Fatalf("after removal: %v", snaps[0].Objects)
+	}
+	if e.NumObjects() != 2 || e.NumQueries() != 1 {
+		t.Fatalf("counts: %d/%d", e.NumObjects(), e.NumQueries())
+	}
+}
+
+// TestMatchesIncrementalEngine cross-validates VCI against the core
+// engine on a bounded-speed workload (random walks with step ≤ the speed
+// bound times the tick length).
+func TestMatchesIncrementalEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const (
+		maxSpeed = 0.02
+		dt       = 1.0
+	)
+	inc := core.MustNewEngine(core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: 8})
+	v := New(maxSpeed, 20)
+
+	pos := map[core.ObjectID]geo.Point{}
+	for i := core.ObjectID(1); i <= 60; i++ {
+		p := geo.Pt(rng.Float64(), rng.Float64())
+		pos[i] = p
+		u := core.ObjectUpdate{ID: i, Kind: core.Moving, Loc: p}
+		inc.ReportObject(u)
+		v.ReportObject(u)
+	}
+	for j := core.QueryID(1); j <= 15; j++ {
+		u := core.QueryUpdate{ID: j, Kind: core.Range,
+			Region: geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.2)}
+		inc.ReportQuery(u)
+		v.ReportQuery(u)
+	}
+
+	now := 0.0
+	for step := 0; step < 100; step++ {
+		now += dt
+		for n := rng.Intn(20); n > 0; n-- {
+			id := core.ObjectID(1 + rng.Intn(60))
+			p := pos[id]
+			// Bounded random walk.
+			p = geo.Pt(
+				clamp01(p.X+(rng.Float64()*2-1)*maxSpeed*dt),
+				clamp01(p.Y+(rng.Float64()*2-1)*maxSpeed*dt),
+			)
+			pos[id] = p
+			u := core.ObjectUpdate{ID: id, Kind: core.Moving, Loc: p, T: now}
+			inc.ReportObject(u)
+			v.ReportObject(u)
+		}
+		inc.Step(now)
+		for _, s := range v.Step(now) {
+			want, _ := inc.Answer(s.Query)
+			if len(want) != len(s.Objects) {
+				t.Fatalf("step %d query %d: vci %v core %v", step, s.Query, s.Objects, want)
+			}
+			for i := range want {
+				if want[i] != s.Objects[i] {
+					t.Fatalf("step %d query %d: vci %v core %v", step, s.Query, s.Objects, want)
+				}
+			}
+		}
+	}
+	if v.Rebuilds() < 2 {
+		t.Fatalf("expected periodic rebuilds, got %d", v.Rebuilds())
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

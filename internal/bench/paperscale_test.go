@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestPaperScalePoint runs one Figure-5(a) point at the paper's full
+// 100K × 100K scale. It is far too heavy for routine test runs, so it
+// only executes when CQP_PAPER_SCALE=1.
+func TestPaperScalePoint(t *testing.T) {
+	if os.Getenv("CQP_PAPER_SCALE") != "1" {
+		t.Skip("set CQP_PAPER_SCALE=1 to run the paper-scale measurement")
+	}
+	cfg := Fig5Config{
+		Objects: 100000, Queries: 100000,
+		Ticks: 2, Warmup: 1, Rate: 0.3, QueryRate: 0.3,
+		QuerySide: 0.01, Seed: 1,
+	}.WithDefaults()
+	r := RunFig5Point(cfg)
+	fmt.Printf("PAPER-SCALE fig5a point (rate 30%%, side 0.01):\n")
+	fmt.Printf("  incremental %.1f KB/eval, complete %.1f KB/eval, ratio %.1f%%, step %.0f ms\n",
+		r.IncrementalKB, r.CompleteKB, 100*r.IncrementalKB/r.CompleteKB, r.StepMillis)
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"time"
+
+	"cqp/internal/baseline/tprq"
+	"cqp/internal/core"
+	"cqp/internal/gen"
+	"cqp/internal/geo"
+	"cqp/internal/roadnet"
+)
+
+// PredictiveResult compares predictive-query evaluation strategies: the
+// paper's shared grid with incremental updates against TPR-tree
+// re-evaluation (Ablation 7).
+type PredictiveResult struct {
+	IncrementalMillis float64 // shared grid, incremental, avg Step ms
+	TPRMillis         float64 // TPR-tree re-evaluation, avg Step ms
+	Updates           float64 // avg incremental updates per evaluation
+	AnswerTuples      float64 // avg total complete-answer cardinality
+}
+
+// RunPredictiveComparison drives both engines with an identical stream of
+// predictive object reports (location + velocity, from the road-network
+// world) and moving predictive range queries whose windows look
+// WindowAhead..WindowAhead+WindowLen into the future.
+func RunPredictiveComparison(cfg Fig5Config) PredictiveResult {
+	cfg = cfg.WithDefaults()
+	const (
+		horizon     = 200.0
+		windowAhead = 10.0
+		windowLen   = 50.0
+	)
+	net := roadnet.Generate(roadnet.Config{Seed: cfg.Seed})
+	world := gen.MustNewWorld(gen.Config{Net: net, NumObjects: cfg.Objects, Seed: cfg.Seed})
+	wl := gen.NewWorkload(world, cfg.Queries, cfg.QuerySide, cfg.Seed)
+	scatter(wl)
+
+	inc := core.MustNewEngine(core.Options{
+		Bounds: geo.R(0, 0, 1, 1), GridN: cfg.GridN, PredictiveHorizon: horizon,
+	})
+	bl := tprq.New(world.Now(), horizon)
+
+	reportObject := func(i int, now float64) {
+		loc, vel := world.Object(i)
+		u := core.ObjectUpdate{
+			ID: core.ObjectID(i + 1), Kind: core.Predictive, Loc: loc, Vel: vel, T: now,
+		}
+		inc.ReportObject(u)
+		bl.ReportObject(u)
+	}
+	reportQuery := func(j int, now float64) {
+		u := core.QueryUpdate{
+			ID: core.QueryID(j + 1), Kind: core.PredictiveRange,
+			Region: wl.QueryRegion(j),
+			T1:     now + windowAhead, T2: now + windowAhead + windowLen,
+			T: now,
+		}
+		inc.ReportQuery(u)
+		bl.ReportQuery(u)
+	}
+
+	// Bootstrap the full population.
+	now := world.Now()
+	for i := 0; i < cfg.Objects; i++ {
+		reportObject(i, now)
+	}
+	for j := 0; j < cfg.Queries; j++ {
+		reportQuery(j, now)
+	}
+	inc.Step(now)
+	bl.Step(now)
+
+	var res PredictiveResult
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		world.AdvanceClock(cfg.DT)
+		wl.Queries.AdvanceClock(cfg.DT)
+		now = world.Now()
+		// cfg.Rate of objects change course (move + new velocity);
+		// cfg.QueryRate of queries move and slide their windows.
+		for i := 0; i < cfg.Objects; i++ {
+			if float64(i%100)/100 < cfg.Rate {
+				world.AdvanceObject(i, cfg.DT)
+				reportObject(i, now)
+			}
+		}
+		for j := 0; j < cfg.Queries; j++ {
+			if float64(j%100)/100 < cfg.QueryRate {
+				wl.Queries.AdvanceObject(j, cfg.DT)
+				reportQuery(j, now)
+			}
+		}
+
+		start := time.Now()
+		updates := inc.Step(now)
+		res.IncrementalMillis += msSince(start)
+		res.Updates += float64(len(updates))
+
+		start = time.Now()
+		snaps := bl.Step(now)
+		res.TPRMillis += msSince(start)
+		for _, s := range snaps {
+			res.AnswerTuples += float64(len(s.Objects))
+		}
+	}
+	n := float64(cfg.Ticks)
+	res.IncrementalMillis /= n
+	res.TPRMillis /= n
+	res.Updates /= n
+	res.AnswerTuples /= n
+	return res
+}

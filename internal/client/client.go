@@ -1,0 +1,352 @@
+// Package client is the subscriber-side library for the location-aware
+// server. It maintains, per continuous query, the incrementally
+// reconstructed answer and the committed snapshot that powers out-of-sync
+// recovery: on reconnection the client rolls its answers back to the last
+// commit point and asks the server for the committed→current diff,
+// receiving the complete answer only when the checksum handshake detects
+// divergence.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+
+	"cqp/internal/core"
+	"cqp/internal/wire"
+)
+
+// EventKind classifies events delivered on the Events channel.
+type EventKind uint8
+
+const (
+	// EventUpdates is a routine incremental batch.
+	EventUpdates EventKind = iota + 1
+	// EventRecovered is the incremental diff that completed a recovery.
+	EventRecovered
+	// EventFullAnswer is a complete answer (recovery fallback).
+	EventFullAnswer
+	// EventDisconnected reports that the connection died; the client may
+	// Reconnect.
+	EventDisconnected
+	// EventCommitted acknowledges a Commit: the server's committed answer
+	// now equals the client's snapshot.
+	EventCommitted
+	// EventStats answers a RequestStats call.
+	EventStats
+)
+
+// Event is one notification from the read loop. After the event has been
+// delivered the answers visible through Answer already reflect it.
+type Event struct {
+	Kind    EventKind
+	Time    float64
+	Updates []core.Update // EventUpdates, EventRecovered
+	Query   core.QueryID  // EventFullAnswer
+	Err     error         // EventDisconnected
+
+	// Stats carries the server statistics of an EventStats.
+	Stats *ServerStats
+}
+
+// ServerStats is the server-side view returned by RequestStats.
+type ServerStats struct {
+	Stats   core.Stats
+	Objects int
+	Queries int
+	Uptime  float64
+}
+
+// queryView is the client-side state of one continuous query.
+type queryView struct {
+	def      core.QueryUpdate
+	answer   map[core.ObjectID]struct{}
+	snapshot map[core.ObjectID]struct{} // state at the last commit point
+}
+
+// Client is a connection to the location-aware server. All methods are
+// safe for concurrent use.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	w       *wire.Writer
+	queries map[core.QueryID]*queryView
+
+	events chan Event
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		w:       wire.NewWriter(conn),
+		queries: make(map[core.QueryID]*queryView),
+		events:  make(chan Event, 64),
+	}
+	c.wg.Add(1)
+	go c.readLoop(conn)
+	return c, nil
+}
+
+// Events returns the notification channel. It is closed by Close. Slow
+// consumers block the read loop, applying natural backpressure.
+func (c *Client) Events() <-chan Event { return c.events }
+
+// Close tears the connection down and closes the Events channel.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	err := conn.Close()
+	c.wg.Wait()
+	close(c.events)
+	return err
+}
+
+// ReportObject sends an object report.
+func (c *Client) ReportObject(u core.ObjectUpdate) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.w.Write(wire.ObjectReport{Update: u})
+}
+
+// RegisterQuery registers (or moves) a continuous query and subscribes
+// this connection to its updates. Mirroring the server's implicit commit
+// on hearing from a query, the current answer becomes the client's commit
+// snapshot.
+func (c *Client) RegisterQuery(u core.QueryUpdate) error {
+	if u.Remove {
+		return c.RemoveQuery(u.ID)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.queries[u.ID]
+	if !ok {
+		v = &queryView{
+			answer:   make(map[core.ObjectID]struct{}),
+			snapshot: make(map[core.ObjectID]struct{}),
+		}
+		c.queries[u.ID] = v
+	}
+	v.def = u
+	v.snapshot = copySet(v.answer)
+	return c.w.Write(wire.QueryReport{Update: u})
+}
+
+// RemoveQuery deregisters a query.
+func (c *Client) RemoveQuery(id core.QueryID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.queries, id)
+	return c.w.Write(wire.QueryReport{Update: core.QueryUpdate{ID: id, Remove: true}})
+}
+
+// Commit acknowledges the stream of query q: the current answer becomes
+// the commit snapshot locally and, checksum permitting, the committed
+// answer on the server. Stationary queries call this periodically (the
+// paper's explicit commit messages); moving queries commit implicitly by
+// reporting.
+func (c *Client) Commit(q core.QueryID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.queries[q]
+	if !ok {
+		return fmt.Errorf("client: commit of unknown query %d", q)
+	}
+	v.snapshot = copySet(v.answer)
+	return c.w.Write(wire.Commit{Query: q, Checksum: checksumSet(v.answer)})
+}
+
+// Answer returns the current answer of q in ascending order, or ok=false
+// for an unknown query.
+func (c *Client) Answer(q core.QueryID) ([]core.ObjectID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.queries[q]
+	if !ok {
+		return nil, false
+	}
+	out := make([]core.ObjectID, 0, len(v.answer))
+	for id := range v.answer {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// RequestStats asks the server for its statistics; the response arrives
+// as an EventStats on the Events channel.
+func (c *Client) RequestStats() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.w.Write(wire.StatsRequest{})
+}
+
+// Drop severs the connection without closing the client, simulating the
+// battery or signal loss of the paper's out-of-sync clients: updates the
+// server emits while dropped are lost. The read loop emits
+// EventDisconnected; call Reconnect to resynchronize.
+func (c *Client) Drop() error {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Close()
+}
+
+// Reconnect dials addr again after a disconnection and runs the
+// out-of-sync recovery protocol for every registered query: each answer
+// is rolled back to its commit snapshot and a wakeup (carrying the query
+// definition and the snapshot checksum) is sent. The server responds with
+// either an incremental recovery diff or a full answer; both arrive as
+// events and leave the answers synchronized.
+func (c *Client) Reconnect(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("client: reconnect: %w", err)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return errors.New("client: reconnect after Close")
+	}
+	c.conn.Close() // stop any stale read loop
+	c.conn = conn
+	c.w = wire.NewWriter(conn)
+
+	type wakeup struct{ m wire.Wakeup }
+	var wakeups []wakeup
+	for _, v := range c.queries {
+		v.answer = copySet(v.snapshot) // roll back to the commit point
+		wakeups = append(wakeups, wakeup{wire.Wakeup{
+			Update:   v.def,
+			Checksum: checksumSet(v.snapshot),
+		}})
+	}
+	for _, wk := range wakeups {
+		if err := c.w.Write(wk.m); err != nil {
+			c.mu.Unlock()
+			return fmt.Errorf("client: send wakeup: %w", err)
+		}
+	}
+	c.mu.Unlock()
+
+	c.wg.Wait() // ensure the old read loop has fully exited
+	c.wg.Add(1)
+	go c.readLoop(conn)
+	return nil
+}
+
+func (c *Client) readLoop(conn net.Conn) {
+	defer c.wg.Done()
+	r := wire.NewReader(conn)
+	for {
+		msg, err := r.Read()
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			stale := c.conn != conn
+			c.mu.Unlock()
+			if closed || stale {
+				return
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				err = nil
+			}
+			c.events <- Event{Kind: EventDisconnected, Err: err}
+			return
+		}
+		c.apply(msg)
+	}
+}
+
+// apply integrates a server message into the local answers and emits the
+// corresponding event.
+func (c *Client) apply(msg wire.Message) {
+	c.mu.Lock()
+	var ev Event
+	switch m := msg.(type) {
+	case wire.UpdateBatch:
+		c.applyUpdates(m.Updates)
+		ev = Event{Kind: EventUpdates, Time: m.Time, Updates: m.Updates}
+	case wire.RecoveryDiff:
+		c.applyUpdates(m.Updates)
+		// Recovery commits on the server; mirror it for the queries the
+		// diff touched (untouched queries already satisfy answer ==
+		// snapshot, since they were rolled back at reconnect).
+		for _, u := range m.Updates {
+			if v, ok := c.queries[u.Query]; ok {
+				v.snapshot = copySet(v.answer)
+			}
+		}
+		ev = Event{Kind: EventRecovered, Time: m.Time, Updates: m.Updates}
+	case wire.FullAnswer:
+		v, ok := c.queries[m.Query]
+		if ok {
+			v.answer = make(map[core.ObjectID]struct{}, len(m.Objects))
+			for _, id := range m.Objects {
+				v.answer[id] = struct{}{}
+			}
+			v.snapshot = copySet(v.answer)
+		}
+		ev = Event{Kind: EventFullAnswer, Time: m.Time, Query: m.Query}
+	case wire.CommitAck:
+		ev = Event{Kind: EventCommitted, Query: m.Query}
+	case wire.StatsResponse:
+		ev = Event{Kind: EventStats, Time: m.Uptime, Stats: &ServerStats{
+			Stats:   m.Stats,
+			Objects: int(m.Objects),
+			Queries: int(m.Queries),
+			Uptime:  m.Uptime,
+		}}
+	default:
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	c.events <- ev
+}
+
+func (c *Client) applyUpdates(updates []core.Update) {
+	for _, u := range updates {
+		v, ok := c.queries[u.Query]
+		if !ok {
+			continue
+		}
+		if u.Positive {
+			v.answer[u.Object] = struct{}{}
+		} else {
+			delete(v.answer, u.Object)
+		}
+	}
+}
+
+func copySet(s map[core.ObjectID]struct{}) map[core.ObjectID]struct{} {
+	out := make(map[core.ObjectID]struct{}, len(s))
+	for k := range s {
+		out[k] = struct{}{}
+	}
+	return out
+}
+
+func checksumSet(s map[core.ObjectID]struct{}) uint64 {
+	ids := make([]core.ObjectID, 0, len(s))
+	for id := range s {
+		ids = append(ids, id)
+	}
+	return core.ChecksumIDs(ids)
+}

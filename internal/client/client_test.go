@@ -1,0 +1,196 @@
+package client_test
+
+import (
+	"io"
+	"log"
+	"testing"
+	"time"
+
+	"cqp/internal/client"
+	"cqp/internal/core"
+	"cqp/internal/geo"
+	"cqp/internal/server"
+)
+
+func startServer(t *testing.T) *server.Server {
+	t.Helper()
+	s, err := server.Listen("127.0.0.1:0", server.Config{
+		Engine: core.Options{Bounds: geo.R(0, 0, 10, 10), GridN: 8},
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func wait(t *testing.T, c *client.Client, kind client.EventKind) client.Event {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev, ok := <-c.Events():
+			if !ok {
+				t.Fatal("events channel closed")
+			}
+			if ev.Kind == kind {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("timeout waiting for event %d", kind)
+		}
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := client.Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port should fail")
+	}
+}
+
+func TestAnswerUnknownQuery(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.Answer(99); ok {
+		t.Error("unknown query should be !ok")
+	}
+	if err := c.Commit(99); err == nil {
+		t.Error("commit of unknown query should fail")
+	}
+}
+
+func TestRegisterViaRemoveFlag(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.RegisterQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(0, 0, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	// RegisterQuery with Remove set routes to RemoveQuery.
+	if err := c.RegisterQuery(core.QueryUpdate{ID: 1, Remove: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Answer(1); ok {
+		t.Error("removed query should be forgotten")
+	}
+}
+
+func TestCloseIsIdempotentAndClosesEvents(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, ok := <-c.Events(); ok {
+		// Drain anything buffered; the channel must eventually close.
+		for range c.Events() {
+		}
+	}
+	if err := c.Reconnect(s.Addr().String()); err == nil {
+		t.Error("reconnect after close should fail")
+	}
+}
+
+func TestMultipleQueriesOneConnection(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: geo.Pt(1, 1)})
+	c.ReportObject(core.ObjectUpdate{ID: 2, Kind: core.Moving, Loc: geo.Pt(9, 9)})
+	c.RegisterQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(0, 0, 2, 2)})
+	c.RegisterQuery(core.QueryUpdate{ID: 2, Kind: core.Range, Region: geo.R(8, 8, 10, 10)})
+
+	for i := 0; i < 100; i++ {
+		s.Evaluate()
+		a1, _ := c.Answer(1)
+		a2, _ := c.Answer(2)
+		if len(a1) == 1 && len(a2) == 1 {
+			if a1[0] != 1 || a2[0] != 2 {
+				t.Fatalf("answers: %v %v", a1, a2)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("answers never converged")
+}
+
+func TestRecoveryAcrossMultipleQueries(t *testing.T) {
+	s := startServer(t)
+	addr := s.Addr().String()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	feed, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Close()
+
+	feed.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: geo.Pt(1, 1)})
+	feed.ReportObject(core.ObjectUpdate{ID: 2, Kind: core.Moving, Loc: geo.Pt(9, 9)})
+	c.RegisterQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(0, 0, 2, 2)})
+	c.RegisterQuery(core.QueryUpdate{ID: 2, Kind: core.Range, Region: geo.R(8, 8, 10, 10)})
+	for i := 0; i < 100; i++ {
+		s.Evaluate()
+		a1, _ := c.Answer(1)
+		a2, _ := c.Answer(2)
+		if len(a1) == 1 && len(a2) == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.Commit(1)
+	wait(t, c, client.EventCommitted)
+	c.Commit(2)
+	wait(t, c, client.EventCommitted)
+
+	// Drop; both queries change while away.
+	c.Drop()
+	wait(t, c, client.EventDisconnected)
+	feed.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: geo.Pt(9.5, 9.5), T: 2})
+	feed.ReportObject(core.ObjectUpdate{ID: 2, Kind: core.Moving, Loc: geo.Pt(1.5, 1.5), T: 2})
+	for i := 0; i < 100; i++ {
+		s.Evaluate()
+		if s.Stats().ObjectReports >= 4 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := c.Reconnect(addr); err != nil {
+		t.Fatal(err)
+	}
+	// Two recovery diffs arrive (one per query); afterwards both answers
+	// match the server.
+	wait(t, c, client.EventRecovered)
+	wait(t, c, client.EventRecovered)
+	a1, _ := c.Answer(1)
+	a2, _ := c.Answer(2)
+	if len(a1) != 1 || a1[0] != 2 {
+		t.Fatalf("Q1 after recovery: %v", a1)
+	}
+	if len(a2) != 1 || a2[0] != 1 {
+		t.Fatalf("Q2 after recovery: %v", a2)
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+// benchEngine builds an engine with a uniform population.
+func benchEngine(objects, queries int, kind QueryKind) (*Engine, *rand.Rand) {
+	e := MustNewEngine(Options{Bounds: geo.R(0, 0, 1, 1), GridN: 64, PredictiveHorizon: 100})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < objects; i++ {
+		e.ReportObject(ObjectUpdate{
+			ID: ObjectID(i + 1), Kind: Moving,
+			Loc: geo.Pt(rng.Float64(), rng.Float64()),
+		})
+	}
+	for j := 0; j < queries; j++ {
+		u := QueryUpdate{ID: QueryID(j + 1), Kind: kind}
+		switch kind {
+		case Range:
+			u.Region = geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.01)
+		case KNN:
+			u.Focal = geo.Pt(rng.Float64(), rng.Float64())
+			u.K = 5
+		}
+		e.ReportQuery(u)
+	}
+	e.Step(0)
+	return e, rng
+}
+
+// BenchmarkStepObjectMoves measures the per-evaluation cost of object
+// movement against 10K range queries: the object side of the shared join.
+func BenchmarkStepObjectMoves(b *testing.B) {
+	e, rng := benchEngine(10000, 10000, Range)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < 100; n++ {
+			id := ObjectID(1 + rng.Intn(10000))
+			e.ReportObject(ObjectUpdate{
+				ID: id, Kind: Moving,
+				Loc: geo.Pt(rng.Float64(), rng.Float64()), T: float64(i),
+			})
+		}
+		e.Step(float64(i))
+	}
+	b.ReportMetric(100, "moves/op")
+}
+
+// BenchmarkStepQueryMoves measures the query side: incremental
+// A_new − A_old evaluation for sliding regions.
+func BenchmarkStepQueryMoves(b *testing.B) {
+	e, rng := benchEngine(10000, 10000, Range)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < 100; n++ {
+			id := QueryID(1 + rng.Intn(10000))
+			e.ReportQuery(QueryUpdate{
+				ID: id, Kind: Range,
+				Region: geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.01),
+				T:      float64(i),
+			})
+		}
+		e.Step(float64(i))
+	}
+	b.ReportMetric(100, "moves/op")
+}
+
+// BenchmarkStepKNNMaintenance measures dirty-circle kNN upkeep under
+// object churn.
+func BenchmarkStepKNNMaintenance(b *testing.B) {
+	e, rng := benchEngine(10000, 1000, KNN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < 100; n++ {
+			id := ObjectID(1 + rng.Intn(10000))
+			e.ReportObject(ObjectUpdate{
+				ID: id, Kind: Moving,
+				Loc: geo.Pt(rng.Float64(), rng.Float64()), T: float64(i),
+			})
+		}
+		e.Step(float64(i))
+	}
+	b.ReportMetric(float64(e.Stats().KNNRecomputes)/float64(b.N), "recomputes/op")
+}

@@ -1,0 +1,80 @@
+package core
+
+import "sort"
+
+// Commit records that the client of query q has provably received the
+// update stream so far: the current answer becomes the committed answer.
+// Stationary queries send explicit commit messages (paper §3.3); moving
+// queries commit implicitly whenever the server hears from them, which
+// applyQueryUpdate performs automatically. Commit reports whether q is
+// registered.
+func (e *Engine) Commit(q QueryID) bool {
+	qs, ok := e.qrys[q]
+	if !ok {
+		return false
+	}
+	e.commit(qs)
+	return true
+}
+
+func (e *Engine) commit(qs *queryState) {
+	committed := make(map[ObjectID]struct{}, len(qs.answer))
+	for oid := range qs.answer {
+		committed[oid] = struct{}{}
+	}
+	qs.committed = committed
+}
+
+// Recover computes the updates an out-of-sync client needs after a
+// disconnection: the difference between the last committed answer and the
+// current answer, as positive and negative updates. The result is far
+// smaller than resending the whole answer when the disconnection was
+// short (the paper's motivating case). The recovered state is then
+// committed, since the client receives it as part of reconnecting.
+//
+// A query that has never committed recovers from the empty answer, i.e.
+// the full current answer is returned as positive updates — equivalent to
+// the naive wakeup protocol.
+//
+// The second result reports whether q is registered.
+func (e *Engine) Recover(q QueryID) ([]Update, bool) {
+	qs, ok := e.qrys[q]
+	if !ok {
+		return nil, false
+	}
+	var out []Update
+	for oid := range qs.committed {
+		if _, still := qs.answer[oid]; !still {
+			out = append(out, Update{Query: q, Object: oid, Positive: false})
+		}
+	}
+	for oid := range qs.answer {
+		if _, had := qs.committed[oid]; !had {
+			out = append(out, Update{Query: q, Object: oid, Positive: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Positive != out[j].Positive {
+			return !out[i].Positive // negatives first, as the client prunes
+		}
+		return out[i].Object < out[j].Object
+	})
+	e.commit(qs)
+	return out, true
+}
+
+// CommittedAnswer returns the last committed answer of q in ascending
+// ObjectID order. The second result is false if q is unknown; a
+// registered query that has never committed returns an empty slice.
+func (e *Engine) CommittedAnswer(q QueryID) ([]ObjectID, bool) {
+	qs, ok := e.qrys[q]
+	if !ok {
+		return nil, false
+	}
+	out := make([]ObjectID, 0, len(qs.committed))
+	for oid := range qs.committed {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}

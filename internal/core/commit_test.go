@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+// TestRecoveryAcrossQueryKinds verifies Commit/Recover for kNN and
+// predictive queries, not just ranges.
+func TestRecoveryAcrossQueryKinds(t *testing.T) {
+	e := MustNewEngine(Options{Bounds: geo.R(0, 0, 10, 10), GridN: 8, PredictiveHorizon: 100})
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Moving, Loc: geo.Pt(1, 1)})
+	e.ReportObject(ObjectUpdate{ID: 2, Kind: Moving, Loc: geo.Pt(2, 2)})
+	e.ReportObject(ObjectUpdate{ID: 3, Kind: Predictive, Loc: geo.Pt(0, 5), Vel: geo.Vec(0.5, 0), T: 0})
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: KNN, Focal: geo.Pt(0, 0), K: 1})
+	e.ReportQuery(QueryUpdate{ID: 2, Kind: PredictiveRange, Region: geo.R(4, 4, 6, 6), T1: 8, T2: 12})
+	e.Step(0)
+	e.Commit(1)
+	e.Commit(2)
+
+	// Changes while "disconnected": the kNN answer flips to object 2, the
+	// predictive answer empties (object 3 turns away).
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Moving, Loc: geo.Pt(9, 9), T: 1})
+	e.ReportObject(ObjectUpdate{ID: 3, Kind: Predictive, Loc: geo.Pt(2, 5), Vel: geo.Vec(0, 1), T: 1})
+	e.Step(1)
+
+	rec, ok := e.Recover(1)
+	if !ok {
+		t.Fatal("Recover(knn) failed")
+	}
+	want := []Update{{1, 1, false}, {1, 2, true}}
+	if !updatesEqual(rec, want) {
+		t.Fatalf("knn recovery: got %v want %v", sortUpdates(rec), sortUpdates(want))
+	}
+	rec, _ = e.Recover(2)
+	if !updatesEqual(rec, []Update{{2, 3, false}}) {
+		t.Fatalf("predictive recovery: %v", rec)
+	}
+
+	// Checksums agree with the recovered state.
+	ca, _ := e.CommittedChecksum(1)
+	aa, _ := e.AnswerChecksum(1)
+	if ca != aa {
+		t.Fatal("post-recovery checksums diverge")
+	}
+}
+
+// TestChecksumProperties pins the checksum's order independence and
+// sensitivity.
+func TestChecksumProperties(t *testing.T) {
+	a := ChecksumIDs([]ObjectID{1, 2, 3})
+	b := ChecksumIDs([]ObjectID{3, 1, 2})
+	if a != b {
+		t.Error("checksum is order dependent")
+	}
+	if a == ChecksumIDs([]ObjectID{1, 2}) {
+		t.Error("checksum insensitive to membership")
+	}
+	if ChecksumIDs(nil) != 0 {
+		t.Error("empty checksum should be 0")
+	}
+	if _, ok := MustNewEngine(Options{Bounds: geo.R(0, 0, 1, 1)}).AnswerChecksum(9); ok {
+		t.Error("checksum of unknown query should be !ok")
+	}
+}

@@ -1,0 +1,563 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cqp/internal/geo"
+	"cqp/internal/grid"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Bounds is the monitored space. Required (the zero Rect is rejected).
+	Bounds geo.Rect
+
+	// GridN is the per-axis cell count of the shared grid. Defaults to 64.
+	GridN int
+
+	// PredictiveHorizon is how far (in time units) ahead of its report a
+	// predictive object's trajectory is registered in the grid. Predictive
+	// queries whose window ends more than a horizon after the reporting
+	// time of an object may miss that object, so configure the horizon to
+	// cover the longest window in use. Defaults to 100.
+	PredictiveHorizon float64
+
+	// Parallelism fans the read-only gather phase of the object-driven
+	// join out across this many goroutines when a bulk step carries enough
+	// moved objects. 0 or 1 keeps evaluation single-threaded (the
+	// default); results are identical either way, only update order within
+	// a batch differs.
+	Parallelism int
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.Bounds.Empty() {
+		return out, fmt.Errorf("core: Options.Bounds must be a non-empty rectangle, got %v", out.Bounds)
+	}
+	if out.GridN == 0 {
+		out.GridN = 64
+	}
+	if out.GridN < 1 {
+		return out, fmt.Errorf("core: Options.GridN must be positive, got %d", out.GridN)
+	}
+	if out.PredictiveHorizon == 0 {
+		out.PredictiveHorizon = 100
+	}
+	if out.PredictiveHorizon < 0 {
+		return out, fmt.Errorf("core: Options.PredictiveHorizon must be positive, got %v", out.PredictiveHorizon)
+	}
+	if out.Parallelism < 0 {
+		return out, fmt.Errorf("core: Options.Parallelism must be non-negative, got %d", out.Parallelism)
+	}
+	return out, nil
+}
+
+// objectState is the engine's record of one object: the paper's object
+// entry (OID, loc, t, QList).
+type objectState struct {
+	id        ObjectID
+	kind      ObjectKind
+	loc       geo.Point
+	vel       geo.Vector
+	waypoints []geo.TimedPoint // trajectory representation, when reported
+	t         float64
+
+	// swept is the grid-registered trajectory bounding box of a predictive
+	// object; the zero Rect when not registered.
+	swept      geo.Rect
+	sweptValid bool
+
+	// queries is the QList: every query whose answer currently contains
+	// this object.
+	queries map[QueryID]struct{}
+}
+
+// queryState is the engine's record of one query: the paper's query entry
+// plus the incremental-evaluation and recovery bookkeeping.
+type queryState struct {
+	id   QueryID
+	kind QueryKind
+	t    float64
+
+	region geo.Rect  // current grid-registered region
+	focal  geo.Point // KNN focal point
+	k      int       // KNN cardinality
+	radius float64   // KNN current circle radius (kth distance)
+	t1, t2 float64   // PredictiveRange window
+
+	registered bool // region currently present in the grid
+
+	// answer is the OList: the latest answer, maintained incrementally.
+	answer map[ObjectID]struct{}
+
+	// committed is the last answer the client provably received; nil until
+	// the first commit. See Commit and Recover.
+	committed map[ObjectID]struct{}
+}
+
+// Engine is the shared, incremental continuous query processor. Methods
+// must not be called concurrently; wrap the engine (as internal/server
+// does) to serialize access.
+type Engine struct {
+	opt  Options
+	g    *grid.Grid
+	now  float64
+	objs map[ObjectID]*objectState
+	qrys map[QueryID]*queryState
+
+	objBuf []ObjectUpdate
+	qryBuf []QueryUpdate
+
+	dirtyKNN map[QueryID]struct{}
+
+	stats Stats
+}
+
+// NewEngine constructs an engine over the given space.
+func NewEngine(opt Options) (*Engine, error) {
+	o, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		opt:      o,
+		g:        grid.New(o.Bounds, o.GridN),
+		objs:     make(map[ObjectID]*objectState),
+		qrys:     make(map[QueryID]*queryState),
+		dirtyKNN: make(map[QueryID]struct{}),
+	}, nil
+}
+
+// MustNewEngine is NewEngine that panics on configuration errors, for use
+// in examples and tests.
+func MustNewEngine(opt Options) *Engine {
+	e, err := NewEngine(opt)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Grid key space: object and query identifiers share the grid's uint64
+// key space, disambiguated by the low bit.
+func okey(id ObjectID) uint64 { return uint64(id)<<1 | 0 }
+func qkey(id QueryID) uint64  { return uint64(id)<<1 | 1 }
+
+func keyIsQuery(k uint64) bool    { return k&1 == 1 }
+func keyObject(k uint64) ObjectID { return ObjectID(k >> 1) }
+func keyQuery(k uint64) QueryID   { return QueryID(k >> 1) }
+
+// ReportObject buffers an object update for the next Step, mirroring the
+// paper's server-side buffering of received updates for bulk processing.
+func (e *Engine) ReportObject(u ObjectUpdate) {
+	e.objBuf = append(e.objBuf, u)
+}
+
+// ReportQuery buffers a query registration, movement, or removal for the
+// next Step.
+func (e *Engine) ReportQuery(u QueryUpdate) {
+	e.qryBuf = append(e.qryBuf, u)
+}
+
+// Pending returns the number of buffered, not yet processed reports.
+func (e *Engine) Pending() int { return len(e.objBuf) + len(e.qryBuf) }
+
+// Now returns the evaluation timestamp of the last Step.
+func (e *Engine) Now() float64 { return e.now }
+
+// NumObjects returns the number of registered objects.
+func (e *Engine) NumObjects() int { return len(e.objs) }
+
+// NumQueries returns the number of registered queries.
+func (e *Engine) NumQueries() int { return len(e.qrys) }
+
+// Stats returns a copy of the engine's activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Bounds returns the monitored space.
+func (e *Engine) Bounds() geo.Rect { return e.opt.Bounds }
+
+// Answer returns the current answer of query q in ascending ObjectID
+// order, or nil and false if the query is unknown.
+func (e *Engine) Answer(q QueryID) ([]ObjectID, bool) {
+	qs, ok := e.qrys[q]
+	if !ok {
+		return nil, false
+	}
+	out := make([]ObjectID, 0, len(qs.answer))
+	for id := range qs.answer {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// Step processes every buffered object and query report as one bulk
+// spatial join at time now, returning the incremental updates to all
+// affected query answers. The returned slice is freshly allocated; its
+// order is unspecified.
+//
+// This is the paper's periodic evaluation: the server buffers updates and
+// evaluates them every Δt seconds.
+func (e *Engine) Step(now float64) []Update {
+	e.now = now
+	e.stats.Steps++
+	var out []Update
+
+	// Phase 1: apply object reports to the grid and the object table,
+	// recording which objects changed for the join phase.
+	type movedObj struct {
+		os     *objectState
+		isNew  bool
+		oldLoc geo.Point
+	}
+	moved := make([]movedObj, 0, len(e.objBuf))
+	for _, u := range e.objBuf {
+		e.stats.ObjectReports++
+		if u.Remove {
+			e.removeObject(u.ID, &out)
+			continue
+		}
+		if len(u.Waypoints) > 0 {
+			tr := geo.Trajectory{Start: u.Loc, T0: u.T, Waypoints: u.Waypoints}
+			if !tr.Valid() {
+				continue // reject malformed trajectories; keep prior state
+			}
+		}
+		os, exists := e.objs[u.ID]
+		if !exists {
+			os = &objectState{id: u.ID, queries: make(map[QueryID]struct{})}
+			e.objs[u.ID] = os
+			os.kind = u.Kind
+			os.loc = u.Loc
+			os.vel = u.Vel
+			os.waypoints = u.Waypoints
+			os.t = u.T
+			e.g.InsertObject(okey(u.ID), u.Loc)
+			e.registerSwept(os)
+			moved = append(moved, movedObj{os: os, isNew: true, oldLoc: u.Loc})
+			continue
+		}
+		old := os.loc
+		os.kind = u.Kind
+		os.vel = u.Vel
+		os.waypoints = u.Waypoints
+		os.t = u.T
+		os.loc = u.Loc
+		e.g.MoveObject(okey(u.ID), old, u.Loc)
+		e.registerSwept(os)
+		moved = append(moved, movedObj{os: os, oldLoc: old})
+	}
+
+	// Phase 2: apply query reports. Range queries are evaluated
+	// incrementally over the region difference; kNN queries are marked for
+	// exact recomputation; predictive queries are re-joined against
+	// trajectory candidates.
+	for _, u := range e.qryBuf {
+		e.stats.QueryReports++
+		if u.Remove {
+			e.removeQuery(u.ID)
+			continue
+		}
+		e.applyQueryUpdate(u, &out)
+	}
+
+	// Phase 3: object-driven evaluation. For every changed object, first
+	// re-check its existing memberships against the (possibly moved)
+	// queries, then probe the grid cells at its new position for candidate
+	// queries it newly satisfies.
+	//
+	// The phase is structured as a read-only gather over the moved objects
+	// followed by a serial apply, so the gather can fan out across
+	// Options.Parallelism goroutines: during it, the grid, the query
+	// regions, and (for the kNN dirtiness test) the answers and radii are
+	// all immutable.
+	live := moved[:0]
+	for _, m := range moved {
+		// Skip objects that were removed later in the same batch: their
+		// state is stale and their memberships were already retracted.
+		if cur, ok := e.objs[m.os.id]; ok && cur == m.os {
+			live = append(live, m)
+		}
+	}
+	workers := e.opt.Parallelism
+	if workers <= 1 || len(live) < 2*workers {
+		var g movedGather
+		for _, m := range live {
+			e.gatherMovedObject(m.os, &g)
+		}
+		e.applyGather(&g, &out)
+	} else {
+		gathers := make([]movedGather, workers)
+		var wg sync.WaitGroup
+		chunk := (len(live) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(live) {
+				hi = len(live)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(g *movedGather, part []movedObj) {
+				defer wg.Done()
+				for _, m := range part {
+					e.gatherMovedObject(m.os, g)
+				}
+			}(&gathers[w], live[lo:hi])
+		}
+		wg.Wait()
+		for i := range gathers {
+			e.applyGather(&gathers[i], &out)
+		}
+	}
+
+	// Phase 4: recompute the answer of every dirty kNN query exactly and
+	// emit the membership diff.
+	for qid := range e.dirtyKNN {
+		if qs, ok := e.qrys[qid]; ok {
+			e.recomputeKNN(qs, &out)
+		}
+		delete(e.dirtyKNN, qid)
+	}
+
+	e.objBuf = e.objBuf[:0]
+	e.qryBuf = e.qryBuf[:0]
+	return out
+}
+
+// setMember is the single authority over answer membership. Every
+// evaluation path funnels through it, which both keeps the QList/OList
+// views consistent and deduplicates updates when several phases discover
+// the same membership change.
+func (e *Engine) setMember(qs *queryState, os *objectState, in bool, out *[]Update) {
+	_, has := qs.answer[os.id]
+	if has == in {
+		return
+	}
+	if in {
+		qs.answer[os.id] = struct{}{}
+		os.queries[qs.id] = struct{}{}
+		e.stats.PositiveUpdates++
+	} else {
+		delete(qs.answer, os.id)
+		delete(os.queries, qs.id)
+		e.stats.NegativeUpdates++
+	}
+	*out = append(*out, Update{Query: qs.id, Object: os.id, Positive: in})
+}
+
+// removeObject deregisters an object, emitting negative updates for every
+// query whose answer it occupied.
+func (e *Engine) removeObject(id ObjectID, out *[]Update) {
+	os, ok := e.objs[id]
+	if !ok {
+		return
+	}
+	for qid := range os.queries {
+		qs := e.qrys[qid]
+		if qs.kind == KNN {
+			// A departed member must be replaced by the next nearest.
+			e.dirtyKNN[qid] = struct{}{}
+		}
+		e.setMember(qs, os, false, out)
+	}
+	e.g.RemoveObject(okey(id), os.loc)
+	if os.sweptValid {
+		e.g.RemoveRegion(okey(id), os.swept)
+	}
+	delete(e.objs, id)
+}
+
+// removeQuery deregisters a query. No updates are emitted: the subscriber
+// is gone.
+func (e *Engine) removeQuery(id QueryID) {
+	qs, ok := e.qrys[id]
+	if !ok {
+		return
+	}
+	for oid := range qs.answer {
+		delete(e.objs[oid].queries, id)
+	}
+	if qs.registered {
+		e.g.RemoveRegion(qkey(id), qs.region)
+	}
+	delete(e.qrys, id)
+	delete(e.dirtyKNN, id)
+}
+
+// registerSwept (re)registers the trajectory bounding box of a predictive
+// object over the configured horizon.
+func (e *Engine) registerSwept(os *objectState) {
+	if os.sweptValid {
+		e.g.RemoveRegion(okey(os.id), os.swept)
+		os.sweptValid = false
+	}
+	if os.kind != Predictive {
+		return
+	}
+	horizon := os.t + e.opt.PredictiveHorizon
+	if len(os.waypoints) > 0 {
+		tr := geo.Trajectory{Start: os.loc, T0: os.t, Waypoints: os.waypoints}
+		os.swept = tr.BBoxDuring(os.t, horizon)
+	} else {
+		m := geo.Motion{Start: os.loc, Vel: os.vel, T0: os.t}
+		os.swept = m.SweptBBox(os.t, horizon)
+	}
+	os.sweptValid = true
+	e.g.InsertRegion(okey(os.id), os.swept)
+}
+
+// applyQueryUpdate registers a new query or applies a movement report to
+// an existing one.
+func (e *Engine) applyQueryUpdate(u QueryUpdate, out *[]Update) {
+	qs, exists := e.qrys[u.ID]
+	if exists && qs.kind != u.Kind {
+		// A query changing kind is a re-registration: tear down the old
+		// query silently and start fresh.
+		e.removeQuery(u.ID)
+		exists = false
+	}
+	if !exists {
+		qs = &queryState{
+			id:     u.ID,
+			kind:   u.Kind,
+			answer: make(map[ObjectID]struct{}),
+		}
+		e.qrys[u.ID] = qs
+	}
+
+	// Receiving any report from a query's client proves the client is
+	// connected and has consumed the stream so far: auto-commit (paper
+	// §3.3, moving queries commit implicitly).
+	e.commit(qs)
+
+	qs.t = u.T
+	switch u.Kind {
+	case Range:
+		e.applyRangeUpdate(qs, u.Region, out)
+	case KNN:
+		qs.focal = u.Focal
+		qs.k = u.K
+		e.dirtyKNN[qs.id] = struct{}{}
+	case PredictiveRange:
+		e.applyPredictiveUpdate(qs, u.Region, u.T1, u.T2, out)
+	default:
+		// Unknown kind: deregister the placeholder if we just created it.
+		if !exists {
+			delete(e.qrys, u.ID)
+		}
+	}
+}
+
+// objectProposal is one membership decision produced by the read-only
+// gather phase of the object-driven join and applied serially afterwards.
+type objectProposal struct {
+	qs *queryState
+	os *objectState
+	in bool
+}
+
+// movedGather accumulates the outcome of gathering one or more moved
+// objects: membership proposals, kNN queries to mark dirty, and the
+// candidate-check count. Each worker of a parallel Step owns one.
+type movedGather struct {
+	props  []objectProposal
+	dirty  []QueryID
+	checks uint64
+}
+
+// gatherMovedObject is the object side of the spatial join, restructured
+// as a pure read: it re-checks the object's existing memberships against
+// current query state and probes the grid for newly satisfied candidate
+// queries, appending its findings to g. It never mutates engine state —
+// the property that makes the gather phase safe to run on several moved
+// objects concurrently.
+func (e *Engine) gatherMovedObject(os *objectState, g *movedGather) {
+	// Existing memberships: detach from queries the object no longer
+	// satisfies.
+	for qid := range os.queries {
+		qs := e.qrys[qid]
+		g.checks++
+		switch qs.kind {
+		case Range:
+			if !qs.region.Contains(os.loc) {
+				g.props = append(g.props, objectProposal{qs, os, false})
+			}
+		case KNN:
+			// Any movement of a member can reorder the k nearest.
+			g.dirty = append(g.dirty, qid)
+		case PredictiveRange:
+			if !e.predictiveMatch(qs, os) {
+				g.props = append(g.props, objectProposal{qs, os, false})
+			}
+		}
+	}
+
+	// Candidate queries registered in the cell of the new location.
+	e.g.VisitRegionsAt(os.loc, func(k uint64, _ geo.Rect) bool {
+		if !keyIsQuery(k) {
+			return true
+		}
+		qs := e.qrys[keyQuery(k)]
+		g.checks++
+		switch qs.kind {
+		case Range:
+			if qs.region.Contains(os.loc) {
+				g.props = append(g.props, objectProposal{qs, os, true})
+			}
+		case KNN:
+			// Inside the current circle (or the query is still starved):
+			// the exact answer may change. (Answers and radii are stable
+			// throughout the gather phase: they only change in the apply
+			// and kNN-recompute phases.)
+			if len(qs.answer) < qs.k || qs.focal.Dist(os.loc) <= qs.radius {
+				g.dirty = append(g.dirty, qs.id)
+			}
+		case PredictiveRange:
+			if os.kind == Predictive && e.predictiveMatch(qs, os) {
+				g.props = append(g.props, objectProposal{qs, os, true})
+			}
+		}
+		return true
+	})
+
+	// A predictive object additionally joins against predictive queries
+	// wherever its trajectory box reaches, not only at its current point.
+	if os.kind == Predictive && os.sweptValid {
+		e.g.VisitCells(os.swept, func(ci int) bool {
+			e.g.VisitRegionsInCell(ci, func(k uint64, _ geo.Rect) bool {
+				if !keyIsQuery(k) {
+					return true
+				}
+				qs := e.qrys[keyQuery(k)]
+				if qs.kind != PredictiveRange {
+					return true
+				}
+				g.checks++
+				if e.predictiveMatch(qs, os) {
+					g.props = append(g.props, objectProposal{qs, os, true})
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// applyGather integrates a gather's findings: dirty marks, stats, and
+// membership proposals (deduplicated by setMember).
+func (e *Engine) applyGather(g *movedGather, out *[]Update) {
+	for _, qid := range g.dirty {
+		e.dirtyKNN[qid] = struct{}{}
+	}
+	e.stats.CandidateChecks += g.checks
+	for _, p := range g.props {
+		e.setMember(p.qs, p.os, p.in, out)
+	}
+}

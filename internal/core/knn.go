@@ -1,0 +1,78 @@
+package core
+
+import "cqp/internal/geo"
+
+// recomputeKNN performs an exact k-nearest-neighbor search for a dirty
+// kNN query, emits the diff against the stored answer, and re-registers
+// the query's circular region in the grid.
+//
+// Following the paper, a kNN query lives in the grid "as the smallest
+// circular region that contains the k nearest objects": a focal-centered
+// circle whose radius is the distance to the k-th neighbor. Membership
+// changes are detected cheaply (a member moved, or a non-member intruded
+// into the circle) and trigger this exact re-search; the emitted updates
+// are only the diff, e.g. (Q, −p2) (Q, +p1) when p1 displaces p2.
+func (e *Engine) recomputeKNN(qs *queryState, out *[]Update) {
+	e.stats.KNNRecomputes++
+
+	neighbors := e.g.KNearest(qs.focal, qs.k, func(k uint64) bool {
+		return !keyIsQuery(k)
+	})
+
+	newAnswer := make(map[ObjectID]struct{}, len(neighbors))
+	radius := 0.0
+	for _, n := range neighbors {
+		newAnswer[keyObject(n.ID)] = struct{}{}
+		if n.Dist > radius {
+			radius = n.Dist
+		}
+	}
+
+	// Emit the diff. Collect first: setMember mutates qs.answer.
+	var drop, add []*objectState
+	for oid := range qs.answer {
+		if _, keep := newAnswer[oid]; !keep {
+			drop = append(drop, e.objs[oid])
+		}
+	}
+	for oid := range newAnswer {
+		if _, had := qs.answer[oid]; !had {
+			add = append(add, e.objs[oid])
+		}
+	}
+	for _, os := range drop {
+		e.setMember(qs, os, false, out)
+	}
+	for _, os := range add {
+		e.setMember(qs, os, true, out)
+	}
+
+	// Region maintenance: while the query is starved (fewer than k objects
+	// exist) any insertion anywhere can extend the answer, so the query
+	// watches the whole space.
+	var region geo.Rect
+	if len(newAnswer) < qs.k {
+		region = e.g.Bounds()
+	} else {
+		region = geo.Circle{C: qs.focal, R: radius}.BBox()
+	}
+	if qs.registered {
+		e.g.MoveRegion(qkey(qs.id), qs.region, region)
+	} else {
+		e.g.InsertRegion(qkey(qs.id), region)
+		qs.registered = true
+	}
+	qs.region = region
+	qs.radius = radius
+}
+
+// KNNRadius returns the current circle radius of a kNN query (the
+// distance to its k-th neighbor), or false if q is not a registered kNN
+// query. Exposed for tests and monitoring.
+func (e *Engine) KNNRadius(q QueryID) (float64, bool) {
+	qs, ok := e.qrys[q]
+	if !ok || qs.kind != KNN {
+		return 0, false
+	}
+	return qs.radius, true
+}

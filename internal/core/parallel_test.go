@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+// TestParallelStepEquivalence drives a serial and a parallel engine with
+// identical report streams and asserts identical answers after every
+// step. Run under -race this also exercises the gather phase's read-only
+// guarantee.
+func TestParallelStepEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	serial := MustNewEngine(Options{Bounds: geo.R(0, 0, 1, 1), GridN: 16})
+	parallel := MustNewEngine(Options{Bounds: geo.R(0, 0, 1, 1), GridN: 16, Parallelism: 4})
+
+	const (
+		objects = 300
+		queries = 40
+	)
+	for j := QueryID(1); j <= queries; j++ {
+		u := QueryUpdate{ID: j, T: 0}
+		switch j % 3 {
+		case 0:
+			u.Kind = Range
+			u.Region = geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.15)
+		case 1:
+			u.Kind = KNN
+			u.Focal = geo.Pt(rng.Float64(), rng.Float64())
+			u.K = 3
+		case 2:
+			u.Kind = PredictiveRange
+			u.Region = geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.2)
+			u.T1, u.T2 = 10, 40
+		}
+		serial.ReportQuery(u)
+		parallel.ReportQuery(u)
+	}
+
+	for step := 0; step < 40; step++ {
+		now := float64(step)
+		// A large batch so the parallel path actually engages.
+		for n := 0; n < 120; n++ {
+			u := ObjectUpdate{
+				ID:   ObjectID(1 + rng.Intn(objects)),
+				Kind: ObjectKind(rng.Intn(3)),
+				Loc:  geo.Pt(rng.Float64(), rng.Float64()),
+				Vel:  geo.Vec(rng.Float64()*0.02-0.01, rng.Float64()*0.02-0.01),
+				T:    now,
+			}
+			serial.ReportObject(u)
+			parallel.ReportObject(u)
+		}
+		su := serial.Step(now)
+		pu := parallel.Step(now)
+
+		// Same update multiset (order may legitimately differ).
+		if !updatesEqual(su, pu) {
+			t.Fatalf("step %d: update sets differ:\nserial   %v\nparallel %v",
+				step, sortUpdates(su), sortUpdates(pu))
+		}
+		for j := QueryID(1); j <= queries; j++ {
+			sa, _ := serial.Answer(j)
+			pa, _ := parallel.Answer(j)
+			if len(sa) != len(pa) {
+				t.Fatalf("step %d query %d: serial %v parallel %v", step, j, sa, pa)
+			}
+			for i := range sa {
+				if sa[i] != pa[i] {
+					t.Fatalf("step %d query %d: serial %v parallel %v", step, j, sa, pa)
+				}
+			}
+		}
+		if err := parallel.CheckConsistency(true); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestParallelismValidation(t *testing.T) {
+	if _, err := NewEngine(Options{Bounds: geo.R(0, 0, 1, 1), Parallelism: -1}); err == nil {
+		t.Error("negative parallelism should fail")
+	}
+	if _, err := NewEngine(Options{Bounds: geo.R(0, 0, 1, 1), Parallelism: 8}); err != nil {
+		t.Errorf("valid parallelism rejected: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import "cqp/internal/geo"
+
+// predictiveMatch reports whether a predictive object's trajectory
+// intersects the query region during the query's future window. The
+// motion extrapolates from the object's last report; as in the paper's
+// Example III, answers are revised whenever an object reports a new
+// velocity vector.
+//
+// A prediction is only defined from the object's report time to one
+// PredictiveHorizon past it — the span whose swept bounding box is
+// registered in the grid — so the query window is clipped to
+// [os.t, os.t + horizon] before the predicate is evaluated. An empty
+// clipped window never matches.
+func (e *Engine) predictiveMatch(qs *queryState, os *objectState) bool {
+	return e.predictedIntersects(os, qs.region, qs.t1, qs.t2)
+}
+
+// predictedIntersects is the single prediction predicate shared by the
+// incremental evaluation paths and the brute-force oracle: does the
+// object's predicted movement — velocity vector or waypoint trajectory —
+// pass through region during the window, clipped to the prediction's
+// validity span?
+func (e *Engine) predictedIntersects(os *objectState, region geo.Rect, t1, t2 float64) bool {
+	if os.kind != Predictive {
+		return false
+	}
+	t1, t2, ok := e.clipToHorizon(t1, t2, os.t)
+	if !ok {
+		return false
+	}
+	if len(os.waypoints) > 0 {
+		tr := geo.Trajectory{Start: os.loc, T0: os.t, Waypoints: os.waypoints}
+		return tr.IntersectsRectDuring(region, t1, t2)
+	}
+	m := geo.Motion{Start: os.loc, Vel: os.vel, T0: os.t}
+	return m.IntersectsRectDuring(region, t1, t2)
+}
+
+// clipToHorizon intersects a query window with the validity span of a
+// prediction reported at rt.
+func (e *Engine) clipToHorizon(t1, t2, rt float64) (float64, float64, bool) {
+	if t1 < rt {
+		t1 = rt
+	}
+	if max := rt + e.opt.PredictiveHorizon; t2 > max {
+		t2 = max
+	}
+	return t1, t2, t1 <= t2
+}
+
+// applyPredictiveUpdate applies a (re)registration of a predictive range
+// query: region and window are replaced, members failing the new
+// predicate produce negatives, and candidate predictive objects whose
+// registered trajectory boxes overlap the new region produce positives.
+//
+// The incremental saving mirrors the range-query path: candidates are
+// limited to trajectory boxes registered in the cells of the (new)
+// region, and an unchanged object/query pair that already agrees on
+// membership emits nothing.
+func (e *Engine) applyPredictiveUpdate(qs *queryState, newRegion geo.Rect, t1, t2 float64, out *[]Update) {
+	oldRegion := qs.region
+	wasRegistered := qs.registered
+
+	qs.region = newRegion
+	qs.t1, qs.t2 = t1, t2
+
+	// Negatives: members failing the predicate under the new region or
+	// window.
+	var drop []*objectState
+	for oid := range qs.answer {
+		os := e.objs[oid]
+		e.stats.CandidateChecks++
+		if !e.predictiveMatch(qs, os) {
+			drop = append(drop, os)
+		}
+	}
+	for _, os := range drop {
+		e.setMember(qs, os, false, out)
+	}
+
+	// Positives: predictive objects whose trajectory boxes are registered
+	// in the cells the new region overlaps.
+	e.g.VisitCells(newRegion, func(ci int) bool {
+		e.stats.RegionEvalCells++
+		e.g.VisitRegionsInCell(ci, func(k uint64, _ geo.Rect) bool {
+			if keyIsQuery(k) {
+				return true
+			}
+			os := e.objs[keyObject(k)]
+			e.stats.CandidateChecks++
+			if e.predictiveMatch(qs, os) {
+				e.setMember(qs, os, true, out)
+			}
+			return true
+		})
+		return true
+	})
+
+	if wasRegistered {
+		e.g.MoveRegion(qkey(qs.id), oldRegion, newRegion)
+	} else {
+		e.g.InsertRegion(qkey(qs.id), newRegion)
+		qs.registered = true
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+func newPredictiveEngine(t *testing.T, horizon float64) *Engine {
+	t.Helper()
+	return MustNewEngine(Options{
+		Bounds:            geo.R(0, 0, 10, 10),
+		GridN:             8,
+		PredictiveHorizon: horizon,
+	})
+}
+
+func TestPredictiveOnlyMatchesPredictiveObjects(t *testing.T) {
+	e := newPredictiveEngine(t, 50)
+	// A moving (sampled) object sitting inside the region must not match:
+	// its future cannot be predicted.
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Moving, Loc: geo.Pt(5, 5)})
+	// A stationary object must not match either (it reports no velocity);
+	// model parked-but-predictable objects as Predictive with zero
+	// velocity instead.
+	e.ReportObject(ObjectUpdate{ID: 2, Kind: Stationary, Loc: geo.Pt(5.5, 5.5)})
+	// A predictive object parked inside matches.
+	e.ReportObject(ObjectUpdate{ID: 3, Kind: Predictive, Loc: geo.Pt(5.2, 5.2), Vel: geo.Vec(0, 0), T: 0})
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: PredictiveRange, Region: geo.R(4, 4, 6, 6), T1: 5, T2: 10})
+	got := e.Step(0)
+	if !updatesEqual(got, []Update{{1, 3, true}}) {
+		t.Fatalf("got %v", sortUpdates(got))
+	}
+}
+
+func TestPredictiveHorizonClipping(t *testing.T) {
+	e := newPredictiveEngine(t, 10)
+	// Object heading toward the region, arriving at t=20 — beyond the
+	// 10-unit horizon of its t=0 report. The prediction is undefined
+	// there, so it must not match.
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Predictive, Loc: geo.Pt(0, 5), Vel: geo.Vec(0.25, 0), T: 0})
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: PredictiveRange, Region: geo.R(4.9, 4.5, 5.5, 5.5), T1: 19, T2: 21, T: 0})
+	if got := e.Step(0); len(got) != 0 {
+		t.Fatalf("beyond-horizon match: %v", got)
+	}
+
+	// A fresh report at t=15 brings the window within the horizon.
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Predictive, Loc: geo.Pt(3.75, 5), Vel: geo.Vec(0.25, 0), T: 15})
+	got := e.Step(15)
+	if !updatesEqual(got, []Update{{1, 1, true}}) {
+		t.Fatalf("within-horizon: %v", got)
+	}
+	if err := e.CheckConsistency(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictiveWindowInThePast(t *testing.T) {
+	e := newPredictiveEngine(t, 50)
+	// The object's report postdates the whole query window: the window
+	// clips to empty and the object cannot match, even though backward
+	// extrapolation would cross the region.
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Predictive, Loc: geo.Pt(5, 5), Vel: geo.Vec(1, 0), T: 30})
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: PredictiveRange, Region: geo.R(4, 4, 6, 6), T1: 10, T2: 20, T: 30})
+	if got := e.Step(30); len(got) != 0 {
+		t.Fatalf("past window matched: %v", got)
+	}
+}
+
+func TestPredictiveQueryMoves(t *testing.T) {
+	e := newPredictiveEngine(t, 100)
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Predictive, Loc: geo.Pt(1, 5), Vel: geo.Vec(0.5, 0), T: 0})
+	e.ReportObject(ObjectUpdate{ID: 2, Kind: Predictive, Loc: geo.Pt(1, 1), Vel: geo.Vec(0.5, 0), T: 0})
+	// Window [6,8]: object 1 spans x ∈ [4,5] at y=5; object 2 the same at
+	// y=1.
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: PredictiveRange, Region: geo.R(4, 4.5, 5, 5.5), T1: 6, T2: 8, T: 0})
+	got := e.Step(0)
+	if !updatesEqual(got, []Update{{1, 1, true}}) {
+		t.Fatalf("initial: %v", got)
+	}
+
+	// The query slides down to straddle object 2's track instead.
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: PredictiveRange, Region: geo.R(4, 0.5, 5, 1.5), T1: 6, T2: 8, T: 1})
+	got = e.Step(1)
+	want := []Update{{1, 1, false}, {1, 2, true}}
+	if !updatesEqual(got, want) {
+		t.Fatalf("slide: got %v want %v", sortUpdates(got), sortUpdates(want))
+	}
+
+	// Narrowing the window past both tracks empties the answer.
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: PredictiveRange, Region: geo.R(4, 0.5, 5, 1.5), T1: 20, T2: 25, T: 2})
+	got = e.Step(2)
+	if !updatesEqual(got, []Update{{1, 2, false}}) {
+		t.Fatalf("window change: %v", got)
+	}
+	if err := e.CheckConsistency(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictiveObjectBecomesMoving(t *testing.T) {
+	e := newPredictiveEngine(t, 50)
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Predictive, Loc: geo.Pt(5, 5), Vel: geo.Vec(0, 0), T: 0})
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: PredictiveRange, Region: geo.R(4, 4, 6, 6), T1: 1, T2: 5, T: 0})
+	e.Step(0)
+
+	// The object downgrades to sampled reports (loses its velocity
+	// sensor): it can no longer satisfy predictive queries.
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Moving, Loc: geo.Pt(5, 5), T: 1})
+	got := e.Step(1)
+	if !updatesEqual(got, []Update{{1, 1, false}}) {
+		t.Fatalf("downgrade: %v", got)
+	}
+	if err := e.CheckConsistency(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictiveRemovalAndStats(t *testing.T) {
+	e := newPredictiveEngine(t, 50)
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Predictive, Loc: geo.Pt(5, 5), Vel: geo.Vec(0, 0), T: 0})
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: PredictiveRange, Region: geo.R(4, 4, 6, 6), T1: 1, T2: 5, T: 0})
+	e.Step(0)
+	e.ReportObject(ObjectUpdate{ID: 1, Remove: true})
+	got := e.Step(1)
+	if !updatesEqual(got, []Update{{1, 1, false}}) {
+		t.Fatalf("removal: %v", got)
+	}
+	if e.NumObjects() != 0 {
+		t.Fatalf("NumObjects = %d", e.NumObjects())
+	}
+	st := e.Stats()
+	if st.CandidateChecks == 0 || st.RegionEvalCells == 0 {
+		t.Fatalf("stats not recorded: %+v", st)
+	}
+}

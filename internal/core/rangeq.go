@@ -1,0 +1,57 @@
+package core
+
+import "cqp/internal/geo"
+
+// applyRangeUpdate applies a (re)registration of a range query with the
+// given new region, performing the paper's incremental evaluation:
+//
+//   - negative updates for current members no longer inside the new
+//     region (the members lying in A_old − A_new);
+//   - positive updates from evaluating only A_new − A_old against the
+//     grid;
+//   - the overlap A_new ∩ A_old is not re-evaluated — its membership is
+//     already reflected in the stored answer.
+func (e *Engine) applyRangeUpdate(qs *queryState, newRegion geo.Rect, out *[]Update) {
+	oldRegion := qs.region
+	wasRegistered := qs.registered
+
+	// Negatives: members whose (current) location fell out of the region.
+	// The member set is exactly the objects in A_old, so testing members
+	// against A_new is the A_old − A_new evaluation.
+	var drop []*objectState
+	for oid := range qs.answer {
+		os := e.objs[oid]
+		e.stats.CandidateChecks++
+		if !newRegion.Contains(os.loc) {
+			drop = append(drop, os)
+		}
+	}
+	for _, os := range drop {
+		e.setMember(qs, os, false, out)
+	}
+
+	// Positives: evaluate only the newly covered area.
+	var diff []geo.Rect
+	if wasRegistered {
+		diff = newRegion.Difference(oldRegion, nil)
+	} else {
+		diff = []geo.Rect{newRegion}
+	}
+	for _, piece := range diff {
+		e.stats.RegionEvalCells += uint64(e.g.CountCells(piece))
+		e.g.VisitObjectsIn(piece, func(k uint64, _ geo.Point) bool {
+			e.stats.CandidateChecks++
+			e.setMember(qs, e.objs[keyObject(k)], true, out)
+			return true
+		})
+	}
+
+	// Re-register the region in the shared grid.
+	if wasRegistered {
+		e.g.MoveRegion(qkey(qs.id), oldRegion, newRegion)
+	} else {
+		e.g.InsertRegion(qkey(qs.id), newRegion)
+		qs.registered = true
+	}
+	qs.region = newRegion
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EvalFromScratch computes the ground-truth answer of query q by brute
+// force over every registered object, bypassing the grid and all
+// incremental state. It exists for validation: property tests assert that
+// the incrementally maintained answer always equals this oracle.
+func (e *Engine) EvalFromScratch(q QueryID) ([]ObjectID, bool) {
+	qs, ok := e.qrys[q]
+	if !ok {
+		return nil, false
+	}
+	var out []ObjectID
+	switch qs.kind {
+	case Range:
+		for oid, os := range e.objs {
+			if qs.region.Contains(os.loc) {
+				out = append(out, oid)
+			}
+		}
+	case KNN:
+		type cand struct {
+			id ObjectID
+			d  float64
+		}
+		cands := make([]cand, 0, len(e.objs))
+		for oid, os := range e.objs {
+			cands = append(cands, cand{oid, qs.focal.Dist(os.loc)})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			return cands[i].id < cands[j].id
+		})
+		n := qs.k
+		if len(cands) < n {
+			n = len(cands)
+		}
+		for _, c := range cands[:n] {
+			out = append(out, c.id)
+		}
+	case PredictiveRange:
+		for oid, os := range e.objs {
+			if e.predictedIntersects(os, qs.region, qs.t1, qs.t2) {
+				out = append(out, oid)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// CheckConsistency verifies the engine's internal invariants, returning
+// an error describing the first violation. Intended for tests; it is
+// O(objects × queries) for the answer oracle comparison when deep is
+// true, and structural-only otherwise.
+//
+// Invariants checked:
+//   - QList/OList symmetry: o ∈ q.answer ⇔ q ∈ o.queries;
+//   - every answer references live objects and vice versa;
+//   - with deep: every non-kNN answer equals the brute-force oracle, and
+//     every kNN answer is a valid k-nearest set (distance-equivalent to
+//     the oracle, allowing ties to differ).
+func (e *Engine) CheckConsistency(deep bool) error {
+	for qid, qs := range e.qrys {
+		for oid := range qs.answer {
+			os, ok := e.objs[oid]
+			if !ok {
+				return fmt.Errorf("query %d answer references unknown object %d", qid, oid)
+			}
+			if _, back := os.queries[qid]; !back {
+				return fmt.Errorf("object %d missing back-reference to query %d", oid, qid)
+			}
+		}
+	}
+	for oid, os := range e.objs {
+		for qid := range os.queries {
+			qs, ok := e.qrys[qid]
+			if !ok {
+				return fmt.Errorf("object %d references unknown query %d", oid, qid)
+			}
+			if _, in := qs.answer[oid]; !in {
+				return fmt.Errorf("object %d claims membership in query %d but is not in its answer", oid, qid)
+			}
+		}
+	}
+	if !deep {
+		return nil
+	}
+	for qid, qs := range e.qrys {
+		want, _ := e.EvalFromScratch(qid)
+		got, _ := e.Answer(qid)
+		if qs.kind == KNN {
+			if err := knnEquivalent(e, qs, got, want); err != nil {
+				return fmt.Errorf("query %d (knn): %v", qid, err)
+			}
+			continue
+		}
+		if !equalIDs(got, want) {
+			return fmt.Errorf("query %d (%v): answer %v, oracle %v", qid, qs.kind, got, want)
+		}
+	}
+	return nil
+}
+
+// knnEquivalent accepts any answer whose sorted distance multiset matches
+// the oracle's: ties at the k-th distance may legitimately resolve to
+// different objects.
+func knnEquivalent(e *Engine, qs *queryState, got, want []ObjectID) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("answer size %d, oracle %d", len(got), len(want))
+	}
+	gd := make([]float64, len(got))
+	wd := make([]float64, len(want))
+	for i := range got {
+		gd[i] = qs.focal.Dist(e.objs[got[i]].loc)
+		wd[i] = qs.focal.Dist(e.objs[want[i]].loc)
+	}
+	sort.Float64s(gd)
+	sort.Float64s(wd)
+	for i := range gd {
+		if diff := gd[i] - wd[i]; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("distance[%d] %v, oracle %v", i, gd[i], wd[i])
+		}
+	}
+	return nil
+}
+
+func equalIDs(a, b []ObjectID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyUpdates replays an update stream onto a client-side answer set,
+// exactly as a subscriber would. It is exported so clients, tests, and
+// examples share one replay semantic.
+func ApplyUpdates(answer map[ObjectID]struct{}, updates []Update, q QueryID) {
+	for _, u := range updates {
+		if u.Query != q {
+			continue
+		}
+		if u.Positive {
+			answer[u.Object] = struct{}{}
+		} else {
+			delete(answer, u.Object)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package gen is a network-based generator of moving objects and moving
+// queries in the spirit of Brinkhoff's generator, which the paper uses for
+// its evaluation. Objects pick random destinations on a road network
+// (package roadnet), route to them along the fastest path, and travel
+// edge by edge at the speed of each road class, re-routing on arrival.
+//
+// Moving queries are square regions centered on designated objects,
+// following the paper's setup ("we choose some points randomly and
+// consider them as centers of square queries").
+//
+// The generator is deterministic for a given seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cqp/internal/geo"
+	"cqp/internal/roadnet"
+)
+
+// Config parameterizes a World.
+type Config struct {
+	// Net is the road network to travel on. Required.
+	Net *roadnet.Network
+	// NumObjects is the moving-object population. Required.
+	NumObjects int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// World is the ground-truth state of a moving-object population. Time is
+// advanced explicitly with Advance; positions are sampled with Object.
+type World struct {
+	net  *roadnet.Network
+	rng  *rand.Rand
+	objs []traveler
+	now  float64
+}
+
+// traveler is one object's movement state: a route of intersections, the
+// index of the segment currently being traversed, and the distance
+// already covered on it.
+type traveler struct {
+	path   []int
+	seg    int     // index into path: traveling path[seg] → path[seg+1]
+	offset float64 // distance covered on the current segment
+}
+
+// NewWorld creates a world with cfg.NumObjects objects placed on random
+// intersections, each with a random initial destination.
+func NewWorld(cfg Config) (*World, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("gen: Config.Net is required")
+	}
+	if cfg.NumObjects <= 0 {
+		return nil, fmt.Errorf("gen: Config.NumObjects must be positive, got %d", cfg.NumObjects)
+	}
+	w := &World{
+		net:  cfg.Net,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		objs: make([]traveler, cfg.NumObjects),
+	}
+	for i := range w.objs {
+		w.objs[i] = w.newRoute(w.net.RandomNode(w.rng))
+	}
+	return w, nil
+}
+
+// MustNewWorld is NewWorld that panics on configuration errors.
+func MustNewWorld(cfg Config) *World {
+	w, err := NewWorld(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// newRoute assigns a fresh destination and route starting at node src.
+func (w *World) newRoute(src int) traveler {
+	for tries := 0; ; tries++ {
+		dst := w.net.RandomNode(w.rng)
+		if dst == src && tries < 10 {
+			continue
+		}
+		path, ok := w.net.Route(src, dst)
+		if !ok || len(path) < 2 {
+			if tries < 10 {
+				continue
+			}
+			// Isolated node (cannot happen on generated networks, which are
+			// connected): park the object there.
+			return traveler{path: []int{src, src}, seg: 0}
+		}
+		return traveler{path: path}
+	}
+}
+
+// NumObjects returns the population size.
+func (w *World) NumObjects() int { return len(w.objs) }
+
+// Net returns the road network the population travels on.
+func (w *World) Net() *roadnet.Network { return w.net }
+
+// Now returns the world clock.
+func (w *World) Now() float64 { return w.now }
+
+// Advance moves every object along its route for dt time units. Objects
+// arriving at their destination immediately pick a new one.
+func (w *World) Advance(dt float64) {
+	w.now += dt
+	for i := range w.objs {
+		w.advanceObject(i, dt)
+	}
+}
+
+// AdvanceClock advances the world clock without moving anyone; callers
+// then move selected objects with AdvanceObject. This models populations
+// where only a fraction of the objects change location per evaluation
+// period — the x-axis of the paper's Figure 5(a).
+func (w *World) AdvanceClock(dt float64) { w.now += dt }
+
+// AdvanceObject moves a single object (used to model populations where
+// only a fraction moves between evaluations).
+func (w *World) AdvanceObject(i int, dt float64) { w.advanceObject(i, dt) }
+
+func (w *World) advanceObject(i int, dt float64) {
+	tr := &w.objs[i]
+	remaining := dt
+	for remaining > 0 {
+		a, b := tr.path[tr.seg], tr.path[tr.seg+1]
+		if a == b { // parked on an isolated node
+			return
+		}
+		edge, ok := w.net.EdgeBetween(a, b)
+		if !ok {
+			// Defensive: routes are built from adjacency, so this indicates
+			// corruption; re-route rather than crash.
+			*tr = w.newRoute(a)
+			continue
+		}
+		speed := w.net.Speed(edge.Class)
+		left := edge.Len - tr.offset
+		travel := speed * remaining
+		if travel < left {
+			tr.offset += travel
+			return
+		}
+		// Finish this segment and continue on the next.
+		remaining -= left / speed
+		tr.seg++
+		tr.offset = 0
+		if tr.seg == len(tr.path)-1 {
+			*tr = w.newRoute(tr.path[len(tr.path)-1])
+		}
+	}
+}
+
+// Object returns the current location and velocity vector of object i.
+// The velocity points along the current road segment at its class speed;
+// a parked object reports zero velocity.
+func (w *World) Object(i int) (geo.Point, geo.Vector) {
+	tr := &w.objs[i]
+	a, b := tr.path[tr.seg], tr.path[tr.seg+1]
+	pa, pb := w.net.Node(a), w.net.Node(b)
+	if a == b {
+		return pa, geo.Vector{}
+	}
+	edge, _ := w.net.EdgeBetween(a, b)
+	dir := pb.Sub(pa).Norm()
+	u := 0.0
+	if edge.Len > 0 {
+		u = tr.offset / edge.Len
+	}
+	loc := geo.Segment{A: pa, B: pb}.At(u)
+	return loc, dir.Scale(w.net.Speed(edge.Class))
+}
+
+// Rand exposes the world's random source so that harnesses deriving
+// further choices (query placement, report sampling) stay deterministic
+// per seed.
+func (w *World) Rand() *rand.Rand { return w.rng }

@@ -1,0 +1,133 @@
+package gen
+
+import (
+	"math/rand"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// Workload drives a core.Engine (or a baseline) with the paper's
+// evaluation setup: a population of network-constrained moving objects
+// and an independent population of moving square queries whose centers
+// travel the same road network ("we choose some points randomly and
+// consider them as centers of square queries"). Each Tick moves and
+// reports a configurable fraction of each population — the knobs of the
+// paper's Figure 5.
+type Workload struct {
+	World *World
+
+	// Queries is the traveler population carrying the query centers.
+	Queries *World
+
+	// QuerySide is the side length of the square query regions (Figure
+	// 5(b) sweeps this).
+	QuerySide float64
+
+	// NumQueries is the number of moving range queries.
+	NumQueries int
+
+	rng  *rand.Rand
+	perm []int // reusable permutation buffer for report sampling
+}
+
+// NewWorkload builds a workload over an existing object world, creating
+// an independent query-center population on the same road network.
+func NewWorkload(w *World, numQueries int, querySide float64, seed int64) *Workload {
+	queries := MustNewWorld(Config{Net: w.Net(), NumObjects: numQueries, Seed: seed + 7919})
+	n := w.NumObjects()
+	if numQueries > n {
+		n = numQueries
+	}
+	return &Workload{
+		World:      w,
+		Queries:    queries,
+		QuerySide:  querySide,
+		NumQueries: numQueries,
+		rng:        rand.New(rand.NewSource(seed)),
+		perm:       make([]int, n),
+	}
+}
+
+// Sink consumes object and query reports; *core.Engine satisfies it, as
+// do the baselines.
+type Sink interface {
+	ReportObject(core.ObjectUpdate)
+	ReportQuery(core.QueryUpdate)
+}
+
+// ObjectID and QueryID assignment: object i is core.ObjectID(i+1), query
+// j is core.QueryID(j+1).
+func objectID(i int) core.ObjectID { return core.ObjectID(i + 1) }
+func queryID(j int) core.QueryID   { return core.QueryID(j + 1) }
+
+// QueryRegion returns the current region of query j.
+func (wl *Workload) QueryRegion(j int) geo.Rect {
+	loc, _ := wl.Queries.Object(j)
+	return geo.RectAt(loc, wl.QuerySide)
+}
+
+// Bootstrap reports the entire population (all objects and all queries)
+// into sink. Call once before the first Tick.
+func (wl *Workload) Bootstrap(sink Sink) {
+	now := wl.World.Now()
+	for i := 0; i < wl.World.NumObjects(); i++ {
+		loc, _ := wl.World.Object(i)
+		sink.ReportObject(core.ObjectUpdate{ID: objectID(i), Kind: core.Moving, Loc: loc, T: now})
+	}
+	for j := 0; j < wl.NumQueries; j++ {
+		sink.ReportQuery(core.QueryUpdate{ID: queryID(j), Kind: core.Range, Region: wl.QueryRegion(j), T: now})
+	}
+}
+
+// Tick advances the evaluation period by dt and reports a sample of the
+// population into sink: objectRate is the fraction of objects that move
+// (and report the change) during the period, queryRate the fraction of
+// queries reporting a moved region (both in [0,1]). It returns the number
+// of object and query reports issued.
+//
+// Matching the paper's Figure 5(a) semantics ("percentage of objects that
+// reported a change of location within the last period"), objects outside
+// the sample do not move at all during the period; sampled objects travel
+// for dt at their road speed and report their new location.
+func (wl *Workload) Tick(sink Sink, dt, objectRate, queryRate float64) (objReports, qryReports int) {
+	wl.World.AdvanceClock(dt)
+	now := wl.World.Now()
+
+	nObj := int(objectRate * float64(wl.World.NumObjects()))
+	for _, idx := range wl.sample(nObj, wl.World.NumObjects()) {
+		wl.World.AdvanceObject(idx, dt)
+		loc, _ := wl.World.Object(idx)
+		sink.ReportObject(core.ObjectUpdate{ID: objectID(idx), Kind: core.Moving, Loc: loc, T: now})
+		objReports++
+	}
+
+	wl.Queries.AdvanceClock(dt)
+	nQry := int(queryRate * float64(wl.NumQueries))
+	for _, j := range wl.sample(nQry, wl.NumQueries) {
+		wl.Queries.AdvanceObject(j, dt)
+		sink.ReportQuery(core.QueryUpdate{ID: queryID(j), Kind: core.Range, Region: wl.QueryRegion(j), T: now})
+		qryReports++
+	}
+	return objReports, qryReports
+}
+
+// sample returns n distinct indexes drawn from [0, total) using a partial
+// Fisher–Yates shuffle over a reusable buffer.
+func (wl *Workload) sample(n, total int) []int {
+	if n > total {
+		n = total
+	}
+	if cap(wl.perm) < total {
+		wl.perm = make([]int, total)
+	}
+	perm := wl.perm[:total]
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + wl.rng.Intn(total-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:n]
+}

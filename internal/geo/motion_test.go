@@ -1,0 +1,196 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMotionAt(t *testing.T) {
+	m := Motion{Start: Pt(0, 0), Vel: Vec(1, 2), T0: 10}
+	if got := m.At(10); got != Pt(0, 0) {
+		t.Errorf("At(T0) = %v", got)
+	}
+	if got := m.At(12); got != Pt(2, 4) {
+		t.Errorf("At(12) = %v", got)
+	}
+	if got := m.At(9); got != Pt(-1, -2) {
+		t.Errorf("At(9) = %v (backwards extrapolation)", got)
+	}
+	seg := m.Segment(10, 12)
+	if seg.A != Pt(0, 0) || seg.B != Pt(2, 4) {
+		t.Errorf("Segment = %v", seg)
+	}
+}
+
+func TestMotionIntersectsRectDuring(t *testing.T) {
+	r := R(4, 4, 6, 6)
+	tests := []struct {
+		name   string
+		m      Motion
+		t1, t2 float64
+		want   bool
+	}{
+		{"crosses during window", Motion{Pt(0, 5), Vec(1, 0), 0}, 4, 6, true},
+		{"crosses before window", Motion{Pt(0, 5), Vec(1, 0), 0}, 7, 9, false},
+		{"crosses after window", Motion{Pt(0, 5), Vec(1, 0), 0}, 0, 3, false},
+		{"stationary inside", Motion{Pt(5, 5), Vec(0, 0), 0}, 0, 100, true},
+		{"stationary outside", Motion{Pt(1, 1), Vec(0, 0), 0}, 0, 100, false},
+		{"diagonal through corner region", Motion{Pt(0, 0), Vec(1, 1), 0}, 4, 6, true},
+		{"parallel misses", Motion{Pt(0, 7), Vec(1, 0), 0}, 0, 100, false},
+		{"enters exactly at window end", Motion{Pt(0, 5), Vec(1, 0), 0}, 0, 4, true},
+		{"reversed window normalizes", Motion{Pt(0, 5), Vec(1, 0), 0}, 6, 4, true},
+		{"nonzero T0", Motion{Pt(0, 5), Vec(1, 0), 100}, 104, 106, true},
+	}
+	for _, tc := range tests {
+		if got := tc.m.IntersectsRectDuring(r, tc.t1, tc.t2); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestMotionIntersectsSampling cross-validates the analytic predicate
+// against dense time sampling on random motions.
+func TestMotionIntersectsSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := R(0.3, 0.3, 0.7, 0.7)
+	for i := 0; i < 400; i++ {
+		m := Motion{
+			Start: Pt(rng.Float64(), rng.Float64()),
+			Vel:   Vec(rng.Float64()*0.2-0.1, rng.Float64()*0.2-0.1),
+			T0:    0,
+		}
+		t1 := rng.Float64() * 5
+		t2 := t1 + rng.Float64()*5
+		got := m.IntersectsRectDuring(r, t1, t2)
+		sampled := false
+		for k := 0; k <= 2000; k++ {
+			tt := t1 + (t2-t1)*float64(k)/2000
+			if r.Contains(m.At(tt)) {
+				sampled = true
+				break
+			}
+		}
+		// Sampling can only under-detect (miss a brief crossing); it must
+		// never detect an intersection the analytic test missed.
+		if sampled && !got {
+			t.Fatalf("analytic test missed intersection: m=%+v window=[%v,%v]", m, t1, t2)
+		}
+		if got && !sampled {
+			// Verify it is a near-boundary graze rather than a real bug:
+			// distance from the swept segment to the rect must be tiny.
+			seg := m.Segment(t1, t2)
+			d := math.Min(
+				math.Min(r.MinDist(seg.A), r.MinDist(seg.B)),
+				segRectGap(seg, r))
+			if d > 1e-6 {
+				t.Fatalf("analytic intersection not confirmed by sampling: m=%+v window=[%v,%v]", m, t1, t2)
+			}
+		}
+	}
+}
+
+// segRectGap approximates the gap between a segment and a rectangle by
+// sampling the segment.
+func segRectGap(s Segment, r Rect) float64 {
+	best := math.Inf(1)
+	for k := 0; k <= 200; k++ {
+		d := r.MinDist(s.At(float64(k) / 200))
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func TestSegment(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	if s.Len() != 10 {
+		t.Errorf("Len = %v", s.Len())
+	}
+	if s.At(0.5) != Pt(5, 0) {
+		t.Errorf("At(0.5) = %v", s.At(0.5))
+	}
+	if s.BBox() != R(0, 0, 10, 0) {
+		t.Errorf("BBox = %v", s.BBox())
+	}
+	if !s.IntersectsRect(R(4, -1, 6, 1)) {
+		t.Error("segment should cross rect")
+	}
+	if s.IntersectsRect(R(4, 1, 6, 2)) {
+		t.Error("segment should miss rect above it")
+	}
+	if d := s.DistToPoint(Pt(5, 3)); math.Abs(d-3) > 1e-12 {
+		t.Errorf("DistToPoint mid = %v", d)
+	}
+	if d := s.DistToPoint(Pt(-3, 4)); math.Abs(d-5) > 1e-12 {
+		t.Errorf("DistToPoint endpoint = %v", d)
+	}
+	zero := Segment{Pt(1, 1), Pt(1, 1)}
+	if d := zero.DistToPoint(Pt(4, 5)); math.Abs(d-5) > 1e-12 {
+		t.Errorf("degenerate DistToPoint = %v", d)
+	}
+}
+
+func TestSmallestEnclosingCircleBasic(t *testing.T) {
+	// Empty.
+	if c := SmallestEnclosingCircle(nil); c.R != 0 {
+		t.Errorf("empty circle R = %v", c.R)
+	}
+	// Single point.
+	c := SmallestEnclosingCircle([]Point{Pt(3, 4)})
+	if c.C != Pt(3, 4) || c.R != 0 {
+		t.Errorf("single = %+v", c)
+	}
+	// Two points: diameter.
+	c = SmallestEnclosingCircle([]Point{Pt(0, 0), Pt(4, 0)})
+	if c.C != Pt(2, 0) || math.Abs(c.R-2) > 1e-9 {
+		t.Errorf("pair = %+v", c)
+	}
+	// Equilateral-ish triangle: circumcircle.
+	c = SmallestEnclosingCircle([]Point{Pt(0, 0), Pt(4, 0), Pt(2, 3)})
+	for _, p := range []Point{Pt(0, 0), Pt(4, 0), Pt(2, 3)} {
+		if c.C.Dist(p) > c.R+1e-9 {
+			t.Errorf("triangle point %v outside circle %+v", p, c)
+		}
+	}
+	// Interior point does not grow the circle.
+	base := SmallestEnclosingCircle([]Point{Pt(0, 0), Pt(4, 0), Pt(2, 3)})
+	withInner := SmallestEnclosingCircle([]Point{Pt(0, 0), Pt(4, 0), Pt(2, 3), Pt(2, 1)})
+	if math.Abs(base.R-withInner.R) > 1e-9 {
+		t.Errorf("interior point changed radius: %v vs %v", base.R, withInner.R)
+	}
+	// Collinear points.
+	c = SmallestEnclosingCircle([]Point{Pt(0, 0), Pt(2, 0), Pt(6, 0)})
+	if math.Abs(c.R-3) > 1e-9 {
+		t.Errorf("collinear = %+v", c)
+	}
+}
+
+// TestSmallestEnclosingCircleRandom validates containment and (approximate)
+// minimality on random point sets: the circle must contain every point and
+// must pass through at least two of them (otherwise it could shrink).
+func TestSmallestEnclosingCircleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		c := SmallestEnclosingCircle(pts)
+		onBoundary := 0
+		for _, p := range pts {
+			d := c.C.Dist(p)
+			if d > c.R+1e-7 {
+				t.Fatalf("point %v outside circle %+v (d=%v)", p, c, d)
+			}
+			if d > c.R-1e-7 {
+				onBoundary++
+			}
+		}
+		if onBoundary < 2 && n >= 2 && c.R > 1e-9 {
+			t.Fatalf("circle %+v touches only %d points; not minimal", c, onBoundary)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package geo
+
+// TimedPoint is a waypoint of a trajectory: a location with the time the
+// object passes through it.
+type TimedPoint struct {
+	P Point
+	T float64
+}
+
+// Trajectory is a piecewise-linear predicted movement: the object is at
+// Start at time T0, travels in straight lines through each waypoint at
+// its time, and holds position at the final waypoint afterwards. Before
+// T0 it is considered at Start (trajectories describe the future, not the
+// past).
+//
+// This is the paper's "trajectory" movement representation, the
+// alternative to sampled locations and velocity vectors; route-planned
+// objects (vehicles on a road network, aircraft on flight plans) report
+// it naturally. Waypoint times must be strictly increasing and after T0;
+// Valid reports violations.
+type Trajectory struct {
+	Start     Point
+	T0        float64
+	Waypoints []TimedPoint
+}
+
+// Valid reports whether waypoint times are strictly increasing and after
+// T0.
+func (tr Trajectory) Valid() bool {
+	prev := tr.T0
+	for _, w := range tr.Waypoints {
+		if w.T <= prev {
+			return false
+		}
+		prev = w.T
+	}
+	return true
+}
+
+// At returns the position at time t.
+func (tr Trajectory) At(t float64) Point {
+	if t <= tr.T0 {
+		return tr.Start
+	}
+	prevP, prevT := tr.Start, tr.T0
+	for _, w := range tr.Waypoints {
+		if t <= w.T {
+			span := w.T - prevT
+			if span <= 0 {
+				return w.P
+			}
+			u := (t - prevT) / span
+			return Segment{A: prevP, B: w.P}.At(u)
+		}
+		prevP, prevT = w.P, w.T
+	}
+	return prevP // holding at the final waypoint
+}
+
+// IntersectsRectDuring reports whether the trajectory passes through r at
+// any instant of [t1, t2].
+func (tr Trajectory) IntersectsRectDuring(r Rect, t1, t2 float64) bool {
+	if t2 < t1 {
+		t1, t2 = t2, t1
+	}
+	// Holding at Start before T0.
+	if t1 < tr.T0 {
+		if r.Contains(tr.Start) {
+			return true
+		}
+		t1 = tr.T0
+		if t1 > t2 {
+			return false
+		}
+	}
+	prevP, prevT := tr.Start, tr.T0
+	for _, w := range tr.Waypoints {
+		if segmentCrossesDuring(prevP, prevT, w.P, w.T, r, t1, t2) {
+			return true
+		}
+		prevP, prevT = w.P, w.T
+		if prevT > t2 {
+			return false
+		}
+	}
+	// Holding at the final position from prevT onward.
+	return t2 >= prevT && r.Contains(prevP)
+}
+
+// segmentCrossesDuring tests one linear leg from (a, ta) to (b, tb)
+// against r within the window [t1, t2].
+func segmentCrossesDuring(a Point, ta float64, b Point, tb float64, r Rect, t1, t2 float64) bool {
+	if tb <= ta {
+		return false // degenerate or invalid leg; skip defensively
+	}
+	lo, hi := t1, t2
+	if lo < ta {
+		lo = ta
+	}
+	if hi > tb {
+		hi = tb
+	}
+	if lo > hi {
+		return false
+	}
+	m := Motion{Start: a, Vel: Vector{DX: (b.X - a.X) / (tb - ta), DY: (b.Y - a.Y) / (tb - ta)}, T0: ta}
+	return m.IntersectsRectDuring(r, lo, hi)
+}
+
+// BBoxDuring returns a bounding box of every position the trajectory
+// occupies during [t1, t2].
+func (tr Trajectory) BBoxDuring(t1, t2 float64) Rect {
+	if t2 < t1 {
+		t1, t2 = t2, t1
+	}
+	a := tr.At(t1)
+	box := R(a.X, a.Y, a.X, a.Y)
+	b := tr.At(t2)
+	box = box.Union(R(b.X, b.Y, b.X, b.Y))
+	for _, w := range tr.Waypoints {
+		if w.T > t1 && w.T < t2 {
+			box = box.Union(R(w.P.X, w.P.Y, w.P.X, w.P.Y))
+		}
+	}
+	return box
+}

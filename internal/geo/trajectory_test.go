@@ -1,0 +1,163 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTrajectoryValid(t *testing.T) {
+	good := Trajectory{Start: Pt(0, 0), T0: 0, Waypoints: []TimedPoint{{Pt(1, 0), 1}, {Pt(2, 0), 3}}}
+	if !good.Valid() {
+		t.Error("increasing times should be valid")
+	}
+	if (Trajectory{Start: Pt(0, 0), T0: 5, Waypoints: []TimedPoint{{Pt(1, 0), 5}}}).Valid() {
+		t.Error("waypoint at T0 should be invalid")
+	}
+	if (Trajectory{Start: Pt(0, 0), T0: 0, Waypoints: []TimedPoint{{Pt(1, 0), 2}, {Pt(2, 0), 1}}}).Valid() {
+		t.Error("decreasing times should be invalid")
+	}
+	if !(Trajectory{Start: Pt(0, 0), T0: 0}).Valid() {
+		t.Error("no waypoints should be valid")
+	}
+}
+
+func TestTrajectoryAt(t *testing.T) {
+	tr := Trajectory{
+		Start:     Pt(0, 0),
+		T0:        10,
+		Waypoints: []TimedPoint{{Pt(10, 0), 20}, {Pt(10, 10), 40}},
+	}
+	tests := []struct {
+		t    float64
+		want Point
+	}{
+		{5, Pt(0, 0)},    // before T0: holding at start
+		{10, Pt(0, 0)},   // at T0
+		{15, Pt(5, 0)},   // halfway along leg 1
+		{20, Pt(10, 0)},  // first waypoint
+		{30, Pt(10, 5)},  // halfway along leg 2
+		{40, Pt(10, 10)}, // final waypoint
+		{99, Pt(10, 10)}, // holding at destination
+	}
+	for _, tc := range tests {
+		if got := tr.At(tc.t); got.Dist(tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	// No waypoints: always at Start.
+	still := Trajectory{Start: Pt(3, 3), T0: 0}
+	if got := still.At(100); got != Pt(3, 3) {
+		t.Errorf("waypointless At = %v", got)
+	}
+}
+
+func TestTrajectoryIntersectsRectDuring(t *testing.T) {
+	// L-shaped path: east along y=0 for t∈[0,10], then north for t∈[10,20].
+	tr := Trajectory{
+		Start:     Pt(0, 0),
+		T0:        0,
+		Waypoints: []TimedPoint{{Pt(10, 0), 10}, {Pt(10, 10), 20}},
+	}
+	tests := []struct {
+		name   string
+		r      Rect
+		t1, t2 float64
+		want   bool
+	}{
+		{"first leg hit", R(4, -1, 6, 1), 3, 7, true},
+		{"first leg window miss", R(4, -1, 6, 1), 7, 9, false},
+		{"second leg hit", R(9, 4, 11, 6), 13, 16, true},
+		{"corner at leg boundary", R(9.5, -0.5, 10.5, 0.5), 9, 11, true},
+		{"destination hold", R(9, 9, 11, 11), 50, 60, true},
+		{"destination hold outside", R(0, 0, 1, 1), 50, 60, false},
+		{"start hold before T0", R(-1, -1, 1, 1), -10, -5, true},
+		{"off-path", R(3, 5, 5, 7), 0, 100, false},
+		{"reversed window", R(4, -1, 6, 1), 7, 3, true},
+	}
+	for _, tc := range tests {
+		if got := tr.IntersectsRectDuring(tc.r, tc.t1, tc.t2); got != tc.want {
+			t.Errorf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestTrajectorySamplingCrossCheck validates the analytic predicate
+// against dense sampling on random trajectories.
+func TestTrajectorySamplingCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	r := R(0.4, 0.4, 0.6, 0.6)
+	for trial := 0; trial < 300; trial++ {
+		tr := Trajectory{Start: Pt(rng.Float64(), rng.Float64()), T0: rng.Float64() * 2}
+		now := tr.T0
+		for legs := 1 + rng.Intn(4); legs > 0; legs-- {
+			now += 0.1 + rng.Float64()*2
+			tr.Waypoints = append(tr.Waypoints, TimedPoint{
+				P: Pt(rng.Float64(), rng.Float64()), T: now,
+			})
+		}
+		t1 := rng.Float64() * 3
+		t2 := t1 + rng.Float64()*5
+		got := tr.IntersectsRectDuring(r, t1, t2)
+		sampled := false
+		for k := 0; k <= 3000; k++ {
+			tt := t1 + (t2-t1)*float64(k)/3000
+			if r.Contains(tr.At(tt)) {
+				sampled = true
+				break
+			}
+		}
+		if sampled && !got {
+			t.Fatalf("analytic predicate missed a sampled hit: %+v window [%v,%v]", tr, t1, t2)
+		}
+		if got && !sampled {
+			// Check for a boundary graze before declaring failure.
+			minDist := math.Inf(1)
+			for k := 0; k <= 3000; k++ {
+				tt := t1 + (t2-t1)*float64(k)/3000
+				if d := r.MinDist(tr.At(tt)); d < minDist {
+					minDist = d
+				}
+			}
+			if minDist > 1e-6 {
+				t.Fatalf("analytic hit not confirmed (gap %v): %+v window [%v,%v]", minDist, tr, t1, t2)
+			}
+		}
+	}
+}
+
+func TestTrajectoryBBoxDuring(t *testing.T) {
+	tr := Trajectory{
+		Start:     Pt(0, 0),
+		T0:        0,
+		Waypoints: []TimedPoint{{Pt(10, 0), 10}, {Pt(10, 10), 20}},
+	}
+	// Whole trajectory.
+	if box := tr.BBoxDuring(0, 20); box != R(0, 0, 10, 10) {
+		t.Errorf("full box = %v", box)
+	}
+	// Mid-window on leg 1 only.
+	box := tr.BBoxDuring(2, 6)
+	if box.MinX != 2 || box.MaxX != 6 || box.MinY != 0 || box.MaxY != 0 {
+		t.Errorf("partial box = %v", box)
+	}
+	// Window spanning the corner includes it.
+	box = tr.BBoxDuring(8, 12)
+	if !box.Contains(Pt(10, 0)) {
+		t.Errorf("corner missing: %v", box)
+	}
+	// Containment property on random sub-windows.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		a := rng.Float64() * 25
+		b := a + rng.Float64()*10
+		box := tr.BBoxDuring(a, b)
+		grown := box.Expand(1e-9) // absorb float noise in sample times
+		for k := 0; k <= 50; k++ {
+			tt := a + (b-a)*float64(k)/50
+			if p := tr.At(tt); !grown.Contains(p) {
+				t.Fatalf("BBoxDuring(%v,%v)=%v missing %v at t=%v", a, b, box, p, tt)
+			}
+		}
+	}
+}

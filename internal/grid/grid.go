@@ -1,0 +1,457 @@
+// Package grid implements the shared uniform grid structure at the heart
+// of the continuous query processor. Following the paper, one grid holds
+// both objects and queries: point objects are mapped to exactly one cell by
+// location, while queries (and the swept regions of predictive objects)
+// are clipped to every cell their region overlaps.
+//
+// The grid stores opaque uint64 identifiers; the engine layers object and
+// query semantics on top. All methods are single-threaded; the engine
+// serializes access (the paper's server processes buffered updates in
+// bulk, one evaluation at a time).
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"cqp/internal/geo"
+)
+
+// Grid divides a rectangular space evenly into N×N equal-sized cells.
+type Grid struct {
+	bounds geo.Rect
+	n      int
+	cellW  float64
+	cellH  float64
+	cells  []cell
+
+	// stats
+	objects int
+	regions int
+}
+
+type cell struct {
+	objects map[uint64]geo.Point // point entries (object locations)
+	regions map[uint64]geo.Rect  // clipped region entries (queries, trajectories)
+}
+
+// New creates a grid with n×n cells over bounds. It panics if n < 1 or
+// bounds is empty, which indicates a configuration error rather than a
+// runtime condition.
+func New(bounds geo.Rect, n int) *Grid {
+	if n < 1 {
+		panic(fmt.Sprintf("grid: invalid cell count %d", n))
+	}
+	if bounds.Empty() {
+		panic(fmt.Sprintf("grid: empty bounds %v", bounds))
+	}
+	return &Grid{
+		bounds: bounds,
+		n:      n,
+		cellW:  bounds.Width() / float64(n),
+		cellH:  bounds.Height() / float64(n),
+		cells:  make([]cell, n*n),
+	}
+}
+
+// Bounds returns the space covered by the grid.
+func (g *Grid) Bounds() geo.Rect { return g.bounds }
+
+// N returns the per-axis cell count.
+func (g *Grid) N() int { return g.n }
+
+// NumObjects returns the number of point entries stored.
+func (g *Grid) NumObjects() int { return g.objects }
+
+// NumRegionEntries returns the number of (region, cell) registrations; a
+// region clipped to k cells counts k times.
+func (g *Grid) NumRegionEntries() int { return g.regions }
+
+// CellIndex returns the index of the cell containing p. Points outside the
+// bounds are clamped to the nearest edge cell, so every point maps to a
+// valid cell.
+func (g *Grid) CellIndex(p geo.Point) int {
+	cx, cy := g.cellCoords(p)
+	return cy*g.n + cx
+}
+
+func (g *Grid) cellCoords(p geo.Point) (cx, cy int) {
+	cx = int((p.X - g.bounds.MinX) / g.cellW)
+	cy = int((p.Y - g.bounds.MinY) / g.cellH)
+	cx = clamp(cx, 0, g.n-1)
+	cy = clamp(cy, 0, g.n-1)
+	return cx, cy
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CellRect returns the spatial extent of cell ci.
+func (g *Grid) CellRect(ci int) geo.Rect {
+	cx, cy := ci%g.n, ci/g.n
+	return geo.Rect{
+		MinX: g.bounds.MinX + float64(cx)*g.cellW,
+		MinY: g.bounds.MinY + float64(cy)*g.cellH,
+		MaxX: g.bounds.MinX + float64(cx+1)*g.cellW,
+		MaxY: g.bounds.MinY + float64(cy+1)*g.cellH,
+	}
+}
+
+// cellRange returns the inclusive cell-coordinate range overlapping r.
+func (g *Grid) cellRange(r geo.Rect) (x1, y1, x2, y2 int, ok bool) {
+	if !r.Intersects(g.bounds) {
+		return 0, 0, 0, 0, false
+	}
+	x1, y1 = g.cellCoords(geo.Pt(r.MinX, r.MinY))
+	x2, y2 = g.cellCoords(geo.Pt(r.MaxX, r.MaxY))
+	// A region whose max coordinate lands exactly on a cell boundary should
+	// not spill into the next cell; the clamp in cellCoords already handles
+	// the far edge of the space.
+	if x2 > x1 && r.MaxX == g.bounds.MinX+float64(x2)*g.cellW {
+		x2--
+	}
+	if y2 > y1 && r.MaxY == g.bounds.MinY+float64(y2)*g.cellH {
+		y2--
+	}
+	return x1, y1, x2, y2, true
+}
+
+// InsertObject stores a point entry for id at p.
+func (g *Grid) InsertObject(id uint64, p geo.Point) {
+	ci := g.CellIndex(p)
+	c := &g.cells[ci]
+	if c.objects == nil {
+		c.objects = make(map[uint64]geo.Point)
+	}
+	if _, dup := c.objects[id]; !dup {
+		g.objects++
+	}
+	c.objects[id] = p
+}
+
+// RemoveObject deletes the point entry for id previously stored at p. It
+// reports whether the entry existed.
+func (g *Grid) RemoveObject(id uint64, p geo.Point) bool {
+	c := &g.cells[g.CellIndex(p)]
+	if _, ok := c.objects[id]; !ok {
+		return false
+	}
+	delete(c.objects, id)
+	g.objects--
+	return true
+}
+
+// MoveObject relocates id from old to new, returning the old and new cell
+// indexes. When both map to the same cell only the stored location is
+// refreshed.
+func (g *Grid) MoveObject(id uint64, old, new geo.Point) (oldCell, newCell int) {
+	oldCell = g.CellIndex(old)
+	newCell = g.CellIndex(new)
+	if oldCell == newCell {
+		c := &g.cells[oldCell]
+		if _, ok := c.objects[id]; ok {
+			c.objects[id] = new
+		} else {
+			g.InsertObject(id, new)
+		}
+		return oldCell, newCell
+	}
+	g.RemoveObject(id, old)
+	g.InsertObject(id, new)
+	return oldCell, newCell
+}
+
+// InsertRegion registers a region entry (a query, or the swept bounding
+// box of a predictive object's trajectory) in every cell it overlaps,
+// storing the clipped region per cell as in the paper's query entry
+// (QID, region∩cell).
+func (g *Grid) InsertRegion(id uint64, r geo.Rect) {
+	x1, y1, x2, y2, ok := g.cellRange(r)
+	if !ok {
+		return
+	}
+	for cy := y1; cy <= y2; cy++ {
+		for cx := x1; cx <= x2; cx++ {
+			ci := cy*g.n + cx
+			c := &g.cells[ci]
+			if c.regions == nil {
+				c.regions = make(map[uint64]geo.Rect)
+			}
+			clip, _ := r.Intersect(g.CellRect(ci))
+			if _, dup := c.regions[id]; !dup {
+				g.regions++
+			}
+			c.regions[id] = clip
+		}
+	}
+}
+
+// RemoveRegion deletes the region entry for id from every cell r overlaps.
+func (g *Grid) RemoveRegion(id uint64, r geo.Rect) {
+	x1, y1, x2, y2, ok := g.cellRange(r)
+	if !ok {
+		return
+	}
+	for cy := y1; cy <= y2; cy++ {
+		for cx := x1; cx <= x2; cx++ {
+			c := &g.cells[cy*g.n+cx]
+			if _, exists := c.regions[id]; exists {
+				delete(c.regions, id)
+				g.regions--
+			}
+		}
+	}
+}
+
+// MoveRegion re-registers id from region old to region new. When both
+// regions overlap exactly the same cells — the common case for a query
+// that moved less than one cell width — the entries are refreshed in
+// place without delete/insert churn.
+func (g *Grid) MoveRegion(id uint64, old, new geo.Rect) {
+	ox1, oy1, ox2, oy2, ook := g.cellRange(old)
+	nx1, ny1, nx2, ny2, nok := g.cellRange(new)
+	if ook && nok && ox1 == nx1 && oy1 == ny1 && ox2 == nx2 && oy2 == ny2 {
+		g.InsertRegion(id, new) // same cells: overwrites every entry
+		return
+	}
+	g.RemoveRegion(id, old)
+	g.InsertRegion(id, new)
+}
+
+// CountCells returns the number of cells overlapping r without visiting
+// them.
+func (g *Grid) CountCells(r geo.Rect) int {
+	x1, y1, x2, y2, ok := g.cellRange(r)
+	if !ok {
+		return 0
+	}
+	return (x2 - x1 + 1) * (y2 - y1 + 1)
+}
+
+// VisitCells calls fn with the index of every cell overlapping r, stopping
+// early if fn returns false.
+func (g *Grid) VisitCells(r geo.Rect, fn func(ci int) bool) {
+	x1, y1, x2, y2, ok := g.cellRange(r)
+	if !ok {
+		return
+	}
+	for cy := y1; cy <= y2; cy++ {
+		for cx := x1; cx <= x2; cx++ {
+			if !fn(cy*g.n + cx) {
+				return
+			}
+		}
+	}
+}
+
+// VisitObjectsIn calls fn for every point entry lying inside r (an exact
+// containment filter over the overlapping cells), stopping early if fn
+// returns false.
+func (g *Grid) VisitObjectsIn(r geo.Rect, fn func(id uint64, p geo.Point) bool) {
+	g.VisitCells(r, func(ci int) bool {
+		for id, p := range g.cells[ci].objects {
+			if r.Contains(p) {
+				if !fn(id, p) {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// VisitObjectsInCell calls fn for every point entry stored in cell ci.
+func (g *Grid) VisitObjectsInCell(ci int, fn func(id uint64, p geo.Point) bool) {
+	for id, p := range g.cells[ci].objects {
+		if !fn(id, p) {
+			return
+		}
+	}
+}
+
+// VisitRegionsInCell calls fn for every region entry registered in cell
+// ci, passing the clipped region.
+func (g *Grid) VisitRegionsInCell(ci int, fn func(id uint64, clipped geo.Rect) bool) {
+	for id, r := range g.cells[ci].regions {
+		if !fn(id, r) {
+			return
+		}
+	}
+}
+
+// VisitRegionsAt calls fn for every region entry registered in the cell
+// containing p. These are the paper's "candidate queries" for an object at
+// p; the caller filters by the query's exact region.
+func (g *Grid) VisitRegionsAt(p geo.Point, fn func(id uint64, clipped geo.Rect) bool) {
+	g.VisitRegionsInCell(g.CellIndex(p), fn)
+}
+
+// CountObjectsIn returns the number of point entries inside r.
+func (g *Grid) CountObjectsIn(r geo.Rect) int {
+	n := 0
+	g.VisitObjectsIn(r, func(uint64, geo.Point) bool { n++; return true })
+	return n
+}
+
+// Neighbor is one result of a k-nearest-neighbor search.
+type Neighbor struct {
+	ID   uint64
+	P    geo.Point
+	Dist float64
+}
+
+// KNearest returns the k point entries nearest to focal in ascending
+// distance order, using an expanding ring of cells with the standard
+// best-first pruning bound: the search stops once the k-th candidate is
+// closer than any unvisited ring. Fewer than k results are returned when
+// the grid holds fewer objects. The filter, when non-nil, excludes entries
+// for which it returns false.
+func (g *Grid) KNearest(focal geo.Point, k int, filter func(id uint64) bool) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	h := &nnHeap{} // max-heap of current best k
+	fcx, fcy := g.cellCoords(focal)
+
+	consider := func(id uint64, p geo.Point) {
+		if filter != nil && !filter(id) {
+			return
+		}
+		d := focal.Dist(p)
+		if h.Len() < k {
+			h.push(Neighbor{id, p, d})
+		} else if d < h.peek().Dist {
+			h.pop()
+			h.push(Neighbor{id, p, d})
+		}
+	}
+
+	for ring := 0; ring < g.n; ring++ {
+		// Prune: every cell at this ring is at least ringDist away.
+		if h.Len() == k {
+			ringDist := float64(ring-1) * math.Min(g.cellW, g.cellH)
+			if ring > 0 && ringDist > h.peek().Dist {
+				break
+			}
+		}
+		visited := false
+		forRing(fcx, fcy, ring, g.n, func(cx, cy int) {
+			visited = true
+			for id, p := range g.cells[cy*g.n+cx].objects {
+				consider(id, p)
+			}
+		})
+		if !visited && ring > maxRing(fcx, fcy, g.n) {
+			break
+		}
+	}
+
+	out := make([]Neighbor, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = h.pop()
+	}
+	return out
+}
+
+// maxRing returns the largest ring radius around (cx,cy) that still
+// contains at least one valid cell.
+func maxRing(cx, cy, n int) int {
+	m := cx
+	if v := cy; v > m {
+		m = v
+	}
+	if v := n - 1 - cx; v > m {
+		m = v
+	}
+	if v := n - 1 - cy; v > m {
+		m = v
+	}
+	return m
+}
+
+// forRing visits the cells on the square ring of the given radius centered
+// at (cx, cy), skipping out-of-range coordinates.
+func forRing(cx, cy, ring, n int, fn func(x, y int)) {
+	if ring == 0 {
+		if cx >= 0 && cx < n && cy >= 0 && cy < n {
+			fn(cx, cy)
+		}
+		return
+	}
+	x1, x2 := cx-ring, cx+ring
+	y1, y2 := cy-ring, cy+ring
+	for x := x1; x <= x2; x++ {
+		if x < 0 || x >= n {
+			continue
+		}
+		if y1 >= 0 && y1 < n {
+			fn(x, y1)
+		}
+		if y2 >= 0 && y2 < n {
+			fn(x, y2)
+		}
+	}
+	for y := y1 + 1; y <= y2-1; y++ {
+		if y < 0 || y >= n {
+			continue
+		}
+		if x1 >= 0 && x1 < n {
+			fn(x1, y)
+		}
+		if x2 >= 0 && x2 < n {
+			fn(x2, y)
+		}
+	}
+}
+
+// nnHeap is a max-heap of Neighbors keyed on distance; the root is the
+// farthest of the current best k.
+type nnHeap struct {
+	ns []Neighbor
+}
+
+func (h *nnHeap) Len() int       { return len(h.ns) }
+func (h *nnHeap) peek() Neighbor { return h.ns[0] }
+func (h *nnHeap) push(n Neighbor) {
+	h.ns = append(h.ns, n)
+	i := len(h.ns) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ns[parent].Dist >= h.ns[i].Dist {
+			break
+		}
+		h.ns[parent], h.ns[i] = h.ns[i], h.ns[parent]
+		i = parent
+	}
+}
+
+func (h *nnHeap) pop() Neighbor {
+	top := h.ns[0]
+	last := len(h.ns) - 1
+	h.ns[0] = h.ns[last]
+	h.ns = h.ns[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.ns) && h.ns[l].Dist > h.ns[largest].Dist {
+			largest = l
+		}
+		if r < len(h.ns) && h.ns[r].Dist > h.ns[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		h.ns[i], h.ns[largest] = h.ns[largest], h.ns[i]
+		i = largest
+	}
+	return top
+}

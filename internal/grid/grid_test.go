@@ -1,0 +1,357 @@
+package grid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+func unitGrid(n int) *Grid { return New(geo.R(0, 0, 1, 1), n) }
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"zero cells", func() { New(geo.R(0, 0, 1, 1), 0) }},
+		{"empty bounds", func() { New(geo.R(0, 0, 0, 1), 4) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestCellIndex(t *testing.T) {
+	g := unitGrid(4)
+	tests := []struct {
+		p    geo.Point
+		want int
+	}{
+		{geo.Pt(0, 0), 0},
+		{geo.Pt(0.99, 0.99), 15},
+		{geo.Pt(0.26, 0.01), 1},
+		{geo.Pt(0.01, 0.26), 4},
+		// Clamping outside the bounds.
+		{geo.Pt(-5, -5), 0},
+		{geo.Pt(5, 5), 15},
+		// The far edge belongs to the last cell.
+		{geo.Pt(1, 1), 15},
+	}
+	for _, tc := range tests {
+		if got := g.CellIndex(tc.p); got != tc.want {
+			t.Errorf("CellIndex(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestCellRectRoundTrip(t *testing.T) {
+	g := unitGrid(8)
+	for ci := 0; ci < 64; ci++ {
+		r := g.CellRect(ci)
+		if got := g.CellIndex(r.Center()); got != ci {
+			t.Errorf("cell %d: center %v maps to %d", ci, r.Center(), got)
+		}
+	}
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	g := unitGrid(4)
+	g.InsertObject(1, geo.Pt(0.1, 0.1))
+	g.InsertObject(2, geo.Pt(0.9, 0.9))
+	if g.NumObjects() != 2 {
+		t.Fatalf("NumObjects = %d", g.NumObjects())
+	}
+
+	// Duplicate insert refreshes, does not double count.
+	g.InsertObject(1, geo.Pt(0.12, 0.12))
+	if g.NumObjects() != 2 {
+		t.Fatalf("NumObjects after dup = %d", g.NumObjects())
+	}
+
+	if !g.RemoveObject(1, geo.Pt(0.12, 0.12)) {
+		t.Error("RemoveObject existing = false")
+	}
+	if g.RemoveObject(1, geo.Pt(0.12, 0.12)) {
+		t.Error("RemoveObject missing = true")
+	}
+	if g.NumObjects() != 1 {
+		t.Fatalf("NumObjects after remove = %d", g.NumObjects())
+	}
+}
+
+func TestMoveObject(t *testing.T) {
+	g := unitGrid(4)
+	g.InsertObject(7, geo.Pt(0.1, 0.1))
+
+	// Same-cell move.
+	oc, nc := g.MoveObject(7, geo.Pt(0.1, 0.1), geo.Pt(0.2, 0.2))
+	if oc != nc {
+		t.Errorf("same-cell move: %d -> %d", oc, nc)
+	}
+
+	// Cross-cell move.
+	oc, nc = g.MoveObject(7, geo.Pt(0.2, 0.2), geo.Pt(0.9, 0.9))
+	if oc == nc {
+		t.Error("cross-cell move reported same cell")
+	}
+	if g.NumObjects() != 1 {
+		t.Errorf("NumObjects = %d", g.NumObjects())
+	}
+	found := 0
+	g.VisitObjectsIn(geo.R(0.75, 0.75, 1, 1), func(id uint64, p geo.Point) bool {
+		if id == 7 {
+			found++
+		}
+		return true
+	})
+	if found != 1 {
+		t.Errorf("object not found at destination (found=%d)", found)
+	}
+
+	// Moving an object the grid lost track of re-inserts it.
+	g2 := unitGrid(4)
+	g2.MoveObject(9, geo.Pt(0.1, 0.1), geo.Pt(0.15, 0.15))
+	if g2.NumObjects() != 1 {
+		t.Errorf("move-of-unknown should insert; NumObjects = %d", g2.NumObjects())
+	}
+}
+
+func TestRegionClipping(t *testing.T) {
+	g := unitGrid(4) // cells of side 0.25
+	r := geo.R(0.2, 0.2, 0.55, 0.3)
+	g.InsertRegion(42, r)
+
+	// Overlaps cells (0,0..?) columns 0..2, row 1 for y in [0.2,0.3): rows 0
+	// (y<0.25) and 1 (y in [0.25,0.3]).
+	if g.NumRegionEntries() != 6 {
+		t.Fatalf("NumRegionEntries = %d, want 6", g.NumRegionEntries())
+	}
+
+	// Clipped region stored per cell must equal region ∩ cellRect.
+	g.VisitCells(r, func(ci int) bool {
+		cellR := g.CellRect(ci)
+		g.VisitRegionsInCell(ci, func(id uint64, clipped geo.Rect) bool {
+			if id != 42 {
+				return true
+			}
+			want, ok := r.Intersect(cellR)
+			if !ok || clipped != want {
+				t.Errorf("cell %d: clipped = %v, want %v", ci, clipped, want)
+			}
+			return true
+		})
+		return true
+	})
+
+	g.RemoveRegion(42, r)
+	if g.NumRegionEntries() != 0 {
+		t.Fatalf("NumRegionEntries after remove = %d", g.NumRegionEntries())
+	}
+}
+
+func TestRegionBoundaryAligned(t *testing.T) {
+	g := unitGrid(4)
+	// Region exactly covering one cell should register in exactly that cell
+	// (max edge on the boundary must not spill over).
+	g.InsertRegion(1, geo.R(0.25, 0.25, 0.5, 0.5))
+	if g.NumRegionEntries() != 1 {
+		t.Errorf("aligned region entries = %d, want 1", g.NumRegionEntries())
+	}
+	g.RemoveRegion(1, geo.R(0.25, 0.25, 0.5, 0.5))
+	if g.NumRegionEntries() != 0 {
+		t.Errorf("entries after remove = %d", g.NumRegionEntries())
+	}
+}
+
+func TestRegionOutsideBounds(t *testing.T) {
+	g := unitGrid(4)
+	g.InsertRegion(5, geo.R(2, 2, 3, 3))
+	if g.NumRegionEntries() != 0 {
+		t.Error("region outside bounds should not register")
+	}
+	g.RemoveRegion(5, geo.R(2, 2, 3, 3)) // must not panic or underflow
+	if g.NumRegionEntries() != 0 {
+		t.Error("counter drifted")
+	}
+	// Partially overlapping region is clipped to the space.
+	g.InsertRegion(6, geo.R(0.9, 0.9, 3, 3))
+	if g.NumRegionEntries() != 1 {
+		t.Errorf("partial overlap entries = %d, want 1", g.NumRegionEntries())
+	}
+}
+
+func TestMoveRegion(t *testing.T) {
+	g := unitGrid(4)
+	old := geo.R(0.1, 0.1, 0.2, 0.2)
+	new := geo.R(0.6, 0.6, 0.7, 0.7)
+	g.InsertRegion(9, old)
+	g.MoveRegion(9, old, new)
+	if g.NumRegionEntries() != 1 {
+		t.Fatalf("entries = %d", g.NumRegionEntries())
+	}
+	seen := false
+	g.VisitRegionsAt(geo.Pt(0.65, 0.65), func(id uint64, _ geo.Rect) bool {
+		seen = seen || id == 9
+		return true
+	})
+	if !seen {
+		t.Error("region not found at new location")
+	}
+	g.VisitRegionsAt(geo.Pt(0.15, 0.15), func(id uint64, _ geo.Rect) bool {
+		if id == 9 {
+			t.Error("region still registered at old location")
+		}
+		return true
+	})
+}
+
+func TestVisitObjectsInExactFilter(t *testing.T) {
+	g := unitGrid(4)
+	g.InsertObject(1, geo.Pt(0.10, 0.10)) // inside query
+	g.InsertObject(2, geo.Pt(0.24, 0.24)) // same cell, outside query
+	g.InsertObject(3, geo.Pt(0.90, 0.90)) // different cell
+
+	var got []uint64
+	g.VisitObjectsIn(geo.R(0.05, 0.05, 0.15, 0.15), func(id uint64, _ geo.Point) bool {
+		got = append(got, id)
+		return true
+	})
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("VisitObjectsIn = %v, want [1]", got)
+	}
+	if n := g.CountObjectsIn(geo.R(0, 0, 1, 1)); n != 3 {
+		t.Errorf("CountObjectsIn all = %d", n)
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	g := unitGrid(4)
+	for i := uint64(0); i < 10; i++ {
+		g.InsertObject(i, geo.Pt(0.1, 0.1))
+	}
+	n := 0
+	g.VisitObjectsIn(geo.R(0, 0, 1, 1), func(uint64, geo.Point) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d", n)
+	}
+	cells := 0
+	g.VisitCells(geo.R(0, 0, 1, 1), func(int) bool {
+		cells++
+		return false
+	})
+	if cells != 1 {
+		t.Errorf("VisitCells early stop visited %d", cells)
+	}
+}
+
+func TestKNearestBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		g := unitGrid(1 + rng.Intn(16))
+		n := 1 + rng.Intn(200)
+		pts := make(map[uint64]geo.Point, n)
+		for i := uint64(0); i < uint64(n); i++ {
+			p := geo.Pt(rng.Float64(), rng.Float64())
+			pts[i] = p
+			g.InsertObject(i, p)
+		}
+		focal := geo.Pt(rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(12)
+
+		got := g.KNearest(focal, k, nil)
+
+		// Brute force.
+		type cand struct {
+			id uint64
+			d  float64
+		}
+		var all []cand
+		for id, p := range pts {
+			all = append(all, cand{id, focal.Dist(p)})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].d != all[j].d {
+				return all[i].d < all[j].d
+			}
+			return all[i].id < all[j].id
+		})
+		wantLen := k
+		if n < k {
+			wantLen = n
+		}
+		if len(got) != wantLen {
+			t.Fatalf("trial %d: len = %d, want %d", trial, len(got), wantLen)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatalf("trial %d: results not sorted", trial)
+			}
+		}
+		// Distance multiset must match (ids may differ on ties).
+		for i := range got {
+			if diff := got[i].Dist - all[i].d; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d: dist[%d] = %v, want %v", trial, i, got[i].Dist, all[i].d)
+			}
+		}
+	}
+}
+
+func TestKNearestFilterAndEdge(t *testing.T) {
+	g := unitGrid(8)
+	g.InsertObject(1, geo.Pt(0.5, 0.5))
+	g.InsertObject(2, geo.Pt(0.52, 0.5))
+	g.InsertObject(3, geo.Pt(0.6, 0.5))
+
+	got := g.KNearest(geo.Pt(0.5, 0.5), 2, func(id uint64) bool { return id != 1 })
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 3 {
+		t.Errorf("filtered KNearest = %+v", got)
+	}
+	if got := g.KNearest(geo.Pt(0.5, 0.5), 0, nil); got != nil {
+		t.Errorf("k=0 should yield nil, got %v", got)
+	}
+	if got := g.KNearest(geo.Pt(-4, -4), 3, nil); len(got) != 3 {
+		t.Errorf("focal outside bounds: len = %d", len(got))
+	}
+	empty := unitGrid(4)
+	if got := empty.KNearest(geo.Pt(0.5, 0.5), 3, nil); len(got) != 0 {
+		t.Errorf("empty grid: %v", got)
+	}
+}
+
+// TestGridObjectQueryAgreement is a randomized consistency check: for any
+// registered region and set of objects, VisitRegionsAt on an object inside
+// the region must report that region.
+func TestGridObjectQueryAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := unitGrid(10)
+	regions := map[uint64]geo.Rect{}
+	for q := uint64(0); q < 50; q++ {
+		r := geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.05+rng.Float64()*0.2)
+		regions[q] = r
+		g.InsertRegion(q, r)
+	}
+	for i := 0; i < 1000; i++ {
+		p := geo.Pt(rng.Float64(), rng.Float64())
+		cands := map[uint64]bool{}
+		g.VisitRegionsAt(p, func(id uint64, _ geo.Rect) bool {
+			cands[id] = true
+			return true
+		})
+		for q, r := range regions {
+			if r.Contains(p) && !cands[q] {
+				t.Fatalf("object %v inside region %d=%v not in candidates", p, q, r)
+			}
+		}
+	}
+}

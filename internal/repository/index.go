@@ -1,0 +1,126 @@
+package repository
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cqp/internal/core"
+	"cqp/internal/storage"
+)
+
+// The location archive is indexed by object ID with a disk-paged B+tree
+// (the paper's "object index"), so per-object history reads avoid full
+// log scans. A watermark file records the log offset up to which the
+// index is complete; after a crash the index catches up incrementally
+// from the watermark, and a missing or implausible watermark triggers a
+// full rebuild.
+
+const indexMarkSize = 8
+
+// openLocationIndex opens the index and brings it up to date with the
+// location log.
+func (r *Repository) openLocationIndex(dir string) error {
+	idxPath := filepath.Join(dir, "locations.idx")
+	markPath := filepath.Join(dir, "locations.idx.mark")
+
+	idx, err := storage.OpenBTree(idxPath, 64)
+	if err != nil {
+		// A corrupt index is rebuildable state: start over.
+		os.Remove(idxPath)
+		idx, err = storage.OpenBTree(idxPath, 64)
+		if err != nil {
+			return err
+		}
+	}
+
+	mark, ok := readIndexMark(markPath)
+	if !ok || mark > r.locations.Size() {
+		// Unknown or implausible watermark: rebuild from scratch.
+		idx.Close()
+		os.Remove(idxPath)
+		idx, err = storage.OpenBTree(idxPath, 64)
+		if err != nil {
+			return err
+		}
+		mark = 0
+	}
+
+	// Catch up from the watermark.
+	err = r.locations.ReplayFrom(mark, func(off int64, payload []byte) bool {
+		rec, recOK := decodeLocation(payload)
+		if !recOK {
+			return true
+		}
+		if ierr := idx.Insert(uint64(rec.ID), uint64(off)); ierr != nil {
+			err = ierr
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		idx.Close()
+		return fmt.Errorf("repository: index catch-up: %w", err)
+	}
+	r.locIndex = idx
+	r.locIndexMark = markPath
+	return nil
+}
+
+// persistIndexMark records the indexed-through offset. Ordering matters:
+// the index is synced before the watermark so the mark never overstates
+// index completeness.
+func (r *Repository) persistIndexMark() error {
+	if err := r.locIndex.Sync(); err != nil {
+		return err
+	}
+	var buf [indexMarkSize]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(r.locations.Size()))
+	tmp := r.locIndexMark + ".tmp"
+	if err := os.WriteFile(tmp, buf[:], 0o644); err != nil {
+		return fmt.Errorf("repository: write index mark: %w", err)
+	}
+	if err := os.Rename(tmp, r.locIndexMark); err != nil {
+		return fmt.Errorf("repository: publish index mark: %w", err)
+	}
+	return nil
+}
+
+func readIndexMark(path string) (int64, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) != indexMarkSize {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(data)), true
+}
+
+// IndexedHistory returns the archived reports of one object within
+// [t1, t2] using the B+tree index, sorted by report time. It is the
+// indexed counterpart of Trajectory; History delegates here.
+func (r *Repository) IndexedHistory(id core.ObjectID, t1, t2 float64) ([]LocationRecord, error) {
+	var offsets []int64
+	if err := r.locIndex.Search(uint64(id), func(v uint64) bool {
+		offsets = append(offsets, int64(v))
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]LocationRecord, 0, len(offsets))
+	for _, off := range offsets {
+		payload, err := r.locations.ReadAt(off)
+		if err != nil {
+			return nil, err
+		}
+		rec, ok := decodeLocation(payload)
+		if !ok || rec.ID != id {
+			return nil, fmt.Errorf("repository: index points at foreign record at offset %d", off)
+		}
+		if rec.T >= t1 && rec.T <= t2 {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out, nil
+}

@@ -1,0 +1,388 @@
+// Package repository implements the paper's repository server: when a
+// moving object or query sends new information, the old information
+// becomes persistent here. It also persists the committed query answers
+// that drive out-of-sync recovery across server restarts, and a catalog
+// of stationary objects (gas stations, hospitals, ...).
+//
+// Persistence is built on package storage: append-only checksummed logs
+// for the location history and the commit stream, and a slotted-page heap
+// file for the stationary catalog.
+package repository
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+	"cqp/internal/storage"
+)
+
+// LocationRecord is one archived position report.
+type LocationRecord struct {
+	ID  core.ObjectID
+	Loc geo.Point
+	T   float64
+}
+
+// Repository is the persistent store behind the location-aware server.
+// All methods are safe for concurrent use.
+type Repository struct {
+	mu        sync.Mutex
+	locations *storage.Log
+	commits   *storage.Log
+	catalog   *storage.HeapFile
+
+	locIndex     *storage.BTree // object-ID index over the location log
+	locIndexMark string         // watermark file path
+
+	committed  map[core.QueryID][]core.ObjectID
+	stationary map[core.ObjectID]storage.RID
+}
+
+// Open opens (creating if necessary) a repository in dir.
+func Open(dir string) (*Repository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("repository: create dir: %w", err)
+	}
+	locations, err := storage.OpenLog(filepath.Join(dir, "locations.log"))
+	if err != nil {
+		return nil, err
+	}
+	commits, err := storage.OpenLog(filepath.Join(dir, "commits.log"))
+	if err != nil {
+		locations.Close()
+		return nil, err
+	}
+	catalog, err := storage.OpenHeapFile(filepath.Join(dir, "stationary.heap"), 64)
+	if err != nil {
+		locations.Close()
+		commits.Close()
+		return nil, err
+	}
+	r := &Repository{
+		locations:  locations,
+		commits:    commits,
+		catalog:    catalog,
+		committed:  make(map[core.QueryID][]core.ObjectID),
+		stationary: make(map[core.ObjectID]storage.RID),
+	}
+	if err := r.openLocationIndex(dir); err != nil {
+		locations.Close()
+		commits.Close()
+		catalog.Close()
+		return nil, err
+	}
+	if err := r.recover(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// recover rebuilds the in-memory committed-answer table (latest record
+// per query wins) and the stationary catalog index.
+func (r *Repository) recover() error {
+	err := r.commits.Replay(func(_ int64, payload []byte) bool {
+		q, objs, ok := decodeCommit(payload)
+		if !ok {
+			return true // skip malformed record defensively
+		}
+		if objs == nil {
+			delete(r.committed, q)
+		} else {
+			r.committed[q] = objs
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return r.catalog.Scan(func(rid storage.RID, rec []byte) bool {
+		if id, _, ok := decodeStationary(rec); ok {
+			r.stationary[id] = rid
+		}
+		return true
+	})
+}
+
+// Close flushes and closes all stores.
+func (r *Repository) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	if err := r.persistIndexMark(); err != nil {
+		first = err
+	}
+	for _, c := range []func() error{r.locations.Close, r.commits.Close, r.catalog.Close, r.locIndex.Close} {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sync forces all stores to stable storage.
+func (r *Repository) Sync() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.locations.Sync(); err != nil {
+		return err
+	}
+	if err := r.persistIndexMark(); err != nil {
+		return err
+	}
+	if err := r.commits.Sync(); err != nil {
+		return err
+	}
+	return r.catalog.Sync()
+}
+
+// --- Location history ---------------------------------------------------
+
+const locationRecordSize = 8 + 8 + 8 + 8
+
+// AppendLocation archives a position report and indexes it by object.
+func (r *Repository) AppendLocation(rec LocationRecord) error {
+	var buf [locationRecordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(rec.ID))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(rec.Loc.X))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(rec.Loc.Y))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(rec.T))
+	off, err := r.locations.Append(buf[:])
+	if err != nil {
+		return err
+	}
+	return r.locIndex.Insert(uint64(rec.ID), uint64(off))
+}
+
+// History returns the archived reports of one object, sorted by report
+// time, via the object index.
+func (r *Repository) History(id core.ObjectID) ([]LocationRecord, error) {
+	return r.IndexedHistory(id, math.Inf(-1), math.Inf(1))
+}
+
+// NumArchivedBytes returns the size of the location history log.
+func (r *Repository) NumArchivedBytes() int64 { return r.locations.Size() }
+
+// --- Committed answers ----------------------------------------------------
+
+// CommitAnswer durably records the committed answer of query q. A nil
+// objs slice erases the entry (query removed).
+func (r *Repository) CommitAnswer(q core.QueryID, objs []core.ObjectID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, err := r.commits.Append(encodeCommit(q, objs)); err != nil {
+		return err
+	}
+	if objs == nil {
+		delete(r.committed, q)
+	} else {
+		cp := make([]core.ObjectID, len(objs))
+		copy(cp, objs)
+		r.committed[q] = cp
+	}
+	return nil
+}
+
+// Committed returns the last committed answer of q, if any.
+func (r *Repository) Committed(q core.QueryID) ([]core.ObjectID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	objs, ok := r.committed[q]
+	if !ok {
+		return nil, false
+	}
+	out := make([]core.ObjectID, len(objs))
+	copy(out, objs)
+	return out, true
+}
+
+// CommittedQueries returns the IDs of all queries with committed answers.
+func (r *Repository) CommittedQueries() []core.QueryID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.QueryID, 0, len(r.committed))
+	for q := range r.committed {
+		out = append(out, q)
+	}
+	return out
+}
+
+func encodeCommit(q core.QueryID, objs []core.ObjectID) []byte {
+	// Layout: qid uint64 | present uint8 | count uint32 | ids...
+	buf := make([]byte, 8+1+4+8*len(objs))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(q))
+	if objs == nil {
+		return buf[:9] // present = 0
+	}
+	buf[8] = 1
+	binary.LittleEndian.PutUint32(buf[9:], uint32(len(objs)))
+	for i, o := range objs {
+		binary.LittleEndian.PutUint64(buf[13+8*i:], uint64(o))
+	}
+	return buf
+}
+
+func decodeCommit(payload []byte) (core.QueryID, []core.ObjectID, bool) {
+	if len(payload) < 9 {
+		return 0, nil, false
+	}
+	q := core.QueryID(binary.LittleEndian.Uint64(payload[0:]))
+	if payload[8] == 0 {
+		return q, nil, true
+	}
+	if len(payload) < 13 {
+		return 0, nil, false
+	}
+	n := int(binary.LittleEndian.Uint32(payload[9:]))
+	if len(payload) != 13+8*n {
+		return 0, nil, false
+	}
+	objs := make([]core.ObjectID, n)
+	for i := range objs {
+		objs[i] = core.ObjectID(binary.LittleEndian.Uint64(payload[13+8*i:]))
+	}
+	return q, objs, true
+}
+
+// --- Stationary catalog ---------------------------------------------------
+
+const stationaryRecordSize = 8 + 8 + 8
+
+// PutStationary registers (or relocates) a stationary object in the
+// catalog.
+func (r *Repository) PutStationary(id core.ObjectID, loc geo.Point) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rid, ok := r.stationary[id]; ok {
+		if err := r.catalog.Delete(rid); err != nil {
+			return err
+		}
+	}
+	var buf [stationaryRecordSize]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(id))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(loc.X))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(loc.Y))
+	rid, err := r.catalog.Insert(buf[:])
+	if err != nil {
+		return err
+	}
+	r.stationary[id] = rid
+	return nil
+}
+
+// GetStationary looks a stationary object up by ID.
+func (r *Repository) GetStationary(id core.ObjectID) (geo.Point, bool, error) {
+	r.mu.Lock()
+	rid, ok := r.stationary[id]
+	r.mu.Unlock()
+	if !ok {
+		return geo.Point{}, false, nil
+	}
+	rec, err := r.catalog.Get(rid)
+	if err != nil {
+		return geo.Point{}, false, err
+	}
+	_, loc, ok := decodeStationary(rec)
+	if !ok {
+		return geo.Point{}, false, fmt.Errorf("repository: corrupt stationary record at %v", rid)
+	}
+	return loc, true, nil
+}
+
+// DeleteStationary removes a stationary object; it reports whether the
+// object existed.
+func (r *Repository) DeleteStationary(id core.ObjectID) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rid, ok := r.stationary[id]
+	if !ok {
+		return false, nil
+	}
+	if err := r.catalog.Delete(rid); err != nil {
+		return false, err
+	}
+	delete(r.stationary, id)
+	return true, nil
+}
+
+// VisitStationary calls fn for every cataloged stationary object.
+func (r *Repository) VisitStationary(fn func(id core.ObjectID, loc geo.Point) bool) error {
+	return r.catalog.Scan(func(_ storage.RID, rec []byte) bool {
+		id, loc, ok := decodeStationary(rec)
+		if !ok {
+			return true
+		}
+		return fn(id, loc)
+	})
+}
+
+func decodeStationary(rec []byte) (core.ObjectID, geo.Point, bool) {
+	if len(rec) != stationaryRecordSize {
+		return 0, geo.Point{}, false
+	}
+	return core.ObjectID(binary.LittleEndian.Uint64(rec[0:])),
+		geo.Pt(
+			math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+			math.Float64frombits(binary.LittleEndian.Uint64(rec[16:])),
+		), true
+}
+
+// CompactCommits rewrites the commit log to contain only the latest
+// committed answer per query, reclaiming space from superseded records.
+// The compacted log is written beside the live one and swapped in
+// atomically; a crash at any point leaves either the old or the new log
+// intact.
+func (r *Repository) CompactCommits() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	path := r.commits.Path()
+	tmp := path + ".compact"
+	os.Remove(tmp)
+	fresh, err := storage.OpenLog(tmp)
+	if err != nil {
+		return err
+	}
+	for q, objs := range r.committed {
+		if _, err := fresh.Append(encodeCommit(q, objs)); err != nil {
+			fresh.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := fresh.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := r.commits.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		// Try to reopen the original before giving up.
+		reopened, rerr := storage.OpenLog(path)
+		if rerr != nil {
+			return fmt.Errorf("repository: compact swap failed (%v) and reopen failed: %w", err, rerr)
+		}
+		r.commits = reopened
+		return err
+	}
+	reopened, err := storage.OpenLog(path)
+	if err != nil {
+		return err
+	}
+	r.commits = reopened
+	return nil
+}
+
+// CommitLogSize returns the commit log size in bytes.
+func (r *Repository) CommitLogSize() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.commits.Size()
+}

@@ -1,0 +1,30 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+func BenchmarkRoute(b *testing.B) {
+	n := Generate(Config{Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := n.RandomNode(rng)
+		dst := n.RandomNode(rng)
+		if _, ok := n.Route(src, dst); !ok {
+			b.Fatal("unroutable pair on connected network")
+		}
+	}
+}
+
+func BenchmarkNearestNode(b *testing.B) {
+	n := Generate(Config{Seed: 1})
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.NearestNode(geo.Pt(rng.Float64(), rng.Float64()))
+	}
+}

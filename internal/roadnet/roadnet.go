@@ -1,0 +1,458 @@
+// Package roadnet models the synthetic city road network that underlies
+// the workload generator (package gen). It replaces the Brinkhoff
+// network-based generator's external map files with a generated city: a
+// perturbed lattice of intersections connected by side streets, overlaid
+// with a sparser arterial system of main roads and highways, each class
+// with its own speed. Shortest routes are computed with Dijkstra over
+// travel time.
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"cqp/internal/geo"
+)
+
+// Class is a road class with an associated travel speed.
+type Class uint8
+
+const (
+	// Side streets: the dense lattice.
+	Side Class = iota
+	// Main roads: every few lattice lines.
+	Main
+	// Highways: the sparse fast grid.
+	Highway
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Side:
+		return "side"
+	case Main:
+		return "main"
+	case Highway:
+		return "highway"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Edge is a directed half-edge in the adjacency list.
+type Edge struct {
+	To    int     // destination node index
+	Class Class   // road class
+	Len   float64 // Euclidean length
+}
+
+// Network is an undirected road network embedded in the plane.
+type Network struct {
+	nodes  []geo.Point
+	adj    [][]Edge
+	speeds [numClasses]float64
+
+	// Spatial bucket index for NearestNode.
+	bucketN int
+	buckets [][]int
+	bwidth  float64
+	bheight float64
+	extent  geo.Rect
+}
+
+// Config parameterizes Generate.
+type Config struct {
+	// Bounds is the spatial extent of the city. Defaults to the unit
+	// square.
+	Bounds geo.Rect
+	// Lattice is the per-axis intersection count. Defaults to 32.
+	Lattice int
+	// MainEvery marks every n-th lattice line as a main road. Defaults
+	// to 4.
+	MainEvery int
+	// HighwayEvery marks every n-th lattice line as a highway. Defaults
+	// to 8.
+	HighwayEvery int
+	// Jitter displaces each intersection by up to this fraction of the
+	// lattice spacing. Defaults to 0.3.
+	Jitter float64
+	// PruneSide removes this fraction of side-street edges (connectivity
+	// is preserved). Defaults to 0.15.
+	PruneSide float64
+	// Speeds, by class, in space units per time unit (second). The
+	// defaults model a ~100 km metropolitan region mapped onto the
+	// bounds: side streets 18 km/h (0.00005/s), main roads 36 km/h
+	// (0.0001/s), highways 72 km/h (0.0002/s), scaled to the bounds
+	// width. At these speeds an object displaces 0.00025–0.001 of the
+	// space per 5-second evaluation period — small against the paper's
+	// 0.01–0.04 query sides (1–4 km), which is the regime in which
+	// incremental evaluation pays off. The mild (2:1) class ratios also
+	// keep route choice from funneling all traffic onto the sparse
+	// highways.
+	Speeds [3]float64
+	// Seed drives the deterministic layout.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Bounds.Empty() {
+		c.Bounds = geo.R(0, 0, 1, 1)
+	}
+	if c.Lattice == 0 {
+		c.Lattice = 32
+	}
+	if c.MainEvery == 0 {
+		c.MainEvery = 4
+	}
+	if c.HighwayEvery == 0 {
+		c.HighwayEvery = 8
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.3
+	}
+	if c.PruneSide == 0 {
+		c.PruneSide = 0.15
+	}
+	if c.Speeds == [3]float64{} {
+		scale := c.Bounds.Width()
+		c.Speeds = [3]float64{0.00005 * scale, 0.0001 * scale, 0.0002 * scale}
+	}
+	return c
+}
+
+// Generate builds a deterministic synthetic city network from cfg. It
+// panics on nonsensical configuration (Lattice < 2), which indicates a
+// programming error.
+func Generate(cfg Config) *Network {
+	cfg = cfg.withDefaults()
+	k := cfg.Lattice
+	if k < 2 {
+		panic(fmt.Sprintf("roadnet: lattice must be at least 2, got %d", k))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	n := &Network{
+		nodes: make([]geo.Point, 0, k*k),
+	}
+	copy(n.speeds[:], cfg.Speeds[:])
+
+	// Place jittered lattice intersections.
+	sx := cfg.Bounds.Width() / float64(k)
+	sy := cfg.Bounds.Height() / float64(k)
+	for row := 0; row < k; row++ {
+		for col := 0; col < k; col++ {
+			jx := (rng.Float64()*2 - 1) * cfg.Jitter * sx
+			jy := (rng.Float64()*2 - 1) * cfg.Jitter * sy
+			p := geo.Pt(
+				cfg.Bounds.MinX+(float64(col)+0.5)*sx+jx,
+				cfg.Bounds.MinY+(float64(row)+0.5)*sy+jy,
+			)
+			n.nodes = append(n.nodes, p)
+		}
+	}
+	n.adj = make([][]Edge, len(n.nodes))
+
+	classOf := func(line int) Class {
+		switch {
+		case line%cfg.HighwayEvery == 0:
+			return Highway
+		case line%cfg.MainEvery == 0:
+			return Main
+		default:
+			return Side
+		}
+	}
+
+	// Candidate lattice edges: horizontal edges inherit the row's class,
+	// vertical edges the column's.
+	type cand struct {
+		a, b  int
+		class Class
+	}
+	var cands []cand
+	id := func(row, col int) int { return row*k + col }
+	for row := 0; row < k; row++ {
+		for col := 0; col < k; col++ {
+			if col+1 < k {
+				cands = append(cands, cand{id(row, col), id(row, col+1), classOf(row)})
+			}
+			if row+1 < k {
+				cands = append(cands, cand{id(row, col), id(row+1, col), classOf(col)})
+			}
+		}
+	}
+
+	// Keep arterials unconditionally; prune a fraction of side streets
+	// while preserving connectivity with a union-find over kept edges.
+	uf := newUnionFind(len(n.nodes))
+	addEdge := func(c cand) {
+		l := n.nodes[c.a].Dist(n.nodes[c.b])
+		n.adj[c.a] = append(n.adj[c.a], Edge{To: c.b, Class: c.class, Len: l})
+		n.adj[c.b] = append(n.adj[c.b], Edge{To: c.a, Class: c.class, Len: l})
+		uf.union(c.a, c.b)
+	}
+	var side []cand
+	for _, c := range cands {
+		if c.class == Side {
+			side = append(side, c)
+		} else {
+			addEdge(c)
+		}
+	}
+	rng.Shuffle(len(side), func(i, j int) { side[i], side[j] = side[j], side[i] })
+	pruneBudget := int(cfg.PruneSide * float64(len(side)))
+	for _, c := range side {
+		if pruneBudget > 0 && uf.find(c.a) == uf.find(c.b) {
+			pruneBudget--
+			continue // safe to drop: endpoints already connected
+		}
+		addEdge(c)
+	}
+
+	n.buildBuckets(cfg.Bounds)
+	return n
+}
+
+// NumNodes returns the number of intersections.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumEdges returns the number of undirected road segments.
+func (n *Network) NumEdges() int {
+	half := 0
+	for _, es := range n.adj {
+		half += len(es)
+	}
+	return half / 2
+}
+
+// Node returns the location of intersection i.
+func (n *Network) Node(i int) geo.Point { return n.nodes[i] }
+
+// Edges returns the adjacency list of intersection i. The slice is shared;
+// callers must not modify it.
+func (n *Network) Edges(i int) []Edge { return n.adj[i] }
+
+// Speed returns the travel speed of a road class.
+func (n *Network) Speed(c Class) float64 { return n.speeds[c] }
+
+// RandomNode returns a uniformly random intersection index.
+func (n *Network) RandomNode(rng *rand.Rand) int { return rng.Intn(len(n.nodes)) }
+
+func (n *Network) buildBuckets(bounds geo.Rect) {
+	n.extent = bounds
+	n.bucketN = 16
+	n.bwidth = bounds.Width() / float64(n.bucketN)
+	n.bheight = bounds.Height() / float64(n.bucketN)
+	n.buckets = make([][]int, n.bucketN*n.bucketN)
+	for i, p := range n.nodes {
+		bi := n.bucketIndex(p)
+		n.buckets[bi] = append(n.buckets[bi], i)
+	}
+}
+
+func (n *Network) bucketIndex(p geo.Point) int {
+	bx := int((p.X - n.extent.MinX) / n.bwidth)
+	by := int((p.Y - n.extent.MinY) / n.bheight)
+	if bx < 0 {
+		bx = 0
+	}
+	if bx >= n.bucketN {
+		bx = n.bucketN - 1
+	}
+	if by < 0 {
+		by = 0
+	}
+	if by >= n.bucketN {
+		by = n.bucketN - 1
+	}
+	return by*n.bucketN + bx
+}
+
+// NearestNode returns the intersection nearest to p, expanding bucket
+// rings until a confirmed nearest is found.
+func (n *Network) NearestNode(p geo.Point) int {
+	bi := n.bucketIndex(p)
+	bx, by := bi%n.bucketN, bi/n.bucketN
+	best, bestD := -1, 0.0
+	for ring := 0; ring < n.bucketN; ring++ {
+		for y := by - ring; y <= by+ring; y++ {
+			for x := bx - ring; x <= bx+ring; x++ {
+				onRing := y == by-ring || y == by+ring || x == bx-ring || x == bx+ring
+				if !onRing || x < 0 || x >= n.bucketN || y < 0 || y >= n.bucketN {
+					continue
+				}
+				for _, i := range n.buckets[y*n.bucketN+x] {
+					if d := p.Dist2(n.nodes[i]); best == -1 || d < bestD {
+						best, bestD = i, d
+					}
+				}
+			}
+		}
+		// Once we have a candidate and have searched one ring past it, the
+		// candidate is confirmed (every unvisited bucket is farther).
+		if best != -1 {
+			ringDist := float64(ring) * minf(n.bwidth, n.bheight)
+			if ringDist*ringDist > bestD {
+				break
+			}
+		}
+	}
+	return best
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Route returns the sequence of intersections of the fastest (travel
+// time) path from src to dst, inclusive of both endpoints. ok is false if
+// dst is unreachable.
+//
+// The search is A* over travel time with the admissible heuristic
+// straight-line-distance / fastest-class-speed, which keeps the explored
+// frontier a narrow corridor between the endpoints — the generator
+// re-routes tens of thousands of travelers, so this matters.
+func (n *Network) Route(src, dst int) (path []int, ok bool) {
+	if src == dst {
+		return []int{src}, true
+	}
+	const unvisited = -1
+	maxSpeed := n.speeds[0]
+	for _, s := range n.speeds[1:] {
+		if s > maxSpeed {
+			maxSpeed = s
+		}
+	}
+	target := n.nodes[dst]
+	h := func(i int) float64 { return n.nodes[i].Dist(target) / maxSpeed }
+
+	dist := make([]float64, len(n.nodes))
+	prev := make([]int, len(n.nodes))
+	seen := make([]bool, len(n.nodes))
+	for i := range prev {
+		prev[i] = unvisited
+	}
+	pq := &routeQueue{}
+	heap.Init(pq)
+	heap.Push(pq, routeItem{node: src, dist: h(src)})
+	dist[src] = 0
+	seen[src] = true
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(routeItem)
+		if it.node == dst {
+			break
+		}
+		g := dist[it.node]
+		if it.dist > g+h(it.node)+1e-12 {
+			continue // stale entry
+		}
+		for _, e := range n.adj[it.node] {
+			d := g + e.Len/n.speeds[e.Class]
+			if !seen[e.To] || d < dist[e.To] {
+				seen[e.To] = true
+				dist[e.To] = d
+				prev[e.To] = it.node
+				heap.Push(pq, routeItem{node: e.To, dist: d + h(e.To)})
+			}
+		}
+	}
+	if prev[dst] == unvisited {
+		return nil, false
+	}
+	for at := dst; at != src; at = prev[at] {
+		path = append(path, at)
+	}
+	path = append(path, src)
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, true
+}
+
+// EdgeBetween returns the edge from a to b, or false if they are not
+// adjacent.
+func (n *Network) EdgeBetween(a, b int) (Edge, bool) {
+	for _, e := range n.adj[a] {
+		if e.To == b {
+			return e, true
+		}
+	}
+	return Edge{}, false
+}
+
+// Connected reports whether every intersection is reachable from node 0.
+func (n *Network) Connected() bool {
+	if len(n.nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(n.nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == len(n.nodes)
+}
+
+type routeItem struct {
+	node int
+	dist float64
+}
+
+type routeQueue []routeItem
+
+func (q routeQueue) Len() int            { return len(q) }
+func (q routeQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q routeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *routeQueue) Push(x interface{}) { *q = append(*q, x.(routeItem)) }
+func (q *routeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// unionFind is a standard disjoint-set with path compression.
+type unionFind struct {
+	parent []int
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}

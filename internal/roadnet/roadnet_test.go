@@ -1,0 +1,251 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+func testNet(t *testing.T, seed int64) *Network {
+	t.Helper()
+	return Generate(Config{Seed: seed})
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	n := testNet(t, 1)
+	if n.NumNodes() != 32*32 {
+		t.Fatalf("NumNodes = %d", n.NumNodes())
+	}
+	if n.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	// All nodes inside the unit square (jitter can push slightly past cell
+	// borders but stays within jitter*spacing of them).
+	for i := 0; i < n.NumNodes(); i++ {
+		p := n.Node(i)
+		if p.X < -0.1 || p.X > 1.1 || p.Y < -0.1 || p.Y > 1.1 {
+			t.Fatalf("node %d out of range: %v", i, p)
+		}
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		n := Generate(Config{Seed: seed, PruneSide: 0.5})
+		if !n.Connected() {
+			t.Fatalf("seed %d: network disconnected", seed)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7})
+	b := Generate(Config{Seed: 7})
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different networks")
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		if a.Node(i) != b.Node(i) {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+}
+
+func TestGeneratePanicsOnTinyLattice(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Generate(Config{Lattice: 1})
+}
+
+func TestRoadClasses(t *testing.T) {
+	n := testNet(t, 2)
+	counts := map[Class]int{}
+	for i := 0; i < n.NumNodes(); i++ {
+		for _, e := range n.Edges(i) {
+			counts[e.Class]++
+		}
+	}
+	if counts[Side] == 0 || counts[Main] == 0 || counts[Highway] == 0 {
+		t.Fatalf("missing road classes: %v", counts)
+	}
+	if !(n.Speed(Highway) > n.Speed(Main) && n.Speed(Main) > n.Speed(Side)) {
+		t.Fatalf("speed ordering broken: %v %v %v", n.Speed(Highway), n.Speed(Main), n.Speed(Side))
+	}
+	if Side.String() != "side" || Main.String() != "main" || Highway.String() != "highway" {
+		t.Error("Class.String broken")
+	}
+}
+
+func TestRouteProperties(t *testing.T) {
+	n := testNet(t, 3)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		src := n.RandomNode(rng)
+		dst := n.RandomNode(rng)
+		path, ok := n.Route(src, dst)
+		if !ok {
+			t.Fatalf("no route %d→%d on connected network", src, dst)
+		}
+		if path[0] != src || path[len(path)-1] != dst {
+			t.Fatalf("route endpoints wrong: %v", path)
+		}
+		// Consecutive nodes must be adjacent.
+		for i := 0; i+1 < len(path); i++ {
+			if _, ok := n.EdgeBetween(path[i], path[i+1]); !ok {
+				t.Fatalf("route step %d→%d not adjacent", path[i], path[i+1])
+			}
+		}
+	}
+	// Self route.
+	path, ok := n.Route(5, 5)
+	if !ok || len(path) != 1 || path[0] != 5 {
+		t.Fatalf("self route = %v, %v", path, ok)
+	}
+}
+
+func TestRouteIsFastest(t *testing.T) {
+	// A tiny hand-built check: on a generated network, the Dijkstra travel
+	// time must never exceed the direct-edge travel time between adjacent
+	// nodes.
+	n := testNet(t, 4)
+	rng := rand.New(rand.NewSource(2))
+	travelTime := func(path []int) float64 {
+		total := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			e, _ := n.EdgeBetween(path[i], path[i+1])
+			total += e.Len / n.Speed(e.Class)
+		}
+		return total
+	}
+	for trial := 0; trial < 50; trial++ {
+		src := n.RandomNode(rng)
+		for _, e := range n.Edges(src) {
+			path, ok := n.Route(src, e.To)
+			if !ok {
+				t.Fatal("no route to neighbor")
+			}
+			direct := e.Len / n.Speed(e.Class)
+			if travelTime(path) > direct+1e-9 {
+				t.Fatalf("route slower than direct edge: %v > %v", travelTime(path), direct)
+			}
+		}
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	n := testNet(t, 5)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		p := geo.Pt(rng.Float64(), rng.Float64())
+		got := n.NearestNode(p)
+		// Brute force.
+		best, bestD := -1, math.Inf(1)
+		for i := 0; i < n.NumNodes(); i++ {
+			if d := p.Dist2(n.Node(i)); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if p.Dist2(n.Node(got)) > bestD+1e-12 {
+			t.Fatalf("NearestNode(%v) = %d (d=%v), brute = %d (d=%v)",
+				p, got, p.Dist2(n.Node(got)), best, bestD)
+		}
+	}
+}
+
+func TestEdgeBetween(t *testing.T) {
+	n := testNet(t, 6)
+	e := n.Edges(0)[0]
+	if got, ok := n.EdgeBetween(0, e.To); !ok || got.To != e.To {
+		t.Fatal("EdgeBetween adjacent failed")
+	}
+	// Find a non-adjacent pair.
+	adj := map[int]bool{0: true}
+	for _, e := range n.Edges(0) {
+		adj[e.To] = true
+	}
+	for i := 0; i < n.NumNodes(); i++ {
+		if !adj[i] {
+			if _, ok := n.EdgeBetween(0, i); ok {
+				t.Fatalf("EdgeBetween(0,%d) should fail", i)
+			}
+			break
+		}
+	}
+}
+
+func TestCustomBounds(t *testing.T) {
+	n := Generate(Config{Bounds: geo.R(0, 0, 100, 50), Lattice: 8, Seed: 9})
+	for i := 0; i < n.NumNodes(); i++ {
+		p := n.Node(i)
+		if p.X < -10 || p.X > 110 || p.Y < -10 || p.Y > 60 {
+			t.Fatalf("node %d out of custom bounds: %v", i, p)
+		}
+	}
+	if !n.Connected() {
+		t.Fatal("custom-bounds network disconnected")
+	}
+}
+
+// TestRouteOptimal cross-checks the A* route's travel time against a
+// reference Dijkstra run in the test, guarding against an inadmissible
+// heuristic regression.
+func TestRouteOptimal(t *testing.T) {
+	n := testNet(t, 10)
+	rng := rand.New(rand.NewSource(4))
+
+	// Reference: textbook Dijkstra from src to all nodes.
+	dijkstra := func(src int) []float64 {
+		dist := make([]float64, n.NumNodes())
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[src] = 0
+		visited := make([]bool, n.NumNodes())
+		for {
+			u, best := -1, math.Inf(1)
+			for i, d := range dist {
+				if !visited[i] && d < best {
+					u, best = i, d
+				}
+			}
+			if u == -1 {
+				return dist
+			}
+			visited[u] = true
+			for _, e := range n.Edges(u) {
+				if d := dist[u] + e.Len/n.Speed(e.Class); d < dist[e.To] {
+					dist[e.To] = d
+				}
+			}
+		}
+	}
+
+	travelTime := func(path []int) float64 {
+		total := 0.0
+		for i := 0; i+1 < len(path); i++ {
+			e, _ := n.EdgeBetween(path[i], path[i+1])
+			total += e.Len / n.Speed(e.Class)
+		}
+		return total
+	}
+
+	for trial := 0; trial < 5; trial++ {
+		src := n.RandomNode(rng)
+		ref := dijkstra(src)
+		for k := 0; k < 20; k++ {
+			dst := n.RandomNode(rng)
+			path, ok := n.Route(src, dst)
+			if !ok {
+				t.Fatalf("no route %d→%d", src, dst)
+			}
+			if got := travelTime(path); math.Abs(got-ref[dst]) > 1e-9 {
+				t.Fatalf("%d→%d: A* time %v, Dijkstra %v", src, dst, got, ref[dst])
+			}
+		}
+	}
+}

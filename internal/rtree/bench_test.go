@@ -1,0 +1,45 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+func BenchmarkRTreeInsert(b *testing.B) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		tr.Insert(uint64(i), geo.RectAt(c, rng.Float64()))
+	}
+}
+
+func BenchmarkRTreeSearch(b *testing.B) {
+	tr := New()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100000; i++ {
+		tr.Insert(uint64(i), geo.RectAt(geo.Pt(rng.Float64()*100, rng.Float64()*100), 0.5))
+	}
+	b.ResetTimer()
+	count := 0
+	for i := 0; i < b.N; i++ {
+		q := geo.RectAt(geo.Pt(rng.Float64()*100, rng.Float64()*100), 2)
+		tr.Search(q, func(uint64, geo.Rect) bool { count++; return true })
+	}
+	_ = count
+}
+
+func BenchmarkRTreeNearest(b *testing.B) {
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100000; i++ {
+		tr.Insert(uint64(i), geo.RectAt(geo.Pt(rng.Float64()*100, rng.Float64()*100), 0.1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(geo.Pt(rng.Float64()*100, rng.Float64()*100), 10)
+	}
+}

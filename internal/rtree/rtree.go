@@ -1,0 +1,424 @@
+// Package rtree implements a Guttman R-tree with quadratic split. It is
+// the substrate for the Q-index baseline (an R-tree built over query
+// regions that moving objects probe) and for indexing stationary object
+// populations, mirroring the access methods the paper compares against.
+//
+// The tree maps uint64 identifiers to rectangles. It supports insertion,
+// deletion (with the standard condense-tree reinsertion), rectangle
+// search, and best-first nearest-neighbor search.
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"cqp/internal/geo"
+)
+
+// Default fanout bounds. Guttman's m ≤ M/2 requirement holds.
+const (
+	defaultMax = 16
+	defaultMin = 6
+)
+
+// Tree is an R-tree. The zero value is not usable; call New.
+type Tree struct {
+	root    *node
+	size    int
+	maxFill int
+	minFill int
+}
+
+type entry struct {
+	bbox  geo.Rect
+	child *node  // non-nil for internal entries
+	id    uint64 // leaf payload
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// New returns an empty R-tree with the default fanout (M=16, m=6).
+func New() *Tree { return NewWithFanout(defaultMax, defaultMin) }
+
+// NewWithFanout returns an empty R-tree with maximum node fanout max and
+// minimum fill min. It panics unless 2 ≤ min ≤ max/2.
+func NewWithFanout(max, min int) *Tree {
+	if min < 2 || min > max/2 {
+		panic(fmt.Sprintf("rtree: invalid fanout max=%d min=%d", max, min))
+	}
+	return &Tree{
+		root:    &node{leaf: true},
+		maxFill: max,
+		minFill: min,
+	}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds id with bounding box r. Duplicate ids are allowed (the tree
+// is a multimap); Delete removes one matching (id, r) pair.
+func (t *Tree) Insert(id uint64, r geo.Rect) {
+	t.insertEntry(entry{bbox: r, id: id})
+	t.size++
+}
+
+// insertEntry places a leaf entry, adjusting bounding boxes and splitting
+// overflowing nodes along the descent path (Guttman's ChooseLeaf +
+// AdjustTree).
+func (t *Tree) insertEntry(e entry) {
+	var (
+		path []*node
+		idxs []int
+	)
+	n := t.root
+	for !n.leaf {
+		best := chooseSubtree(n, e.bbox)
+		path = append(path, n)
+		idxs = append(idxs, best)
+		n = n.entries[best].child
+	}
+	n.entries = append(n.entries, e)
+
+	var splitOff *entry
+	if len(n.entries) > t.maxFill {
+		se := t.splitNode(n)
+		splitOff = &se
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		parent, idx := path[i], idxs[i]
+		parent.entries[idx].bbox = nodeBBox(parent.entries[idx].child)
+		if splitOff != nil {
+			parent.entries = append(parent.entries, *splitOff)
+			splitOff = nil
+			if len(parent.entries) > t.maxFill {
+				se := t.splitNode(parent)
+				splitOff = &se
+			}
+		}
+	}
+	if splitOff != nil {
+		// Root split: grow the tree.
+		old := t.root
+		t.root = &node{
+			leaf: false,
+			entries: []entry{
+				{bbox: nodeBBox(old), child: old},
+				*splitOff,
+			},
+		}
+	}
+}
+
+// chooseSubtree picks the child of n needing the least enlargement to
+// include r (ties by smallest area), per Guttman.
+func chooseSubtree(n *node, r geo.Rect) int {
+	best := 0
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i := range n.entries {
+		enl := n.entries[i].bbox.Enlargement(r)
+		area := n.entries[i].bbox.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitNode performs Guttman's quadratic split in place: n keeps one
+// group, and the returned entry points to a new node holding the other.
+func (t *Tree) splitNode(n *node) entry {
+	ents := n.entries
+
+	// Quadratic pick-seeds: the pair wasting the most area together.
+	seedA, seedB := 0, 1
+	worst := math.Inf(-1)
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			waste := ents[i].bbox.Union(ents[j].bbox).Area() - ents[i].bbox.Area() - ents[j].bbox.Area()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+
+	groupA := []entry{ents[seedA]}
+	groupB := []entry{ents[seedB]}
+	bboxA, bboxB := ents[seedA].bbox, ents[seedB].bbox
+
+	rest := make([]entry, 0, len(ents)-2)
+	for i := range ents {
+		if i != seedA && i != seedB {
+			rest = append(rest, ents[i])
+		}
+	}
+
+	for len(rest) > 0 {
+		// If one group must take all remaining entries to reach minFill, do so.
+		if len(groupA)+len(rest) == t.minFill {
+			groupA = append(groupA, rest...)
+			for _, e := range rest {
+				bboxA = bboxA.Union(e.bbox)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.minFill {
+			groupB = append(groupB, rest...)
+			for _, e := range rest {
+				bboxB = bboxB.Union(e.bbox)
+			}
+			break
+		}
+
+		// Pick-next: entry with the greatest preference for one group.
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			dA := bboxA.Enlargement(e.bbox)
+			dB := bboxB.Enlargement(e.bbox)
+			diff := math.Abs(dA - dB)
+			if diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+
+		dA := bboxA.Enlargement(e.bbox)
+		dB := bboxB.Enlargement(e.bbox)
+		toA := dA < dB
+		if dA == dB {
+			// Resolve ties by smaller area, then fewer entries.
+			switch {
+			case bboxA.Area() != bboxB.Area():
+				toA = bboxA.Area() < bboxB.Area()
+			default:
+				toA = len(groupA) <= len(groupB)
+			}
+		}
+		if toA {
+			groupA = append(groupA, e)
+			bboxA = bboxA.Union(e.bbox)
+		} else {
+			groupB = append(groupB, e)
+			bboxB = bboxB.Union(e.bbox)
+		}
+	}
+
+	n.entries = groupA
+	sibling := &node{leaf: n.leaf, entries: groupB}
+	return entry{bbox: bboxB, child: sibling}
+}
+
+func nodeBBox(n *node) geo.Rect {
+	b := n.entries[0].bbox
+	for _, e := range n.entries[1:] {
+		b = b.Union(e.bbox)
+	}
+	return b
+}
+
+// Search calls fn for every stored (id, rect) whose rectangle intersects
+// q, stopping early if fn returns false.
+func (t *Tree) Search(q geo.Rect, fn func(id uint64, r geo.Rect) bool) {
+	t.search(t.root, q, fn)
+}
+
+func (t *Tree) search(n *node, q geo.Rect, fn func(uint64, geo.Rect) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.bbox.Intersects(q) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.id, e.bbox) {
+				return false
+			}
+		} else if !t.search(e.child, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchPoint calls fn for every stored entry whose rectangle contains p.
+func (t *Tree) SearchPoint(p geo.Point, fn func(id uint64, r geo.Rect) bool) {
+	t.Search(geo.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, fn)
+}
+
+// Delete removes one entry matching id whose stored rectangle equals r.
+// It reports whether an entry was removed. Underfull nodes are condensed:
+// their remaining entries are reinserted, per Guttman.
+func (t *Tree) Delete(id uint64, r geo.Rect) bool {
+	var orphans []entry
+	removed := t.condense(t.root, id, r, &orphans)
+	if !removed {
+		return false
+	}
+	t.size--
+
+	// Shrink the root if it lost all but one child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+
+	// Reinsert orphaned entries. Leaf orphans reinsert normally; orphaned
+	// subtrees reinsert their leaves.
+	for _, e := range orphans {
+		if e.child == nil {
+			t.insertEntry(e)
+		} else {
+			t.reinsertSubtree(e.child)
+		}
+	}
+	return true
+}
+
+func (t *Tree) reinsertSubtree(n *node) {
+	if n.leaf {
+		for _, e := range n.entries {
+			t.insertEntry(e)
+		}
+		return
+	}
+	for _, e := range n.entries {
+		t.reinsertSubtree(e.child)
+	}
+}
+
+// condense removes (id, r) from the subtree rooted at n, collecting
+// entries of underfull nodes into orphans.
+func (t *Tree) condense(n *node, id uint64, r geo.Rect, orphans *[]entry) bool {
+	if n.leaf {
+		for i := range n.entries {
+			if n.entries[i].id == id && n.entries[i].bbox == r {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.bbox.Intersects(r) {
+			continue
+		}
+		if !t.condense(e.child, id, r, orphans) {
+			continue
+		}
+		if len(e.child.entries) < t.minFill {
+			// Orphan the underfull child's entries for reinsertion.
+			for _, ce := range e.child.entries {
+				*orphans = append(*orphans, ce)
+			}
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			e.bbox = nodeBBox(e.child)
+		}
+		return true
+	}
+	return false
+}
+
+// Nearest returns up to k entries whose rectangles are nearest to p
+// (MinDist order), using best-first search over a priority queue.
+func (t *Tree) Nearest(p geo.Point, k int) []NearestResult {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	pq := &distQueue{}
+	heap.Init(pq)
+	heap.Push(pq, distItem{node: t.root, dist: 0})
+
+	var out []NearestResult
+	for pq.Len() > 0 && len(out) < k {
+		it := heap.Pop(pq).(distItem)
+		if it.node != nil {
+			for i := range it.node.entries {
+				e := &it.node.entries[i]
+				d := e.bbox.MinDist(p)
+				if e.child != nil {
+					heap.Push(pq, distItem{node: e.child, dist: d})
+				} else {
+					heap.Push(pq, distItem{leafEntry: e, dist: d})
+				}
+			}
+			continue
+		}
+		out = append(out, NearestResult{ID: it.leafEntry.id, Rect: it.leafEntry.bbox, Dist: it.dist})
+	}
+	return out
+}
+
+// NearestResult is one hit of a nearest-neighbor search.
+type NearestResult struct {
+	ID   uint64
+	Rect geo.Rect
+	Dist float64
+}
+
+type distItem struct {
+	node      *node
+	leafEntry *entry
+	dist      float64
+}
+
+type distQueue []distItem
+
+func (q distQueue) Len() int            { return len(q) }
+func (q distQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q distQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *distQueue) Push(x interface{}) { *q = append(*q, x.(distItem)) }
+func (q *distQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// CheckInvariants validates structural invariants (for tests): bounding
+// boxes tight, fill bounds respected (root exempt), uniform leaf depth.
+// It returns an error describing the first violation found.
+func (t *Tree) CheckInvariants() error {
+	depth := -1
+	var walk func(n *node, level int, isRoot bool) error
+	walk = func(n *node, level int, isRoot bool) error {
+		if !isRoot && len(n.entries) < t.minFill {
+			return fmt.Errorf("node at level %d underfull: %d < %d", level, len(n.entries), t.minFill)
+		}
+		if len(n.entries) > t.maxFill {
+			return fmt.Errorf("node at level %d overfull: %d > %d", level, len(n.entries), t.maxFill)
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("leaf at level %d, expected %d", level, depth)
+			}
+			return nil
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child == nil {
+				return fmt.Errorf("internal entry without child at level %d", level)
+			}
+			if got := nodeBBox(e.child); got != e.bbox {
+				return fmt.Errorf("stale bbox at level %d: have %v want %v", level, e.bbox, got)
+			}
+			if err := walk(e.child, level+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0, true)
+}

@@ -1,0 +1,287 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+func TestNewWithFanoutPanics(t *testing.T) {
+	for _, tc := range []struct{ max, min int }{
+		{16, 1},
+		{16, 9},
+		{4, 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWithFanout(%d,%d) should panic", tc.max, tc.min)
+				}
+			}()
+			NewWithFanout(tc.max, tc.min)
+		}()
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New()
+	tr.Insert(1, geo.R(0, 0, 1, 1))
+	tr.Insert(2, geo.R(2, 2, 3, 3))
+	tr.Insert(3, geo.R(0.5, 0.5, 2.5, 2.5))
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+
+	var got []uint64
+	tr.Search(geo.R(0.9, 0.9, 1.1, 1.1), func(id uint64, _ geo.Rect) bool {
+		got = append(got, id)
+		return true
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Search = %v, want [1 3]", got)
+	}
+
+	var hits []uint64
+	tr.SearchPoint(geo.Pt(2.6, 2.6), func(id uint64, _ geo.Rect) bool {
+		hits = append(hits, id)
+		return true
+	})
+	if len(hits) != 1 || hits[0] != 2 {
+		t.Errorf("SearchPoint = %v, want [2]", hits)
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i, geo.R(0, 0, 1, 1))
+	}
+	n := 0
+	tr.Search(geo.R(0, 0, 1, 1), func(uint64, geo.Rect) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestInvariantsUnderInsertion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := NewWithFanout(8, 4)
+	for i := uint64(0); i < 2000; i++ {
+		c := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		tr.Insert(i, geo.RectAt(c, rng.Float64()*5))
+		if i%211 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestSearchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New()
+	type rec struct {
+		id uint64
+		r  geo.Rect
+	}
+	var all []rec
+	for i := uint64(0); i < 1000; i++ {
+		r := geo.RectAt(geo.Pt(rng.Float64()*50, rng.Float64()*50), rng.Float64()*3)
+		all = append(all, rec{i, r})
+		tr.Insert(i, r)
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geo.RectAt(geo.Pt(rng.Float64()*50, rng.Float64()*50), rng.Float64()*10)
+		want := map[uint64]bool{}
+		for _, rc := range all {
+			if rc.r.Intersects(q) {
+				want[rc.id] = true
+			}
+		}
+		got := map[uint64]bool{}
+		tr.Search(q, func(id uint64, _ geo.Rect) bool {
+			got[id] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d hits, want %d", trial, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("trial %d: missing id %d", trial, id)
+			}
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := NewWithFanout(8, 4)
+	rects := map[uint64]geo.Rect{}
+	rng := rand.New(rand.NewSource(3))
+	for i := uint64(0); i < 500; i++ {
+		r := geo.RectAt(geo.Pt(rng.Float64()*50, rng.Float64()*50), rng.Float64()*2)
+		rects[i] = r
+		tr.Insert(i, r)
+	}
+
+	// Delete half, verifying invariants as we go.
+	for i := uint64(0); i < 250; i++ {
+		if !tr.Delete(i, rects[i]) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+		if i%37 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after deleting %d: %v", i, err)
+			}
+		}
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Deleted entries are gone; survivors remain findable.
+	for i := uint64(0); i < 500; i++ {
+		found := false
+		tr.Search(rects[i], func(id uint64, r geo.Rect) bool {
+			if id == i && r == rects[i] {
+				found = true
+				return false
+			}
+			return true
+		})
+		if want := i >= 250; found != want {
+			t.Fatalf("id %d: found=%v want=%v", i, found, want)
+		}
+	}
+	// Deleting a missing entry fails cleanly.
+	if tr.Delete(0, rects[0]) {
+		t.Error("double delete succeeded")
+	}
+	if tr.Delete(999, geo.R(0, 0, 1, 1)) {
+		t.Error("deleting unknown id succeeded")
+	}
+}
+
+func TestDeleteToEmptyAndReuse(t *testing.T) {
+	tr := NewWithFanout(4, 2)
+	r := geo.R(0, 0, 1, 1)
+	for i := uint64(0); i < 100; i++ {
+		tr.Insert(i, r)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if !tr.Delete(i, r) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The emptied tree must accept new entries.
+	tr.Insert(7, r)
+	n := 0
+	tr.Search(r, func(uint64, geo.Rect) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("reused tree search hits = %d", n)
+	}
+}
+
+func TestMixedInsertDeleteRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := NewWithFanout(8, 4)
+	live := map[uint64]geo.Rect{}
+	next := uint64(0)
+	for op := 0; op < 3000; op++ {
+		if len(live) == 0 || rng.Float64() < 0.6 {
+			r := geo.RectAt(geo.Pt(rng.Float64()*20, rng.Float64()*20), rng.Float64())
+			tr.Insert(next, r)
+			live[next] = r
+			next++
+		} else {
+			// Delete a random live id.
+			var id uint64
+			for id = range live {
+				break
+			}
+			if !tr.Delete(id, live[id]) {
+				t.Fatalf("op %d: delete %d failed", op, id)
+			}
+			delete(live, id)
+		}
+		if op%503 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("op %d: Len=%d live=%d", op, tr.Len(), len(live))
+			}
+		}
+	}
+	// Final full cross-check.
+	got := map[uint64]bool{}
+	tr.Search(geo.R(-100, -100, 100, 100), func(id uint64, _ geo.Rect) bool {
+		got[id] = true
+		return true
+	})
+	if len(got) != len(live) {
+		t.Fatalf("final: got %d, want %d", len(got), len(live))
+	}
+	for id := range live {
+		if !got[id] {
+			t.Fatalf("final: missing %d", id)
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(5))
+	type rec struct {
+		id uint64
+		r  geo.Rect
+	}
+	var all []rec
+	for i := uint64(0); i < 300; i++ {
+		r := geo.RectAt(geo.Pt(rng.Float64()*50, rng.Float64()*50), rng.Float64()*2)
+		all = append(all, rec{i, r})
+		tr.Insert(i, r)
+	}
+	for trial := 0; trial < 50; trial++ {
+		p := geo.Pt(rng.Float64()*50, rng.Float64()*50)
+		k := 1 + rng.Intn(10)
+		got := tr.Nearest(p, k)
+		if len(got) != k {
+			t.Fatalf("Nearest len = %d, want %d", len(got), k)
+		}
+		dists := make([]float64, len(all))
+		for i, rc := range all {
+			dists[i] = rc.r.MinDist(p)
+		}
+		sort.Float64s(dists)
+		for i := range got {
+			if d := got[i].Dist - dists[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("trial %d: dist[%d]=%v want %v", trial, i, got[i].Dist, dists[i])
+			}
+		}
+	}
+	if got := tr.Nearest(geo.Pt(0, 0), 0); got != nil {
+		t.Error("k=0 should return nil")
+	}
+	empty := New()
+	if got := empty.Nearest(geo.Pt(0, 0), 5); got != nil {
+		t.Error("empty tree should return nil")
+	}
+}

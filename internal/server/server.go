@@ -1,0 +1,444 @@
+// Package server implements the location-aware server: a TCP front end
+// over the incremental query processor (internal/core) with periodic bulk
+// evaluation, per-query update streaming, durable commits through the
+// repository, and the paper's out-of-sync client protocol.
+//
+// Protocol summary (see internal/wire):
+//
+//   - Clients push MsgObjectReport and MsgQueryReport; reports are
+//     buffered and evaluated in bulk every evaluation interval.
+//   - After each evaluation the server pushes one MsgUpdateBatch per
+//     subscribed connection carrying only the positive/negative updates of
+//     that connection's queries.
+//   - MsgCommit acknowledges the stream; if the client's answer checksum
+//     matches the server's current answer, the answer is committed (and
+//     persisted), otherwise the server heals the client with a
+//     MsgFullAnswer.
+//   - MsgWakeup reconnects an out-of-sync client: if its checksum matches
+//     the committed answer the server replies with the incremental
+//     MsgRecoveryDiff, otherwise with a complete MsgFullAnswer.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+	"cqp/internal/repository"
+	"cqp/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine configures the underlying query processor. Required.
+	Engine core.Options
+
+	// Interval is the bulk-evaluation period Δt (the paper evaluates
+	// every 5 seconds; tests use milliseconds). Zero disables the
+	// automatic ticker; evaluation then happens only through Evaluate,
+	// which tests use for determinism.
+	Interval time.Duration
+
+	// RepositoryDir enables durable commit persistence and location
+	// history when non-empty.
+	RepositoryDir string
+
+	// Logger receives connection-level errors. Defaults to the standard
+	// logger.
+	Logger *log.Logger
+}
+
+// Server is a running location-aware server. Create with Listen, stop
+// with Close.
+type Server struct {
+	mu       sync.Mutex
+	engine   *core.Engine
+	repo     *repository.Repository // nil when persistence is disabled
+	subs     map[core.QueryID]*session
+	sessions map[*session]struct{}
+
+	ln       net.Listener
+	logger   *log.Logger
+	interval time.Duration
+	start    time.Time
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// session is one client connection.
+type session struct {
+	conn net.Conn
+	w    *wire.Writer
+	dead bool
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, cfg Config) (*Server, error) {
+	engine, err := core.NewEngine(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	var repo *repository.Repository
+	if cfg.RepositoryDir != "" {
+		repo, err = repository.Open(cfg.RepositoryDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		if repo != nil {
+			repo.Close()
+		}
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{
+		engine:   engine,
+		repo:     repo,
+		subs:     make(map[core.QueryID]*session),
+		sessions: make(map[*session]struct{}),
+		ln:       ln,
+		logger:   logger,
+		interval: cfg.Interval,
+		start:    time.Now(),
+		closed:   make(chan struct{}),
+	}
+	// Restore the stationary-object catalog (gas stations, hospitals, ...)
+	// from the repository: stationary objects do not re-report after a
+	// restart the way moving clients do.
+	if repo != nil {
+		err := repo.VisitStationary(func(id core.ObjectID, loc geo.Point) bool {
+			engine.ReportObject(core.ObjectUpdate{ID: id, Kind: core.Stationary, Loc: loc})
+			return true
+		})
+		if err != nil {
+			ln.Close()
+			repo.Close()
+			return nil, err
+		}
+		engine.Step(0)
+	}
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+	if s.interval > 0 {
+		s.wg.Add(1)
+		go s.tickLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting connections, terminates all sessions, and closes
+// the repository. It is idempotent.
+func (s *Server) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		err = s.ln.Close()
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		if s.repo != nil {
+			if rerr := s.repo.Close(); err == nil {
+				err = rerr
+			}
+		}
+	})
+	return err
+}
+
+// now returns the server clock in seconds since start.
+func (s *Server) now() float64 { return time.Since(s.start).Seconds() }
+
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.Evaluate()
+		}
+	}
+}
+
+// Evaluate runs one bulk evaluation step and streams the resulting
+// incremental updates to subscribed clients. It returns the number of
+// updates produced. Exposed for tests and for Interval == 0 setups.
+func (s *Server) Evaluate() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evaluateLocked()
+}
+
+func (s *Server) evaluateLocked() int {
+	now := s.now()
+	updates := s.engine.Step(now)
+	if len(updates) == 0 {
+		return 0
+	}
+	// Group per destination session.
+	perSession := make(map[*session][]core.Update)
+	for _, u := range updates {
+		sess, ok := s.subs[u.Query]
+		if !ok || sess.dead {
+			continue
+		}
+		perSession[sess] = append(perSession[sess], u)
+	}
+	for sess, batch := range perSession {
+		s.send(sess, wire.UpdateBatch{Time: now, Updates: batch})
+	}
+	return len(updates)
+}
+
+// send writes a message to a session, marking it dead on failure. Caller
+// holds s.mu.
+func (s *Server) send(sess *session, m wire.Message) {
+	if sess.dead {
+		return
+	}
+	sess.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if err := sess.w.Write(m); err != nil {
+		sess.dead = true
+		sess.conn.Close()
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.logger.Printf("server: accept: %v", err)
+			continue
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	sess := &session{conn: conn, w: wire.NewWriter(conn)}
+	s.mu.Lock()
+	s.sessions[sess] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+	}()
+	r := wire.NewReader(conn)
+	for {
+		msg, err := r.Read()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				select {
+				case <-s.closed:
+				default:
+					s.logger.Printf("server: read from %v: %v", conn.RemoteAddr(), err)
+				}
+			}
+			return
+		}
+		s.handleMessage(sess, msg)
+	}
+}
+
+func (s *Server) handleMessage(sess *session, msg wire.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m := msg.(type) {
+	case wire.ObjectReport:
+		s.engine.ReportObject(m.Update)
+		if s.repo != nil {
+			s.persistObjectReport(m.Update)
+		}
+	case wire.QueryReport:
+		s.engine.ReportQuery(m.Update)
+		if m.Update.Remove {
+			delete(s.subs, m.Update.ID)
+			if s.repo != nil {
+				if err := s.repo.CommitAnswer(m.Update.ID, nil); err != nil {
+					s.logger.Printf("server: erase commit: %v", err)
+				}
+			}
+		} else {
+			s.subs[m.Update.ID] = sess
+		}
+	case wire.Commit:
+		s.handleCommit(sess, m)
+	case wire.Wakeup:
+		s.handleWakeup(sess, m)
+	case wire.StatsRequest:
+		s.send(sess, wire.StatsResponse{
+			Stats:   s.engine.Stats(),
+			Objects: uint32(s.engine.NumObjects()),
+			Queries: uint32(s.engine.NumQueries()),
+			Uptime:  s.now(),
+		})
+	default:
+		s.logger.Printf("server: unexpected message %T from client", msg)
+	}
+}
+
+// handleCommit processes a client acknowledgment: commit when the
+// checksums agree, heal with a full answer when they do not (the rare
+// in-flight-updates race). Caller holds s.mu.
+func (s *Server) handleCommit(sess *session, m wire.Commit) {
+	// Apply pending reports first so the commit sees the answer the
+	// client reconstructed.
+	if s.engine.Pending() > 0 {
+		s.evaluateLocked()
+	}
+	current, ok := s.engine.AnswerChecksum(m.Query)
+	if !ok {
+		return // unknown query: nothing to commit
+	}
+	if current != m.Checksum {
+		s.sendFullAnswer(sess, m.Query)
+		return
+	}
+	s.engine.Commit(m.Query)
+	s.persistCommit(m.Query)
+	s.send(sess, wire.CommitAck{Query: m.Query, Checksum: m.Checksum})
+}
+
+// handleWakeup processes an out-of-sync client reconnection. Caller
+// holds s.mu.
+func (s *Server) handleWakeup(sess *session, m wire.Wakeup) {
+	q := m.Update.ID
+	s.subs[q] = sess
+
+	if _, known := s.engine.Answer(q); !known {
+		// Server restarted (or never saw the query): re-register from the
+		// definition carried by the wakeup, evaluate, and seed the
+		// committed answer from the repository if we have one.
+		s.engine.ReportQuery(m.Update)
+		s.evaluateLocked()
+		if s.repo != nil {
+			if committed, ok := s.repo.Committed(q); ok {
+				s.engine.SeedCommitted(q, committed)
+			}
+		}
+	} else if s.engine.Pending() > 0 {
+		// Make sure the diff reflects every buffered report.
+		s.evaluateLocked()
+	}
+
+	committedCk, ok := s.engine.CommittedChecksum(q)
+	if !ok {
+		// Registration raced with removal; treat as a fresh, empty query.
+		s.send(sess, wire.FullAnswer{Query: q, Time: s.now()})
+		return
+	}
+	if committedCk != m.Checksum {
+		// The client's rolled-back answer does not match what we committed:
+		// fall back to the complete answer (the naive path), which is
+		// always correct.
+		s.sendFullAnswer(sess, q)
+		return
+	}
+	diff, _ := s.engine.Recover(q)
+	s.persistCommit(q)
+	s.send(sess, wire.RecoveryDiff{Time: s.now(), Updates: diff})
+}
+
+// sendFullAnswer ships the complete current answer and commits it.
+// Caller holds s.mu.
+func (s *Server) sendFullAnswer(sess *session, q core.QueryID) {
+	answer, ok := s.engine.Answer(q)
+	if !ok {
+		answer = nil
+	}
+	s.engine.Commit(q)
+	s.persistCommit(q)
+	s.send(sess, wire.FullAnswer{Query: q, Time: s.now(), Objects: answer})
+}
+
+// persistObjectReport archives a location report and keeps the durable
+// stationary catalog current. Caller holds s.mu.
+func (s *Server) persistObjectReport(u core.ObjectUpdate) {
+	switch {
+	case u.Remove:
+		if _, err := s.repo.DeleteStationary(u.ID); err != nil {
+			s.logger.Printf("server: delete stationary: %v", err)
+		}
+	case u.Kind == core.Stationary:
+		if err := s.repo.PutStationary(u.ID, u.Loc); err != nil {
+			s.logger.Printf("server: catalog stationary: %v", err)
+		}
+	default:
+		if err := s.repo.AppendLocation(repository.LocationRecord{
+			ID: u.ID, Loc: u.Loc, T: u.T,
+		}); err != nil {
+			s.logger.Printf("server: archive location: %v", err)
+		}
+	}
+}
+
+// persistCommit mirrors the engine's committed answer into the
+// repository. Caller holds s.mu.
+func (s *Server) persistCommit(q core.QueryID) {
+	if s.repo == nil {
+		return
+	}
+	committed, ok := s.engine.CommittedAnswer(q)
+	if !ok {
+		return
+	}
+	if err := s.repo.CommitAnswer(q, committed); err != nil {
+		s.logger.Printf("server: persist commit: %v", err)
+	}
+}
+
+// Stats exposes the engine's counters (for monitoring and tests).
+func (s *Server) Stats() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Stats()
+}
+
+// NumObjects returns the engine's registered object count.
+func (s *Server) NumObjects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.NumObjects()
+}
+
+// NumQueries returns the engine's registered query count.
+func (s *Server) NumQueries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.NumQueries()
+}

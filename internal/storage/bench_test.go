@@ -1,0 +1,87 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func BenchmarkPageInsert(b *testing.B) {
+	rec := make([]byte, 64)
+	p := newBenchPage()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Insert(rec); err != nil {
+			p.Init()
+		}
+	}
+}
+
+func newBenchPage() *Page {
+	p := PageFrom(make([]byte, PageSize))
+	p.Init()
+	return p
+}
+
+func BenchmarkLogAppend(b *testing.B) {
+	l, err := OpenLog(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := make([]byte, 128)
+	b.SetBytes(int64(len(rec) + logFrameHeader))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapFileInsert(b *testing.B) {
+	h, err := OpenHeapFile(filepath.Join(b.TempDir(), "bench.heap"), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	rec := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt, err := OpenBTree(filepath.Join(b.TempDir(), "bench.bt"), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bt.Close()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bt.Insert(rng.Uint64(), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	bt, err := OpenBTree(filepath.Join(b.TempDir(), "search.bt"), 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bt.Close()
+	const n = 200000
+	for i := uint64(0); i < n; i++ {
+		bt.Insert(i, i)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Search(uint64(rng.Intn(n)), func(uint64) bool { return true })
+	}
+}

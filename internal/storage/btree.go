@@ -1,0 +1,481 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// BTree is a disk-paged B+tree mapping uint64 keys to uint64 values,
+// built on the buffer pool. Duplicate keys are allowed; values of equal
+// keys are returned in unspecified order. The tree is insert-and-scan
+// only — it indexes the repository's append-only location archive (the
+// paper's object index), which never deletes — and is durable across
+// reopen via its meta page.
+//
+// Page layout (little endian):
+//
+//	meta page (page 0):
+//	  magic uint32 | root uint32 | height uint32 | entries uint64
+//	leaf page:
+//	  flags uint16 (1) | count uint16 | next uint32 | [key uint64, value uint64]*
+//	internal page:
+//	  flags uint16 (0) | count uint16 | _ uint32 |
+//	  child0 uint32 | [key uint64, child uint32]*
+//
+// An internal node with count = n separator keys has n+1 children; keys
+// ≥ separator i descend into child i+1.
+type BTree struct {
+	bp *BufferPool
+
+	root    PageID
+	height  uint32
+	entries uint64
+}
+
+const (
+	btreeMagic      = 0xB7EE0001
+	btreeHeaderSize = 8
+
+	// Capacities leave room for one transient overflow entry: insertion
+	// places the new entry first and splits after.
+	leafEntrySize     = 16
+	leafCapacity      = (PageSize-btreeHeaderSize)/leafEntrySize - 1 // 254
+	internalEntrySize = 12
+	internalCapacity  = (PageSize-btreeHeaderSize-4)/internalEntrySize - 1 // 339
+)
+
+// ErrCorruptIndex reports an invalid meta page.
+var ErrCorruptIndex = errors.New("storage: corrupt btree index")
+
+// OpenBTree opens (or creates) a B+tree at path with a buffer pool of
+// poolPages frames.
+func OpenBTree(path string, poolPages int) (*BTree, error) {
+	file, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open btree: %w", err)
+	}
+	bp, err := NewBufferPool(file, poolPages)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	t := &BTree{bp: bp}
+	if bp.NumPages() == 0 {
+		// Fresh index: meta page + empty root leaf.
+		meta, err := bp.Allocate()
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+		rootFrame, err := bp.Allocate()
+		if err != nil {
+			bp.Unpin(meta, true)
+			file.Close()
+			return nil, err
+		}
+		t.root = rootFrame.ID()
+		t.height = 1
+		initLeaf(rootFrame.Bytes())
+		bp.Unpin(rootFrame, true)
+		t.writeMeta(meta.Bytes())
+		bp.Unpin(meta, true)
+		return t, nil
+	}
+	meta, err := bp.Fetch(0)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	defer bp.Unpin(meta, false)
+	b := meta.Bytes()
+	if binary.LittleEndian.Uint32(b[0:]) != btreeMagic {
+		file.Close()
+		return nil, ErrCorruptIndex
+	}
+	t.root = PageID(binary.LittleEndian.Uint32(b[4:]))
+	t.height = binary.LittleEndian.Uint32(b[8:])
+	t.entries = binary.LittleEndian.Uint64(b[12:])
+	if t.root == 0 || t.root >= bp.NumPages() || t.height == 0 {
+		file.Close()
+		return nil, ErrCorruptIndex
+	}
+	return t, nil
+}
+
+func (t *BTree) writeMeta(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], btreeMagic)
+	binary.LittleEndian.PutUint32(b[4:], uint32(t.root))
+	binary.LittleEndian.PutUint32(b[8:], t.height)
+	binary.LittleEndian.PutUint64(b[12:], t.entries)
+}
+
+func (t *BTree) syncMeta() error {
+	meta, err := t.bp.Fetch(0)
+	if err != nil {
+		return err
+	}
+	t.writeMeta(meta.Bytes())
+	t.bp.Unpin(meta, true)
+	return nil
+}
+
+// Close flushes and closes the backing file.
+func (t *BTree) Close() error {
+	if err := t.syncMeta(); err != nil {
+		t.bp.file.Close()
+		return err
+	}
+	if err := t.bp.FlushAll(); err != nil {
+		t.bp.file.Close()
+		return err
+	}
+	return t.bp.file.Close()
+}
+
+// Sync flushes dirty pages (including the meta page) to disk.
+func (t *BTree) Sync() error {
+	if err := t.syncMeta(); err != nil {
+		return err
+	}
+	return t.bp.FlushAll()
+}
+
+// Len returns the number of stored entries.
+func (t *BTree) Len() int { return int(t.entries) }
+
+// Height returns the tree height (1 = a single leaf).
+func (t *BTree) Height() int { return int(t.height) }
+
+// --- node accessors --------------------------------------------------------
+
+func initLeaf(b []byte) {
+	for i := range b[:btreeHeaderSize] {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint16(b[0:], 1) // leaf flag
+}
+
+func initInternal(b []byte) {
+	for i := range b[:btreeHeaderSize] {
+		b[i] = 0
+	}
+}
+
+func nodeIsLeaf(b []byte) bool { return binary.LittleEndian.Uint16(b[0:])&1 == 1 }
+func nodeCount(b []byte) int   { return int(binary.LittleEndian.Uint16(b[2:])) }
+func setNodeCount(b []byte, n int) {
+	binary.LittleEndian.PutUint16(b[2:], uint16(n))
+}
+func leafNext(b []byte) PageID { return PageID(binary.LittleEndian.Uint32(b[4:])) }
+func setLeafNext(b []byte, p PageID) {
+	binary.LittleEndian.PutUint32(b[4:], uint32(p))
+}
+
+func leafKey(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[btreeHeaderSize+i*leafEntrySize:])
+}
+func leafValue(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[btreeHeaderSize+i*leafEntrySize+8:])
+}
+func setLeafEntry(b []byte, i int, key, value uint64) {
+	binary.LittleEndian.PutUint64(b[btreeHeaderSize+i*leafEntrySize:], key)
+	binary.LittleEndian.PutUint64(b[btreeHeaderSize+i*leafEntrySize+8:], value)
+}
+
+func internalChild(b []byte, i int) PageID {
+	if i == 0 {
+		return PageID(binary.LittleEndian.Uint32(b[btreeHeaderSize:]))
+	}
+	off := btreeHeaderSize + 4 + (i-1)*internalEntrySize + 8
+	return PageID(binary.LittleEndian.Uint32(b[off:]))
+}
+func internalKey(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[btreeHeaderSize+4+i*internalEntrySize:])
+}
+func setInternalChild0(b []byte, p PageID) {
+	binary.LittleEndian.PutUint32(b[btreeHeaderSize:], uint32(p))
+}
+func setInternalEntry(b []byte, i int, key uint64, child PageID) {
+	off := btreeHeaderSize + 4 + i*internalEntrySize
+	binary.LittleEndian.PutUint64(b[off:], key)
+	binary.LittleEndian.PutUint32(b[off+8:], uint32(child))
+}
+
+// --- insertion ---------------------------------------------------------------
+
+// splitResult propagates a split upward: a new right sibling and the
+// separator key that divides it from the left node.
+type splitResult struct {
+	sep   uint64
+	right PageID
+}
+
+// Insert adds one (key, value) entry.
+func (t *BTree) Insert(key, value uint64) error {
+	split, err := t.insert(t.root, int(t.height), key, value)
+	if err != nil {
+		return err
+	}
+	if split != nil {
+		// Grow a new root.
+		rootFrame, err := t.bp.Allocate()
+		if err != nil {
+			return err
+		}
+		b := rootFrame.Bytes()
+		initInternal(b)
+		setInternalChild0(b, t.root)
+		setInternalEntry(b, 0, split.sep, split.right)
+		setNodeCount(b, 1)
+		t.root = rootFrame.ID()
+		t.height++
+		t.bp.Unpin(rootFrame, true)
+	}
+	t.entries++
+	return nil
+}
+
+func (t *BTree) insert(page PageID, level int, key, value uint64) (*splitResult, error) {
+	frame, err := t.bp.Fetch(page)
+	if err != nil {
+		return nil, err
+	}
+	b := frame.Bytes()
+
+	if level == 1 {
+		if !nodeIsLeaf(b) {
+			t.bp.Unpin(frame, false)
+			return nil, fmt.Errorf("%w: expected leaf at page %d", ErrCorruptIndex, page)
+		}
+		split, err := t.insertIntoLeaf(frame, key, value)
+		t.bp.Unpin(frame, true)
+		return split, err
+	}
+
+	// Descend: child i+1 holds keys ≥ separator i.
+	n := nodeCount(b)
+	idx := 0
+	for idx < n && key >= internalKey(b, idx) {
+		idx++
+	}
+	child := internalChild(b, idx)
+	t.bp.Unpin(frame, false)
+
+	split, err := t.insert(child, level-1, key, value)
+	if err != nil || split == nil {
+		return nil, err
+	}
+
+	// Insert the separator into this node.
+	frame, err = t.bp.Fetch(page)
+	if err != nil {
+		return nil, err
+	}
+	b = frame.Bytes()
+	n = nodeCount(b)
+	pos := 0
+	for pos < n && split.sep >= internalKey(b, pos) {
+		pos++
+	}
+	// Shift entries right.
+	start := btreeHeaderSize + 4
+	copy(b[start+(pos+1)*internalEntrySize:start+(n+1)*internalEntrySize],
+		b[start+pos*internalEntrySize:start+n*internalEntrySize])
+	setInternalEntry(b, pos, split.sep, split.right)
+	setNodeCount(b, n+1)
+
+	var up *splitResult
+	if n+1 > internalCapacity {
+		up, err = t.splitInternal(frame)
+		if err != nil {
+			t.bp.Unpin(frame, true)
+			return nil, err
+		}
+	}
+	t.bp.Unpin(frame, true)
+	return up, nil
+}
+
+func (t *BTree) insertIntoLeaf(frame *Frame, key, value uint64) (*splitResult, error) {
+	b := frame.Bytes()
+	n := nodeCount(b)
+	pos := 0
+	for pos < n && key >= leafKey(b, pos) {
+		pos++
+	}
+	copy(b[btreeHeaderSize+(pos+1)*leafEntrySize:btreeHeaderSize+(n+1)*leafEntrySize],
+		b[btreeHeaderSize+pos*leafEntrySize:btreeHeaderSize+n*leafEntrySize])
+	setLeafEntry(b, pos, key, value)
+	setNodeCount(b, n+1)
+	if n+1 <= leafCapacity {
+		return nil, nil
+	}
+	return t.splitLeaf(frame)
+}
+
+func (t *BTree) splitLeaf(frame *Frame) (*splitResult, error) {
+	b := frame.Bytes()
+	n := nodeCount(b)
+	mid := n / 2
+	rightFrame, err := t.bp.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	rb := rightFrame.Bytes()
+	initLeaf(rb)
+	copy(rb[btreeHeaderSize:], b[btreeHeaderSize+mid*leafEntrySize:btreeHeaderSize+n*leafEntrySize])
+	setNodeCount(rb, n-mid)
+	setLeafNext(rb, leafNext(b))
+	setLeafNext(b, rightFrame.ID())
+	setNodeCount(b, mid)
+	sep := leafKey(rb, 0)
+	right := rightFrame.ID()
+	t.bp.Unpin(rightFrame, true)
+	return &splitResult{sep: sep, right: right}, nil
+}
+
+func (t *BTree) splitInternal(frame *Frame) (*splitResult, error) {
+	b := frame.Bytes()
+	n := nodeCount(b)
+	mid := n / 2 // separator at mid moves up
+	rightFrame, err := t.bp.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	rb := rightFrame.Bytes()
+	initInternal(rb)
+	sep := internalKey(b, mid)
+	setInternalChild0(rb, internalChild(b, mid+1))
+	for i := mid + 1; i < n; i++ {
+		setInternalEntry(rb, i-mid-1, internalKey(b, i), internalChild(b, i+1))
+	}
+	setNodeCount(rb, n-mid-1)
+	setNodeCount(b, mid)
+	right := rightFrame.ID()
+	t.bp.Unpin(rightFrame, true)
+	return &splitResult{sep: sep, right: right}, nil
+}
+
+// --- lookup ------------------------------------------------------------------
+
+// findLeaf descends to the first leaf that may contain key.
+func (t *BTree) findLeaf(key uint64) (PageID, error) {
+	page := t.root
+	for level := int(t.height); level > 1; level-- {
+		frame, err := t.bp.Fetch(page)
+		if err != nil {
+			return 0, err
+		}
+		b := frame.Bytes()
+		n := nodeCount(b)
+		idx := 0
+		// For lookups we descend left of equal separators so duplicates
+		// that straddle a split are not missed: child i holds keys <
+		// separator i, and a separator equals the first key of the right
+		// sibling.
+		for idx < n && key >= internalKey(b, idx) {
+			idx++
+		}
+		// Back up past every separator equal to key: duplicates of a key
+		// may span several leaves, producing repeated separators, and the
+		// scan must start at the leftmost.
+		for idx > 0 && internalKey(b, idx-1) == key {
+			idx--
+		}
+		page = internalChild(b, idx)
+		t.bp.Unpin(frame, false)
+	}
+	return page, nil
+}
+
+// Search calls fn with every value stored under key, stopping early if
+// fn returns false.
+func (t *BTree) Search(key uint64, fn func(value uint64) bool) error {
+	return t.ScanRange(key, key, func(_, value uint64) bool { return fn(value) })
+}
+
+// ScanRange calls fn for every entry with lo ≤ key ≤ hi in ascending key
+// order, stopping early if fn returns false.
+func (t *BTree) ScanRange(lo, hi uint64, fn func(key, value uint64) bool) error {
+	page, err := t.findLeaf(lo)
+	if err != nil {
+		return err
+	}
+	for page != 0 {
+		frame, err := t.bp.Fetch(page)
+		if err != nil {
+			return err
+		}
+		b := frame.Bytes()
+		n := nodeCount(b)
+		for i := 0; i < n; i++ {
+			k := leafKey(b, i)
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				t.bp.Unpin(frame, false)
+				return nil
+			}
+			if !fn(k, leafValue(b, i)) {
+				t.bp.Unpin(frame, false)
+				return nil
+			}
+		}
+		next := leafNext(b)
+		t.bp.Unpin(frame, false)
+		page = next
+	}
+	return nil
+}
+
+// CheckInvariants validates ordering and linkage for tests: leaf keys
+// non-decreasing along the linked list, separator bounds respected, and
+// the entry count consistent.
+func (t *BTree) CheckInvariants() error {
+	// Walk the leaf chain from the leftmost leaf.
+	page, err := t.findLeaf(0)
+	if err != nil {
+		return err
+	}
+	var (
+		prev    uint64
+		first   = true
+		counted uint64
+	)
+	for page != 0 {
+		frame, err := t.bp.Fetch(page)
+		if err != nil {
+			return err
+		}
+		b := frame.Bytes()
+		if !nodeIsLeaf(b) {
+			t.bp.Unpin(frame, false)
+			return fmt.Errorf("leaf chain reached non-leaf page %d", page)
+		}
+		n := nodeCount(b)
+		for i := 0; i < n; i++ {
+			k := leafKey(b, i)
+			if !first && k < prev {
+				t.bp.Unpin(frame, false)
+				return fmt.Errorf("key order violation: %d after %d", k, prev)
+			}
+			prev, first = k, false
+			counted++
+		}
+		next := leafNext(b)
+		t.bp.Unpin(frame, false)
+		page = next
+	}
+	if counted != t.entries {
+		return fmt.Errorf("entries %d, counted %d", t.entries, counted)
+	}
+	return nil
+}
+
+// openRW opens a file read-write; a test helper for corruption injection.
+func openRW(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0)
+}

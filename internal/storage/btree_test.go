@@ -1,0 +1,257 @@
+package storage
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func openTestBTree(t *testing.T, path string) *BTree {
+	t.Helper()
+	bt, err := OpenBTree(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bt
+}
+
+func TestBTreeBasics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idx.bt")
+	bt := openTestBTree(t, path)
+	for i := uint64(0); i < 10; i++ {
+		if err := bt.Insert(i, i*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.Len() != 10 || bt.Height() != 1 {
+		t.Fatalf("Len=%d Height=%d", bt.Len(), bt.Height())
+	}
+	var got []uint64
+	bt.Search(5, func(v uint64) bool { got = append(got, v); return true })
+	if len(got) != 1 || got[0] != 500 {
+		t.Fatalf("Search(5) = %v", got)
+	}
+	got = nil
+	bt.Search(99, func(v uint64) bool { got = append(got, v); return true })
+	if len(got) != 0 {
+		t.Fatalf("Search(missing) = %v", got)
+	}
+	// Range scan.
+	var keys []uint64
+	bt.ScanRange(3, 7, func(k, v uint64) bool { keys = append(keys, k); return true })
+	if len(keys) != 5 || keys[0] != 3 || keys[4] != 7 {
+		t.Fatalf("ScanRange = %v", keys)
+	}
+	// Early stop.
+	n := 0
+	bt.ScanRange(0, 100, func(k, v uint64) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeSplitsAndOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.bt")
+	bt := openTestBTree(t, path)
+	rng := rand.New(rand.NewSource(1))
+	// Large enough that internal nodes split too (>339 leaves of 254
+	// entries), giving a height-3 tree.
+	const n = 120000
+	perm := rng.Perm(n)
+	for _, k := range perm {
+		if err := bt.Insert(uint64(k), uint64(k)*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.Len() != n {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	if bt.Height() < 3 {
+		t.Fatalf("internal nodes never split: height %d", bt.Height())
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Full ordered scan.
+	var prev uint64
+	count := 0
+	bt.ScanRange(0, ^uint64(0), func(k, v uint64) bool {
+		if count > 0 && k < prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if v != k*7 {
+			t.Fatalf("value mismatch at %d: %d", k, v)
+		}
+		prev = k
+		count++
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan saw %d of %d", count, n)
+	}
+	// Point lookups.
+	for trial := 0; trial < 200; trial++ {
+		k := uint64(rng.Intn(n))
+		found := false
+		bt.Search(k, func(v uint64) bool {
+			found = v == k*7
+			return false
+		})
+		if !found {
+			t.Fatalf("lookup %d failed", k)
+		}
+	}
+	bt.Close()
+}
+
+func TestBTreeDuplicateKeys(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dup.bt")
+	bt := openTestBTree(t, path)
+	// Heavy duplication: a few keys with many values, enough to split
+	// duplicate runs across leaves.
+	want := map[uint64]map[uint64]bool{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(7))
+		v := uint64(i)
+		if err := bt.Insert(k, v); err != nil {
+			t.Fatal(err)
+		}
+		if want[k] == nil {
+			want[k] = map[uint64]bool{}
+		}
+		want[k][v] = true
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range want {
+		got := map[uint64]bool{}
+		bt.Search(k, func(v uint64) bool { got[v] = true; return true })
+		if len(got) != len(vs) {
+			t.Fatalf("key %d: got %d values, want %d", k, len(got), len(vs))
+		}
+		for v := range vs {
+			if !got[v] {
+				t.Fatalf("key %d missing value %d", k, v)
+			}
+		}
+	}
+	bt.Close()
+}
+
+func TestBTreePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.bt")
+	bt := openTestBTree(t, path)
+	for i := uint64(0); i < 2000; i++ {
+		bt.Insert(i, i+1)
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	bt = openTestBTree(t, path)
+	defer bt.Close()
+	if bt.Len() != 2000 {
+		t.Fatalf("Len after reopen = %d", bt.Len())
+	}
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	bt.Search(1234, func(v uint64) bool { found = v == 1235; return false })
+	if !found {
+		t.Fatal("lookup after reopen failed")
+	}
+	// Inserts continue after reopen.
+	bt.Insert(99999, 1)
+	if bt.Len() != 2001 {
+		t.Fatalf("Len after post-reopen insert = %d", bt.Len())
+	}
+}
+
+func TestBTreeRandomAgainstOracle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "oracle.bt")
+	bt := openTestBTree(t, path)
+	defer bt.Close()
+	rng := rand.New(rand.NewSource(3))
+	type pair struct{ k, v uint64 }
+	var oracle []pair
+	for i := 0; i < 20000; i++ {
+		p := pair{uint64(rng.Intn(3000)), uint64(rng.Int63())}
+		oracle = append(oracle, p)
+		if err := bt.Insert(p.k, p.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Slice(oracle, func(i, j int) bool { return oracle[i].k < oracle[j].k })
+	if err := bt.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 50; trial++ {
+		lo := uint64(rng.Intn(3000))
+		hi := lo + uint64(rng.Intn(300))
+		wantCount := 0
+		var wantSum uint64
+		for _, p := range oracle {
+			if p.k >= lo && p.k <= hi {
+				wantCount++
+				wantSum += p.v
+			}
+		}
+		gotCount := 0
+		var gotSum uint64
+		bt.ScanRange(lo, hi, func(k, v uint64) bool {
+			gotCount++
+			gotSum += v
+			return true
+		})
+		if gotCount != wantCount || gotSum != wantSum {
+			t.Fatalf("range [%d,%d]: got %d/%d, want %d/%d", lo, hi, gotCount, gotSum, wantCount, wantSum)
+		}
+	}
+}
+
+func TestBTreeRejectsCorruptMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bt")
+	bt := openTestBTree(t, path)
+	bt.Insert(1, 1)
+	bt.Close()
+
+	// Clobber the magic.
+	f, err := openRW(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte{0xFF, 0xFF, 0xFF, 0xFF}, 0)
+	f.Close()
+	if _, err := OpenBTree(path, 4); err == nil {
+		t.Fatal("corrupt meta accepted")
+	}
+}
+
+func TestBTreeSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.bt")
+	bt := openTestBTree(t, path)
+	for i := uint64(0); i < 100; i++ {
+		bt.Insert(i, i)
+	}
+	if err := bt.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// After Sync (without Close) a second handle sees the data.
+	bt2, err := OpenBTree(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt2.Len() != 100 {
+		t.Fatalf("Len through second handle = %d", bt2.Len())
+	}
+	bt2.Close()
+	bt.Close()
+}

@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageID identifies a page within one backing file.
+type PageID uint32
+
+// BufferPool caches fixed-size pages of a backing file with LRU eviction
+// and pin counting. It is safe for concurrent use.
+type BufferPool struct {
+	mu       sync.Mutex
+	file     *os.File
+	capacity int
+	frames   map[PageID]*Frame
+	lru      *list.List // of PageID, front = most recent, only unpinned pages
+	numPages PageID
+}
+
+// Frame is one cached page. Access the contents through Page(); hold the
+// pin (and release with Unpin) for as long as the contents are used.
+type Frame struct {
+	id      PageID
+	buf     [PageSize]byte
+	pins    int
+	dirty   bool
+	lruElem *list.Element
+}
+
+// Page returns the frame's contents as a slotted page view.
+func (f *Frame) Page() *Page { return PageFrom(f.buf[:]) }
+
+// Bytes returns the raw page buffer.
+func (f *Frame) Bytes() []byte { return f.buf[:] }
+
+// ID returns the page number of the frame.
+func (f *Frame) ID() PageID { return f.id }
+
+// NewBufferPool opens a pool of `capacity` frames over file. The file's
+// current length defines the existing page count; a partial trailing page
+// is an error.
+func NewBufferPool(file *os.File, capacity int) (*BufferPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: buffer pool capacity must be positive, got %d", capacity)
+	}
+	st, err := file.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("storage: stat backing file: %w", err)
+	}
+	if st.Size()%PageSize != 0 {
+		return nil, fmt.Errorf("storage: backing file size %d is not a multiple of the page size", st.Size())
+	}
+	return &BufferPool{
+		file:     file,
+		capacity: capacity,
+		frames:   make(map[PageID]*Frame),
+		lru:      list.New(),
+		numPages: PageID(st.Size() / PageSize),
+	}, nil
+}
+
+// NumPages returns the number of pages in the backing file (including
+// cached, not yet flushed appends).
+func (bp *BufferPool) NumPages() PageID {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.numPages
+}
+
+// Allocate appends a zeroed page to the file and returns it pinned.
+func (bp *BufferPool) Allocate() (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	id := bp.numPages
+	bp.numPages++
+	f, err := bp.admit(id, false)
+	if err != nil {
+		bp.numPages--
+		return nil, err
+	}
+	PageFrom(f.buf[:]).Init()
+	f.dirty = true
+	return f, nil
+}
+
+// Fetch returns the page pinned, reading it from the file on a miss.
+func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if id >= bp.numPages {
+		return nil, fmt.Errorf("storage: fetch of page %d beyond end (%d pages)", id, bp.numPages)
+	}
+	return bp.admit(id, true)
+}
+
+// admit returns a pinned frame for id, loading from disk when load is
+// true and the page is not resident. Caller holds bp.mu.
+func (bp *BufferPool) admit(id PageID, load bool) (*Frame, error) {
+	if f, ok := bp.frames[id]; ok {
+		f.pins++
+		if f.lruElem != nil {
+			bp.lru.Remove(f.lruElem)
+			f.lruElem = nil
+		}
+		return f, nil
+	}
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, pins: 1}
+	if load {
+		_, err := bp.file.ReadAt(f.buf[:], int64(id)*PageSize)
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("storage: read page %d: %w", id, err)
+		}
+	}
+	bp.frames[id] = f
+	return f, nil
+}
+
+func (bp *BufferPool) evictLocked() error {
+	elem := bp.lru.Back()
+	if elem == nil {
+		return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.capacity)
+	}
+	id := elem.Value.(PageID)
+	f := bp.frames[id]
+	if f.dirty {
+		if err := bp.writeBack(f); err != nil {
+			return err
+		}
+	}
+	bp.lru.Remove(elem)
+	delete(bp.frames, id)
+	return nil
+}
+
+func (bp *BufferPool) writeBack(f *Frame) error {
+	if _, err := bp.file.WriteAt(f.buf[:], int64(f.id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", f.id, err)
+	}
+	f.dirty = false
+	return nil
+}
+
+// Unpin releases one pin on the frame, marking it dirty when the caller
+// modified it. Unpinned frames become eviction candidates.
+func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", f.id))
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lruElem = bp.lru.PushFront(f.id)
+	}
+}
+
+// FlushAll writes every dirty resident page back to the file and syncs.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.writeBack(f); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bp.file.Sync(); err != nil {
+		return fmt.Errorf("storage: sync: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPageOps drives a slotted page with an operation tape: arbitrary
+// interleavings of insert, delete, compact, and read must never panic,
+// corrupt other records, or break the free-space accounting.
+func FuzzPageOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 0, 2})
+	f.Add([]byte{0, 200, 0, 200, 0, 200, 2, 1, 0, 1, 1})
+
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		p := PageFrom(make([]byte, PageSize))
+		p.Init()
+		oracle := map[int][]byte{}
+		nextByte := func(i *int) (byte, bool) {
+			if *i >= len(tape) {
+				return 0, false
+			}
+			b := tape[*i]
+			*i++
+			return b, true
+		}
+		for i := 0; i < len(tape); {
+			op, _ := nextByte(&i)
+			switch op % 4 {
+			case 0: // insert a record of tape-chosen size
+				sz, ok := nextByte(&i)
+				if !ok {
+					return
+				}
+				rec := bytes.Repeat([]byte{sz}, int(sz)+1)
+				slot, err := p.Insert(rec)
+				if err != nil {
+					continue
+				}
+				if _, taken := oracle[slot]; taken {
+					t.Fatalf("slot %d double-allocated", slot)
+				}
+				oracle[slot] = rec
+			case 1: // delete a tape-chosen slot
+				s, ok := nextByte(&i)
+				if !ok {
+					return
+				}
+				slot := int(s)
+				err := p.Delete(slot)
+				_, live := oracle[slot]
+				if live != (err == nil) {
+					t.Fatalf("delete slot %d: live=%v err=%v", slot, live, err)
+				}
+				delete(oracle, slot)
+			case 2:
+				p.Compact()
+			case 3: // verify a tape-chosen slot
+				s, ok := nextByte(&i)
+				if !ok {
+					return
+				}
+				slot := int(s)
+				rec, err := p.Read(slot)
+				want, live := oracle[slot]
+				if live != (err == nil) {
+					t.Fatalf("read slot %d: live=%v err=%v", slot, live, err)
+				}
+				if live && !bytes.Equal(rec, want) {
+					t.Fatalf("slot %d corrupted", slot)
+				}
+			}
+		}
+		// Full verification at the end of the tape.
+		if p.NumRecords() != len(oracle) {
+			t.Fatalf("NumRecords %d, oracle %d", p.NumRecords(), len(oracle))
+		}
+		for slot, want := range oracle {
+			rec, err := p.Read(slot)
+			if err != nil || !bytes.Equal(rec, want) {
+				t.Fatalf("final check slot %d: %v", slot, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// RID is a record identifier: page number plus slot within the page.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String implements fmt.Stringer.
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// HeapFile is an unordered record file over a buffer pool: records are
+// placed on any page with room (tracked by an in-memory free-space map
+// rebuilt on open), addressed by RID.
+type HeapFile struct {
+	bp *BufferPool
+
+	// freeSpace caches the post-compaction free bytes per page (the
+	// placement decision compacts lazily when a record only fits after
+	// reclaiming garbage).
+	freeSpace map[PageID]int
+}
+
+// OpenHeapFile opens (or creates) a heap file at path with a buffer pool
+// of poolPages frames. Close releases the underlying file.
+func OpenHeapFile(path string, poolPages int) (*HeapFile, error) {
+	file, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open heap file: %w", err)
+	}
+	bp, err := NewBufferPool(file, poolPages)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	h := &HeapFile{bp: bp, freeSpace: make(map[PageID]int)}
+	// Rebuild the free-space map.
+	for id := PageID(0); id < bp.NumPages(); id++ {
+		f, err := bp.Fetch(id)
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+		h.freeSpace[id] = f.Page().PotentialFreeSpace()
+		bp.Unpin(f, false)
+	}
+	return h, nil
+}
+
+// Close flushes all pages and closes the backing file.
+func (h *HeapFile) Close() error {
+	if err := h.bp.FlushAll(); err != nil {
+		h.bp.file.Close()
+		return err
+	}
+	return h.bp.file.Close()
+}
+
+// Sync flushes dirty pages to disk.
+func (h *HeapFile) Sync() error { return h.bp.FlushAll() }
+
+// NumPages returns the page count.
+func (h *HeapFile) NumPages() int { return int(h.bp.NumPages()) }
+
+// Insert stores a record and returns its RID.
+func (h *HeapFile) Insert(record []byte) (RID, error) {
+	// First fit over pages with enough cached free space.
+	for id, free := range h.freeSpace {
+		if free < len(record)+slotSize {
+			continue
+		}
+		f, err := h.bp.Fetch(id)
+		if err != nil {
+			return RID{}, err
+		}
+		p := f.Page()
+		slot, err := p.Insert(record)
+		if err == nil {
+			h.freeSpace[id] = p.PotentialFreeSpace()
+			h.bp.Unpin(f, true)
+			return RID{Page: id, Slot: uint16(slot)}, nil
+		}
+		// Try to compact once before giving up on the page.
+		p.Compact()
+		if slot, err = p.Insert(record); err == nil {
+			h.freeSpace[id] = p.PotentialFreeSpace()
+			h.bp.Unpin(f, true)
+			return RID{Page: id, Slot: uint16(slot)}, nil
+		}
+		h.freeSpace[id] = p.PotentialFreeSpace()
+		h.bp.Unpin(f, true)
+	}
+	// Allocate a fresh page.
+	f, err := h.bp.Allocate()
+	if err != nil {
+		return RID{}, err
+	}
+	p := f.Page()
+	slot, err := p.Insert(record)
+	if err != nil {
+		h.bp.Unpin(f, true)
+		return RID{}, err
+	}
+	h.freeSpace[f.ID()] = p.PotentialFreeSpace()
+	h.bp.Unpin(f, true)
+	return RID{Page: f.ID(), Slot: uint16(slot)}, nil
+}
+
+// Get returns a copy of the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.bp.Unpin(f, false)
+	rec, err := f.Page().Read(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.bp.Unpin(f, true)
+	p := f.Page()
+	if err := p.Delete(int(rid.Slot)); err != nil {
+		return err
+	}
+	h.freeSpace[rid.Page] = p.PotentialFreeSpace()
+	return nil
+}
+
+// Scan calls fn for every record in the file, in page then slot order,
+// stopping early if fn returns false. The record slice is only valid
+// during the callback.
+func (h *HeapFile) Scan(fn func(rid RID, record []byte) bool) error {
+	for id := PageID(0); id < h.bp.NumPages(); id++ {
+		f, err := h.bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		stop := false
+		f.Page().Visit(func(slot int, rec []byte) bool {
+			if !fn(RID{Page: id, Slot: uint16(slot)}, rec) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		h.bp.Unpin(f, false)
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

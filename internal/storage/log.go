@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Log is a checksummed append-only record log. Each record is framed as
+//
+//	uint32 length | uint32 crc32(payload) | payload
+//
+// A torn tail (partial final record after a crash) is detected and
+// truncated on open, so Replay never yields corrupt records.
+type Log struct {
+	mu   sync.Mutex
+	file *os.File
+	size int64
+	buf  []byte
+}
+
+const logFrameHeader = 8
+
+// ErrCorruptLog reports a checksum failure in the middle of the log
+// (truncated tails are repaired silently; mid-log corruption is not).
+var ErrCorruptLog = errors.New("storage: corrupt log record")
+
+// OpenLog opens (or creates) the log at path, scanning it to find the
+// last complete record and truncating any torn tail.
+func OpenLog(path string) (*Log, error) {
+	file, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open log: %w", err)
+	}
+	l := &Log{file: file}
+	valid, err := l.scan(nil)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	if err := file.Truncate(valid); err != nil {
+		file.Close()
+		return nil, fmt.Errorf("storage: truncate torn log tail: %w", err)
+	}
+	l.size = valid
+	if _, err := file.Seek(valid, io.SeekStart); err != nil {
+		file.Close()
+		return nil, fmt.Errorf("storage: seek log end: %w", err)
+	}
+	return l, nil
+}
+
+// scan walks the log from the start, calling fn (when non-nil) for every
+// intact record, and returns the offset after the last intact record.
+func (l *Log) scan(fn func(offset int64, payload []byte) bool) (int64, error) {
+	st, err := l.file.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("storage: stat log: %w", err)
+	}
+	var (
+		off    int64
+		header [logFrameHeader]byte
+	)
+	for {
+		if off+logFrameHeader > st.Size() {
+			return off, nil
+		}
+		if _, err := l.file.ReadAt(header[:], off); err != nil {
+			return off, nil
+		}
+		length := binary.LittleEndian.Uint32(header[0:])
+		crc := binary.LittleEndian.Uint32(header[4:])
+		if off+logFrameHeader+int64(length) > st.Size() {
+			return off, nil // torn tail
+		}
+		payload := make([]byte, length)
+		if _, err := l.file.ReadAt(payload, off+logFrameHeader); err != nil {
+			return off, nil
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return off, nil // treat as torn; later records are unreachable
+		}
+		if fn != nil && !fn(off, payload) {
+			return off + logFrameHeader + int64(length), nil
+		}
+		off += logFrameHeader + int64(length)
+	}
+}
+
+// Append writes one record and returns its starting offset. The write is
+// buffered by the OS; call Sync for durability.
+func (l *Log) Append(payload []byte) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	need := logFrameHeader + len(payload)
+	if cap(l.buf) < need {
+		l.buf = make([]byte, need)
+	}
+	frame := l.buf[:need]
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[logFrameHeader:], payload)
+	off := l.size
+	if _, err := l.file.WriteAt(frame, off); err != nil {
+		return 0, fmt.Errorf("storage: append log record: %w", err)
+	}
+	l.size += int64(need)
+	return off, nil
+}
+
+// Sync forces appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.file.Sync(); err != nil {
+		return fmt.Errorf("storage: sync log: %w", err)
+	}
+	return nil
+}
+
+// Size returns the current log length in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Replay calls fn for every intact record in append order, stopping early
+// if fn returns false. The payload slice is freshly allocated per record.
+func (l *Log) Replay(fn func(offset int64, payload []byte) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.scan(fn)
+	return err
+}
+
+// ReplayFrom is Replay starting at a record offset previously returned by
+// Append or a replay callback. An offset past the end replays nothing; an
+// offset pointing into the middle of a record yields a checksum mismatch
+// and stops, never corrupt data.
+func (l *Log) ReplayFrom(offset int64, fn func(offset int64, payload []byte) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for off := offset; off < l.size; {
+		payload, next, err := l.readRecordLocked(off)
+		if err != nil {
+			return err
+		}
+		if !fn(off, payload) {
+			return nil
+		}
+		off = next
+	}
+	return nil
+}
+
+// ReadAt returns the payload of the record starting at offset.
+func (l *Log) ReadAt(offset int64) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	payload, _, err := l.readRecordLocked(offset)
+	return payload, err
+}
+
+func (l *Log) readRecordLocked(offset int64) (payload []byte, next int64, err error) {
+	var header [logFrameHeader]byte
+	if offset < 0 || offset+logFrameHeader > l.size {
+		return nil, 0, fmt.Errorf("storage: log offset %d out of range", offset)
+	}
+	if _, err := l.file.ReadAt(header[:], offset); err != nil {
+		return nil, 0, fmt.Errorf("storage: read log header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(header[0:])
+	crc := binary.LittleEndian.Uint32(header[4:])
+	next = offset + logFrameHeader + int64(length)
+	if next > l.size {
+		return nil, 0, ErrCorruptLog
+	}
+	payload = make([]byte, length)
+	if _, err := l.file.ReadAt(payload, offset+logFrameHeader); err != nil {
+		return nil, 0, fmt.Errorf("storage: read log payload: %w", err)
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, 0, ErrCorruptLog
+	}
+	return payload, next, nil
+}
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.file.Sync(); err != nil {
+		l.file.Close()
+		return fmt.Errorf("storage: sync log on close: %w", err)
+	}
+	return l.file.Close()
+}
+
+// Path returns the file path of the log.
+func (l *Log) Path() string { return l.file.Name() }

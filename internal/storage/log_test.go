@@ -1,0 +1,290 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLogAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		rec := []byte(fmt.Sprintf("record %d", i))
+		want = append(want, rec)
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	l.Replay(func(_ int64, p []byte) bool {
+		got = append(got, p)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: records survive; appends continue.
+	l, err = OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	n := 0
+	l.Replay(func(int64, []byte) bool { n++; return true })
+	if n != 50 {
+		t.Fatalf("after reopen replayed %d", n)
+	}
+	if _, err := l.Append([]byte("post-reopen")); err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	l.Replay(func(int64, []byte) bool { n++; return true })
+	if n != 51 {
+		t.Fatalf("after append replayed %d", n)
+	}
+}
+
+func TestLogReplayEarlyStop(t *testing.T) {
+	l, err := OpenLog(filepath.Join(t.TempDir(), "s.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		l.Append([]byte{byte(i)})
+	}
+	n := 0
+	l.Replay(func(int64, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop replayed %d", n)
+	}
+}
+
+func TestLogTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("intact %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: write a frame header that promises more
+	// bytes than exist.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x00, 0x00, 0x00, 1, 2, 3, 4, 'p', 'a', 'r'}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Reopen: torn tail is dropped, the 5 intact records remain, and new
+	// appends land cleanly after them.
+	l, err = OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var got []string
+	l.Replay(func(_ int64, p []byte) bool {
+		got = append(got, string(p))
+		return true
+	})
+	if len(got) != 5 || got[4] != "intact 4" {
+		t.Fatalf("after torn tail: %v", got)
+	}
+	if _, err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	l.Replay(func(_ int64, p []byte) bool {
+		got = append(got, string(p))
+		return true
+	})
+	if len(got) != 6 || got[5] != "fresh" {
+		t.Fatalf("after fresh append: %v", got)
+	}
+}
+
+func TestLogCorruptPayloadStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, _ := l.Append([]byte("first"))
+	_ = off2
+	l.Append([]byte("second"))
+	l.Close()
+
+	// Flip a payload byte of the second record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var got []string
+	l.Replay(func(_ int64, p []byte) bool {
+		got = append(got, string(p))
+		return true
+	})
+	if len(got) != 1 || got[0] != "first" {
+		t.Fatalf("corrupt record not isolated: %v", got)
+	}
+}
+
+func TestLogSizeAndOffsets(t *testing.T) {
+	l, err := OpenLog(filepath.Join(t.TempDir(), "o.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Size() != 0 {
+		t.Fatalf("initial size = %d", l.Size())
+	}
+	off1, _ := l.Append([]byte("aaaa"))
+	off2, _ := l.Append([]byte("bb"))
+	if off1 != 0 {
+		t.Fatalf("off1 = %d", off1)
+	}
+	if off2 != int64(logFrameHeader+4) {
+		t.Fatalf("off2 = %d", off2)
+	}
+	if l.Size() != int64(2*logFrameHeader+6) {
+		t.Fatalf("size = %d", l.Size())
+	}
+}
+
+func TestLogLargeRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	path := filepath.Join(t.TempDir(), "big.log")
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 500; i++ {
+		rec := make([]byte, rng.Intn(2000))
+		rng.Read(rec)
+		want = append(want, append([]byte(nil), rec...))
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l, err = OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	i := 0
+	l.Replay(func(_ int64, p []byte) bool {
+		if !bytes.Equal(p, want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("replayed %d of %d", i, len(want))
+	}
+}
+
+func TestLogReplayFromAndReadAt(t *testing.T) {
+	l, err := OpenLog(filepath.Join(t.TempDir(), "rf.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var offs []int64
+	for i := 0; i < 20; i++ {
+		off, err := l.Append([]byte{byte(i), byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+
+	// ReplayFrom the 10th record sees exactly the suffix.
+	var got []byte
+	if err := l.ReplayFrom(offs[10], func(_ int64, p []byte) bool {
+		got = append(got, p[0])
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("suffix = %v", got)
+	}
+	// Early stop.
+	n := 0
+	l.ReplayFrom(0, func(int64, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop saw %d", n)
+	}
+	// From the end: nothing.
+	n = 0
+	l.ReplayFrom(l.Size(), func(int64, []byte) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("past-end replay saw %d", n)
+	}
+
+	// ReadAt individual records.
+	for i, off := range offs {
+		p, err := l.ReadAt(off)
+		if err != nil || len(p) != 2 || p[0] != byte(i) {
+			t.Fatalf("ReadAt(%d) = %v, %v", off, p, err)
+		}
+	}
+	// Misaligned offset: checksum mismatch or range error, never garbage.
+	if _, err := l.ReadAt(offs[1] + 3); err == nil {
+		t.Error("misaligned ReadAt should fail")
+	}
+	if _, err := l.ReadAt(-1); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := l.ReadAt(l.Size() + 100); err == nil {
+		t.Error("past-end offset should fail")
+	}
+	if l.Path() == "" {
+		t.Error("Path should be non-empty")
+	}
+}

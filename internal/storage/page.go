@@ -1,0 +1,229 @@
+// Package storage is a small page-based storage manager in the role Shore
+// plays for the paper's location-aware server: slotted pages, a heap file
+// with a free-space map, an LRU buffer pool, and a checksummed append-only
+// log. The repository server (package repository) persists historical
+// object locations and committed query answers through it.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page, in bytes.
+const PageSize = 4096
+
+// Slotted page layout (little endian):
+//
+//	offset 0:  uint16 slot count
+//	offset 2:  uint16 free-space start (grows up)
+//	offset 4+: record payloads
+//	...        free space ...
+//	end:       slot directory, growing downward; each slot is
+//	           uint16 offset, uint16 length. A deleted slot has offset
+//	           0xFFFF.
+const (
+	pageHeaderSize = 4
+	slotSize       = 4
+	deadSlotOff    = 0xFFFF
+)
+
+// ErrPageFull is returned when a record does not fit in a page.
+var ErrPageFull = errors.New("storage: page full")
+
+// ErrNoRecord is returned when a slot is empty or out of range.
+var ErrNoRecord = errors.New("storage: no such record")
+
+// Page is a slotted page. It aliases a PageSize byte buffer (typically a
+// buffer-pool frame); all mutations write through to that buffer.
+type Page struct {
+	buf []byte
+}
+
+// PageFrom wraps an existing PageSize buffer as a Page. The buffer is
+// used as is; call Init to format a fresh page.
+func PageFrom(buf []byte) *Page {
+	if len(buf) != PageSize {
+		panic(fmt.Sprintf("storage: page buffer must be %d bytes, got %d", PageSize, len(buf)))
+	}
+	return &Page{buf: buf}
+}
+
+// Init formats the page as empty.
+func (p *Page) Init() {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+	p.setSlotCount(0)
+	p.setFreeStart(pageHeaderSize)
+}
+
+func (p *Page) slotCount() int     { return int(binary.LittleEndian.Uint16(p.buf[0:])) }
+func (p *Page) setSlotCount(n int) { binary.LittleEndian.PutUint16(p.buf[0:], uint16(n)) }
+func (p *Page) freeStart() int     { return int(binary.LittleEndian.Uint16(p.buf[2:])) }
+func (p *Page) setFreeStart(v int) { binary.LittleEndian.PutUint16(p.buf[2:], uint16(v)) }
+
+func (p *Page) slotPos(i int) int { return PageSize - (i+1)*slotSize }
+
+func (p *Page) slot(i int) (off, length int) {
+	pos := p.slotPos(i)
+	return int(binary.LittleEndian.Uint16(p.buf[pos:])),
+		int(binary.LittleEndian.Uint16(p.buf[pos+2:]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	pos := p.slotPos(i)
+	binary.LittleEndian.PutUint16(p.buf[pos:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[pos+2:], uint16(length))
+}
+
+// FreeSpace returns the bytes available for one new record (accounting
+// for its slot directory entry). Dead slots are reused without new
+// directory space.
+func (p *Page) FreeSpace() int {
+	free := PageSize - p.slotCount()*slotSize - p.freeStart()
+	// Reusing a dead slot saves the directory entry.
+	for i := 0; i < p.slotCount(); i++ {
+		if off, _ := p.slot(i); off == deadSlotOff {
+			return free
+		}
+	}
+	free -= slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// PotentialFreeSpace returns the bytes available for one new record after
+// compaction: unlike FreeSpace it counts the garbage left by deleted
+// records as reclaimable. The heap file uses it for placement decisions
+// and compacts lazily.
+func (p *Page) PotentialFreeSpace() int {
+	live := 0
+	hasDead := false
+	for i := 0; i < p.slotCount(); i++ {
+		off, length := p.slot(i)
+		if off == deadSlotOff {
+			hasDead = true
+			continue
+		}
+		live += length
+	}
+	free := PageSize - pageHeaderSize - live - p.slotCount()*slotSize
+	if !hasDead {
+		free -= slotSize
+	}
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// NumRecords returns the number of live records.
+func (p *Page) NumRecords() int {
+	n := 0
+	for i := 0; i < p.slotCount(); i++ {
+		if off, _ := p.slot(i); off != deadSlotOff {
+			n++
+		}
+	}
+	return n
+}
+
+// Insert stores a record and returns its slot number. It fails with
+// ErrPageFull when the record (plus, if needed, a new directory entry)
+// does not fit.
+func (p *Page) Insert(record []byte) (int, error) {
+	if len(record) > PageSize-pageHeaderSize-slotSize {
+		return 0, fmt.Errorf("storage: record of %d bytes can never fit a page: %w", len(record), ErrPageFull)
+	}
+	// Prefer a dead slot.
+	slot := -1
+	for i := 0; i < p.slotCount(); i++ {
+		if off, _ := p.slot(i); off == deadSlotOff {
+			slot = i
+			break
+		}
+	}
+	needed := len(record)
+	if slot == -1 {
+		needed += slotSize
+	}
+	if PageSize-p.slotCount()*slotSize-p.freeStart() < needed {
+		return 0, ErrPageFull
+	}
+	off := p.freeStart()
+	copy(p.buf[off:], record)
+	p.setFreeStart(off + len(record))
+	if slot == -1 {
+		slot = p.slotCount()
+		p.setSlotCount(slot + 1)
+	}
+	p.setSlot(slot, off, len(record))
+	return slot, nil
+}
+
+// Read returns the record in the given slot. The returned slice aliases
+// the page buffer; callers must copy it if they retain it past the pin.
+func (p *Page) Read(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.slotCount() {
+		return nil, ErrNoRecord
+	}
+	off, length := p.slot(slot)
+	if off == deadSlotOff {
+		return nil, ErrNoRecord
+	}
+	return p.buf[off : off+length], nil
+}
+
+// Delete removes the record in the given slot. Space is reclaimed lazily:
+// the payload bytes become garbage until the page is compacted.
+func (p *Page) Delete(slot int) error {
+	if slot < 0 || slot >= p.slotCount() {
+		return ErrNoRecord
+	}
+	if off, _ := p.slot(slot); off == deadSlotOff {
+		return ErrNoRecord
+	}
+	p.setSlot(slot, deadSlotOff, 0)
+	return nil
+}
+
+// Compact rewrites live records contiguously, reclaiming the space of
+// deleted ones. Slot numbers are preserved.
+func (p *Page) Compact() {
+	var tmp [PageSize]byte
+	write := pageHeaderSize
+	type live struct{ slot, off, length int }
+	var lives []live
+	for i := 0; i < p.slotCount(); i++ {
+		off, length := p.slot(i)
+		if off == deadSlotOff {
+			continue
+		}
+		copy(tmp[write:], p.buf[off:off+length])
+		lives = append(lives, live{i, write, length})
+		write += length
+	}
+	copy(p.buf[pageHeaderSize:], tmp[pageHeaderSize:write])
+	for _, l := range lives {
+		p.setSlot(l.slot, l.off, l.length)
+	}
+	p.setFreeStart(write)
+}
+
+// Visit calls fn for every live record in slot order, stopping early if
+// fn returns false. The record slice aliases the page buffer.
+func (p *Page) Visit(fn func(slot int, record []byte) bool) {
+	for i := 0; i < p.slotCount(); i++ {
+		off, length := p.slot(i)
+		if off == deadSlotOff {
+			continue
+		}
+		if !fn(i, p.buf[off:off+length]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newPage() *Page {
+	p := PageFrom(make([]byte, PageSize))
+	p.Init()
+	return p
+}
+
+func TestPageFromPanicsOnWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PageFrom(make([]byte, 100))
+}
+
+func TestPageInsertReadDelete(t *testing.T) {
+	p := newPage()
+	s1, err := p.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("same slot for two records")
+	}
+	if rec, err := p.Read(s1); err != nil || string(rec) != "hello" {
+		t.Fatalf("Read(s1) = %q, %v", rec, err)
+	}
+	if rec, err := p.Read(s2); err != nil || string(rec) != "world!" {
+		t.Fatalf("Read(s2) = %q, %v", rec, err)
+	}
+	if p.NumRecords() != 2 {
+		t.Fatalf("NumRecords = %d", p.NumRecords())
+	}
+
+	if err := p.Delete(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(s1); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("Read(deleted) err = %v", err)
+	}
+	if err := p.Delete(s1); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("double Delete err = %v", err)
+	}
+	if _, err := p.Read(99); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("Read(oob) err = %v", err)
+	}
+	if err := p.Delete(-1); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("Delete(-1) err = %v", err)
+	}
+
+	// The dead slot is reused.
+	s3, err := p.Insert([]byte("again"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 != s1 {
+		t.Fatalf("dead slot not reused: got %d want %d", s3, s1)
+	}
+}
+
+func TestPageFillToCapacity(t *testing.T) {
+	p := newPage()
+	rec := bytes.Repeat([]byte("x"), 100)
+	n := 0
+	for {
+		if _, err := p.Insert(rec); err != nil {
+			if !errors.Is(err, ErrPageFull) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			break
+		}
+		n++
+	}
+	// 100-byte records + 4-byte slots into ~4092 usable bytes: ≥ 35.
+	if n < 35 {
+		t.Fatalf("only %d records fit", n)
+	}
+	if p.NumRecords() != n {
+		t.Fatalf("NumRecords = %d, want %d", p.NumRecords(), n)
+	}
+	// A record that can never fit gets a distinguished error.
+	if _, err := p.Insert(make([]byte, PageSize)); !errors.Is(err, ErrPageFull) {
+		t.Fatalf("oversized insert err = %v", err)
+	}
+}
+
+func TestPageCompactReclaims(t *testing.T) {
+	p := newPage()
+	rec := bytes.Repeat([]byte("y"), 200)
+	var slots []int
+	for i := 0; i < 10; i++ {
+		s, err := p.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	// Delete every other record; compaction must reclaim their payload
+	// while preserving the survivors and their slot numbers.
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	beforeFree := p.FreeSpace()
+	p.Compact()
+	if p.FreeSpace() <= beforeFree {
+		t.Fatalf("compact did not reclaim: %d -> %d", beforeFree, p.FreeSpace())
+	}
+	for i := 1; i < len(slots); i += 2 {
+		got, err := p.Read(slots[i])
+		if err != nil || !bytes.Equal(got, rec) {
+			t.Fatalf("slot %d after compact: %v", slots[i], err)
+		}
+	}
+}
+
+func TestPageVisit(t *testing.T) {
+	p := newPage()
+	for i := 0; i < 5; i++ {
+		if _, err := p.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Delete(2)
+	var seen []int
+	p.Visit(func(slot int, rec []byte) bool {
+		seen = append(seen, int(rec[0]))
+		return true
+	})
+	if fmt.Sprint(seen) != "[0 1 3 4]" {
+		t.Fatalf("Visit saw %v", seen)
+	}
+	// Early stop.
+	n := 0
+	p.Visit(func(int, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestPageRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := newPage()
+	oracle := map[int][]byte{}
+	for op := 0; op < 5000; op++ {
+		if len(oracle) == 0 || rng.Float64() < 0.55 {
+			rec := make([]byte, 1+rng.Intn(60))
+			rng.Read(rec)
+			s, err := p.Insert(rec)
+			if errors.Is(err, ErrPageFull) {
+				// Free something and move on.
+				for slot := range oracle {
+					p.Delete(slot)
+					delete(oracle, slot)
+					break
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, taken := oracle[s]; taken {
+				t.Fatalf("op %d: slot %d double-allocated", op, s)
+			}
+			oracle[s] = append([]byte(nil), rec...)
+		} else {
+			var slot int
+			for slot = range oracle {
+				break
+			}
+			if err := p.Delete(slot); err != nil {
+				t.Fatalf("op %d: delete: %v", op, err)
+			}
+			delete(oracle, slot)
+		}
+		if op%977 == 0 {
+			p.Compact()
+			for slot, want := range oracle {
+				got, err := p.Read(slot)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("op %d: slot %d mismatch after compact", op, slot)
+				}
+			}
+			if p.NumRecords() != len(oracle) {
+				t.Fatalf("op %d: NumRecords %d, oracle %d", op, p.NumRecords(), len(oracle))
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "pages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestBufferPoolAllocFetch(t *testing.T) {
+	bp, err := NewBufferPool(tempFile(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := bp.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f1.Page().Insert([]byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(f1, true)
+	if bp.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", bp.NumPages())
+	}
+
+	f2, err := bp.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f2.Page().Read(0)
+	if err != nil || string(rec) != "persisted" {
+		t.Fatalf("fetched record = %q, %v", rec, err)
+	}
+	bp.Unpin(f2, false)
+
+	if _, err := bp.Fetch(9); err == nil {
+		t.Error("fetch beyond end should fail")
+	}
+	if _, err := NewBufferPool(tempFile(t), 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestBufferPoolEvictionWritesBack(t *testing.T) {
+	file := tempFile(t)
+	bp, err := NewBufferPool(file, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create 5 pages, each with a distinguishing record; pool holds 2.
+	for i := 0; i < 5; i++ {
+		f, err := bp.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Page().Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(f, true)
+	}
+	// Read them all back through the (thrashing) pool.
+	for i := 4; i >= 0; i-- {
+		f, err := bp.Fetch(PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := f.Page().Read(0)
+		if err != nil || rec[0] != byte(i) {
+			t.Fatalf("page %d: %v %v", i, rec, err)
+		}
+		bp.Unpin(f, false)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBufferPoolAllPinnedExhausts(t *testing.T) {
+	bp, err := NewBufferPool(tempFile(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := bp.Allocate()
+	b, _ := bp.Allocate()
+	if _, err := bp.Allocate(); err == nil {
+		t.Error("allocation with all frames pinned should fail")
+	}
+	bp.Unpin(a, false)
+	bp.Unpin(b, false)
+	if _, err := bp.Allocate(); err != nil {
+		t.Errorf("allocation after unpin failed: %v", err)
+	}
+}
+
+func TestHeapFilePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.heap")
+
+	h, err := OpenHeapFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 100; i++ {
+		rid, err := h.Insert([]byte(fmt.Sprintf("record-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify.
+	h, err = OpenHeapFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for i, rid := range rids {
+		rec, err := h.Get(rid)
+		if err != nil || string(rec) != fmt.Sprintf("record-%03d", i) {
+			t.Fatalf("rid %v: %q, %v", rid, rec, err)
+		}
+	}
+	count := 0
+	if err := h.Scan(func(RID, []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("scan saw %d records", count)
+	}
+	// Early-stop scan.
+	count = 0
+	h.Scan(func(RID, []byte) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early-stop scan saw %d", count)
+	}
+}
+
+func TestHeapFileDeleteAndReuse(t *testing.T) {
+	h, err := OpenHeapFile(filepath.Join(t.TempDir(), "d.heap"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	big := bytes.Repeat([]byte("z"), 1000)
+	var rids []RID
+	for i := 0; i < 12; i++ {
+		rid, err := h.Insert(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	pagesBefore := h.NumPages()
+	// Delete everything, then insert the same volume again: page count
+	// must not grow (space is reused).
+	for _, rid := range rids {
+		if err := h.Delete(rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Delete(rids[0]); err == nil {
+		t.Error("double delete should fail")
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := h.Insert(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NumPages() > pagesBefore {
+		t.Fatalf("pages grew from %d to %d despite deletes", pagesBefore, h.NumPages())
+	}
+}
+
+func TestHeapFileRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h, err := OpenHeapFile(filepath.Join(t.TempDir(), "r.heap"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	oracle := map[RID][]byte{}
+	for op := 0; op < 2000; op++ {
+		if len(oracle) == 0 || rng.Float64() < 0.6 {
+			rec := make([]byte, 1+rng.Intn(300))
+			rng.Read(rec)
+			rid, err := h.Insert(rec)
+			if err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if _, dup := oracle[rid]; dup {
+				t.Fatalf("op %d: duplicate rid %v", op, rid)
+			}
+			oracle[rid] = append([]byte(nil), rec...)
+		} else {
+			var rid RID
+			for rid = range oracle {
+				break
+			}
+			if err := h.Delete(rid); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			delete(oracle, rid)
+		}
+	}
+	for rid, want := range oracle {
+		got, err := h.Get(rid)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("rid %v: mismatch (%v)", rid, err)
+		}
+	}
+	seen := 0
+	h.Scan(func(rid RID, rec []byte) bool {
+		want, ok := oracle[rid]
+		if !ok || !bytes.Equal(rec, want) {
+			t.Fatalf("scan: unexpected record at %v", rid)
+		}
+		seen++
+		return true
+	})
+	if seen != len(oracle) {
+		t.Fatalf("scan saw %d, oracle has %d", seen, len(oracle))
+	}
+}
+
+func TestHeapFileSyncAndRIDString(t *testing.T) {
+	h, err := OpenHeapFile(filepath.Join(t.TempDir(), "s.heap"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rid, err := h.Insert([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if rid.String() != "0.0" {
+		t.Fatalf("RID string = %q", rid.String())
+	}
+}

@@ -1,0 +1,461 @@
+// Package tpr implements a time-parameterized R-tree (TPR-tree, Šaltenis
+// et al., SIGMOD 2000) over moving points, the access method the paper's
+// related work uses for predictive queries. Each index entry carries a
+// reference-time bounding rectangle plus per-axis velocity bounds; the
+// bounds of any subtree at time t are obtained by expanding the rectangle
+// with the velocity extremes, so the tree answers "who may be here during
+// [t1, t2]" without re-indexing as objects move.
+//
+// The implementation follows the original design with one documented
+// simplification: subtree choice minimizes the sum of bounding-box
+// enlargements sampled at the reference time and one horizon ahead,
+// rather than the exact time-integral of the area (a two-point quadrature
+// of the same objective).
+//
+// It exists as the substrate for the predictive-query baseline that the
+// benchmarks compare against the paper's shared-grid approach.
+package tpr
+
+import (
+	"fmt"
+	"math"
+
+	"cqp/internal/geo"
+)
+
+const (
+	defaultMax = 16
+	defaultMin = 6
+)
+
+// Entry is one moving point: position Loc at reference time T, moving
+// with velocity Vel.
+type Entry struct {
+	ID  uint64
+	Loc geo.Point
+	Vel geo.Vector
+	T   float64
+}
+
+// tpbr is a time-parameterized bounding rectangle: spatial bounds valid
+// at the tree's reference time, expanding with the velocity bounds.
+type tpbr struct {
+	rect geo.Rect
+	vlo  geo.Vector // lower velocity bound per axis
+	vhi  geo.Vector // upper velocity bound per axis
+}
+
+// at returns the bounding rectangle at time offset dt from the reference
+// time (dt ≥ 0; the TPR-tree never answers queries about the past).
+func (b tpbr) at(dt float64) geo.Rect {
+	if dt < 0 {
+		dt = 0
+	}
+	return geo.Rect{
+		MinX: b.rect.MinX + b.vlo.DX*dt,
+		MinY: b.rect.MinY + b.vlo.DY*dt,
+		MaxX: b.rect.MaxX + b.vhi.DX*dt,
+		MaxY: b.rect.MaxY + b.vhi.DY*dt,
+	}
+}
+
+// over returns a rectangle covering the TPBR throughout [dt1, dt2].
+func (b tpbr) over(dt1, dt2 float64) geo.Rect {
+	return b.at(dt1).Union(b.at(dt2))
+}
+
+func (b tpbr) union(o tpbr) tpbr {
+	return tpbr{
+		rect: b.rect.Union(o.rect),
+		vlo:  geo.Vec(math.Min(b.vlo.DX, o.vlo.DX), math.Min(b.vlo.DY, o.vlo.DY)),
+		vhi:  geo.Vec(math.Max(b.vhi.DX, o.vhi.DX), math.Max(b.vhi.DY, o.vhi.DY)),
+	}
+}
+
+type nodeEntry struct {
+	bounds tpbr
+	child  *node // nil for leaf entries
+	id     uint64
+	loc    geo.Point
+	vel    geo.Vector
+}
+
+type node struct {
+	leaf    bool
+	parent  *node
+	entries []nodeEntry
+}
+
+// Tree is a TPR-tree. The zero value is unusable; call New.
+type Tree struct {
+	root    *node
+	tref    float64 // reference time of all stored rectangles
+	horizon float64 // lookahead used by the insertion objective
+	size    int
+	maxFill int
+	minFill int
+	leafOf  map[uint64]*node // deletion shortcut
+}
+
+// New creates an empty TPR-tree with reference time tref and insertion
+// horizon H (how far into the future the tree optimizes its grouping —
+// typically the querying window length).
+func New(tref, horizon float64) *Tree {
+	if horizon <= 0 {
+		panic(fmt.Sprintf("tpr: horizon must be positive, got %v", horizon))
+	}
+	return &Tree{
+		root:    &node{leaf: true},
+		tref:    tref,
+		horizon: horizon,
+		maxFill: defaultMax,
+		minFill: defaultMin,
+		leafOf:  make(map[uint64]*node),
+	}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// RefTime returns the tree's reference time.
+func (t *Tree) RefTime() float64 { return t.tref }
+
+// normalize shifts a moving point's position to the tree's reference
+// time (backwards extrapolation along its linear motion), so that every
+// stored entry shares tref and the TPBR algebra is uniform.
+func (t *Tree) normalize(e Entry) Entry {
+	e.Loc = e.Loc.Add(e.Vel.Scale(t.tref - e.T))
+	e.T = t.tref
+	return e
+}
+
+func entryTPBR(e Entry) tpbr {
+	return tpbr{
+		rect: geo.Rect{MinX: e.Loc.X, MinY: e.Loc.Y, MaxX: e.Loc.X, MaxY: e.Loc.Y},
+		vlo:  e.Vel,
+		vhi:  e.Vel,
+	}
+}
+
+// Insert adds a moving point. Inserting an ID that is already present
+// replaces it (delete + insert), which is the TPR-tree's update model.
+func (t *Tree) Insert(e Entry) {
+	if _, ok := t.leafOf[e.ID]; ok {
+		t.Delete(e.ID)
+	}
+	e = t.normalize(e)
+	b := entryTPBR(e)
+	leaf := t.chooseLeaf(b)
+	leaf.entries = append(leaf.entries, nodeEntry{
+		bounds: b, id: e.ID, loc: e.Loc, vel: e.Vel,
+	})
+	t.leafOf[e.ID] = leaf
+	t.size++
+	t.adjustUp(leaf)
+}
+
+// cost is the insertion objective: enlargement sampled now and one
+// horizon ahead.
+func (t *Tree) cost(container tpbr, b tpbr) float64 {
+	now := container.rect.Enlargement(b.rect)
+	later := container.over(t.horizon, t.horizon).Enlargement(b.over(t.horizon, t.horizon))
+	return now + later
+}
+
+func (t *Tree) chooseLeaf(b tpbr) *node {
+	n := t.root
+	for !n.leaf {
+		best, bestCost := 0, math.Inf(1)
+		for i := range n.entries {
+			c := t.cost(n.entries[i].bounds, b)
+			if c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		n = n.entries[best].child
+	}
+	return n
+}
+
+// adjustUp recomputes bounds from leaf to root, splitting overflowing
+// nodes.
+func (t *Tree) adjustUp(n *node) {
+	for n != nil {
+		if len(n.entries) > t.maxFill {
+			t.split(n)
+		} else if n.parent != nil {
+			idx := childIndex(n.parent, n)
+			n.parent.entries[idx].bounds = nodeBounds(n)
+		}
+		n = n.parent
+	}
+}
+
+func childIndex(parent, child *node) int {
+	for i := range parent.entries {
+		if parent.entries[i].child == child {
+			return i
+		}
+	}
+	panic("tpr: child not found in parent")
+}
+
+func nodeBounds(n *node) tpbr {
+	b := n.entries[0].bounds
+	for _, e := range n.entries[1:] {
+		b = b.union(e.bounds)
+	}
+	return b
+}
+
+// split performs a quadratic split of n (Guttman's algorithm on the
+// horizon-expanded rectangles, so grouping respects future positions).
+func (t *Tree) split(n *node) {
+	ents := n.entries
+	area := func(b tpbr) float64 { return b.over(0, t.horizon).Area() }
+	unionArea := func(a, b tpbr) float64 { return a.union(b).over(0, t.horizon).Area() }
+
+	seedA, seedB, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < len(ents); i++ {
+		for j := i + 1; j < len(ents); j++ {
+			waste := unionArea(ents[i].bounds, ents[j].bounds) - area(ents[i].bounds) - area(ents[j].bounds)
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+
+	groupA := []nodeEntry{ents[seedA]}
+	groupB := []nodeEntry{ents[seedB]}
+	bA, bB := ents[seedA].bounds, ents[seedB].bounds
+	var rest []nodeEntry
+	for i := range ents {
+		if i != seedA && i != seedB {
+			rest = append(rest, ents[i])
+		}
+	}
+	for len(rest) > 0 {
+		if len(groupA)+len(rest) == t.minFill {
+			for _, e := range rest {
+				groupA = append(groupA, e)
+				bA = bA.union(e.bounds)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.minFill {
+			for _, e := range rest {
+				groupB = append(groupB, e)
+				bB = bB.union(e.bounds)
+			}
+			break
+		}
+		bestIdx, bestDiff := 0, -1.0
+		for i, e := range rest {
+			dA := unionArea(bA, e.bounds) - area(bA)
+			dB := unionArea(bB, e.bounds) - area(bB)
+			if diff := math.Abs(dA - dB); diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		dA := unionArea(bA, e.bounds) - area(bA)
+		dB := unionArea(bB, e.bounds) - area(bB)
+		toA := dA < dB || (dA == dB && len(groupA) <= len(groupB))
+		if toA {
+			groupA = append(groupA, e)
+			bA = bA.union(e.bounds)
+		} else {
+			groupB = append(groupB, e)
+			bB = bB.union(e.bounds)
+		}
+	}
+
+	sibling := &node{leaf: n.leaf, parent: n.parent, entries: groupB}
+	n.entries = groupA
+	t.reparent(n)
+	t.reparent(sibling)
+
+	if n.parent == nil {
+		// Root split.
+		newRoot := &node{leaf: false}
+		newRoot.entries = []nodeEntry{
+			{bounds: nodeBounds(n), child: n},
+			{bounds: nodeBounds(sibling), child: sibling},
+		}
+		n.parent = newRoot
+		sibling.parent = newRoot
+		t.root = newRoot
+		return
+	}
+	idx := childIndex(n.parent, n)
+	n.parent.entries[idx].bounds = nodeBounds(n)
+	n.parent.entries = append(n.parent.entries, nodeEntry{bounds: nodeBounds(sibling), child: sibling})
+}
+
+// reparent refreshes child-parent links and the leaf map after entries
+// moved between nodes.
+func (t *Tree) reparent(n *node) {
+	if n.leaf {
+		for i := range n.entries {
+			t.leafOf[n.entries[i].id] = n
+		}
+		return
+	}
+	for i := range n.entries {
+		n.entries[i].child.parent = n
+	}
+}
+
+// Delete removes the entry with the given ID, reporting whether it was
+// present. Underfull leaves are condensed by reinsertion.
+func (t *Tree) Delete(id uint64) bool {
+	leaf, ok := t.leafOf[id]
+	if !ok {
+		return false
+	}
+	for i := range leaf.entries {
+		if leaf.entries[i].id == id {
+			leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+			break
+		}
+	}
+	delete(t.leafOf, id)
+	t.size--
+	t.condense(leaf)
+	return true
+}
+
+func (t *Tree) condense(n *node) {
+	var orphans []nodeEntry
+	for n.parent != nil {
+		parent := n.parent
+		if len(n.entries) < t.minFill {
+			idx := childIndex(parent, n)
+			parent.entries = append(parent.entries[:idx], parent.entries[idx+1:]...)
+			if n.leaf {
+				orphans = append(orphans, n.entries...)
+			} else {
+				// Reinsert the leaves of the orphaned subtree.
+				collectLeafEntries(n, &orphans)
+			}
+		} else {
+			idx := childIndex(parent, n)
+			parent.entries[idx].bounds = nodeBounds(n)
+		}
+		n = parent
+	}
+	// Shrink the root.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.root.parent = nil
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	for _, e := range orphans {
+		t.size-- // Insert re-increments
+		delete(t.leafOf, e.id)
+		t.Insert(Entry{ID: e.id, Loc: e.loc, Vel: e.vel, T: t.tref})
+	}
+}
+
+func collectLeafEntries(n *node, out *[]nodeEntry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for i := range n.entries {
+		collectLeafEntries(n.entries[i].child, out)
+	}
+}
+
+// SearchInterval calls fn for every stored moving point whose
+// time-parameterized bounds may intersect r at some instant of [t1, t2]
+// (absolute times ≥ the reference time). The caller applies the exact
+// motion predicate; the tree guarantees no false negatives.
+func (t *Tree) SearchInterval(r geo.Rect, t1, t2 float64, fn func(e Entry) bool) {
+	dt1, dt2 := t1-t.tref, t2-t.tref
+	if dt2 < dt1 {
+		dt1, dt2 = dt2, dt1
+	}
+	if dt2 < 0 {
+		return
+	}
+	if dt1 < 0 {
+		dt1 = 0
+	}
+	t.search(t.root, r, dt1, dt2, fn)
+}
+
+func (t *Tree) search(n *node, r geo.Rect, dt1, dt2 float64, fn func(Entry) bool) bool {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.bounds.over(dt1, dt2).Intersects(r) {
+			continue
+		}
+		if n.leaf {
+			if !fn(Entry{ID: e.id, Loc: e.loc, Vel: e.vel, T: t.tref}) {
+				return false
+			}
+		} else if !t.search(e.child, r, dt1, dt2, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckInvariants validates the structure for tests: parent links, fill
+// bounds, uniform depth, conservative bounds containment at the reference
+// time and one horizon out, and leaf-map accuracy.
+func (t *Tree) CheckInvariants() error {
+	depth := -1
+	count := 0
+	var walk func(n *node, level int) error
+	walk = func(n *node, level int) error {
+		if n != t.root && len(n.entries) < t.minFill {
+			return fmt.Errorf("underfull node at level %d: %d", level, len(n.entries))
+		}
+		if len(n.entries) > t.maxFill {
+			return fmt.Errorf("overfull node at level %d: %d", level, len(n.entries))
+		}
+		if n.leaf {
+			if depth == -1 {
+				depth = level
+			} else if depth != level {
+				return fmt.Errorf("leaf depth %d != %d", level, depth)
+			}
+			for i := range n.entries {
+				count++
+				if t.leafOf[n.entries[i].id] != n {
+					return fmt.Errorf("leaf map stale for id %d", n.entries[i].id)
+				}
+			}
+			return nil
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.child.parent != n {
+				return fmt.Errorf("broken parent link at level %d", level)
+			}
+			got := nodeBounds(e.child)
+			for _, dt := range []float64{0, t.horizon} {
+				if !e.bounds.at(dt).Expand(1e-9).ContainsRect(got.at(dt)) {
+					return fmt.Errorf("non-conservative bounds at level %d dt=%v", level, dt)
+				}
+			}
+			if err := walk(e.child, level+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size %d, counted %d", t.size, count)
+	}
+	return nil
+}

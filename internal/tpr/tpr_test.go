@@ -1,0 +1,245 @@
+package tpr
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+func TestNewPanicsOnBadHorizon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestInsertSearchBasics(t *testing.T) {
+	tr := New(0, 10)
+	// Object 1 moves east from (0, 5); object 2 is parked at (9, 9).
+	tr.Insert(Entry{ID: 1, Loc: geo.Pt(0, 5), Vel: geo.Vec(1, 0), T: 0})
+	tr.Insert(Entry{ID: 2, Loc: geo.Pt(9, 9), Vel: geo.Vector{}, T: 0})
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+
+	// A region around x=5 at times [4,6] should produce object 1 as a
+	// candidate, not object 2.
+	var got []uint64
+	tr.SearchInterval(geo.R(4.5, 4.5, 5.5, 5.5), 4, 6, func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("candidates = %v", got)
+	}
+
+	// Entirely past window: nothing (the TPR-tree answers the future).
+	got = nil
+	tr.SearchInterval(geo.R(0, 0, 10, 10), -5, -1, func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("past window candidates = %v", got)
+	}
+
+	// Replacement: re-inserting ID 1 with a new vector replaces it.
+	tr.Insert(Entry{ID: 1, Loc: geo.Pt(0, 0), Vel: geo.Vec(0, 1), T: 0})
+	if tr.Len() != 2 {
+		t.Fatalf("Len after replace = %d", tr.Len())
+	}
+	got = nil
+	tr.SearchInterval(geo.R(4.5, 4.5, 5.5, 5.5), 4, 6, func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("stale candidate after replace: %v", got)
+	}
+}
+
+func TestDeleteAndConsistency(t *testing.T) {
+	tr := New(0, 10)
+	rng := rand.New(rand.NewSource(1))
+	for i := uint64(1); i <= 500; i++ {
+		tr.Insert(Entry{
+			ID:  i,
+			Loc: geo.Pt(rng.Float64()*100, rng.Float64()*100),
+			Vel: geo.Vec(rng.Float64()*2-1, rng.Float64()*2-1),
+			T:   0,
+		})
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 250; i++ {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+		if i%37 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d deletes: %v", i, err)
+			}
+		}
+	}
+	if tr.Delete(1) {
+		t.Error("double delete succeeded")
+	}
+	if tr.Delete(9999) {
+		t.Error("deleting unknown succeeded")
+	}
+	if tr.Len() != 250 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete everything; the tree must stay usable.
+	for i := uint64(251); i <= 500; i++ {
+		tr.Delete(i)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after emptying = %d", tr.Len())
+	}
+	tr.Insert(Entry{ID: 1, Loc: geo.Pt(1, 1), T: 0})
+	if tr.Len() != 1 {
+		t.Fatal("reuse after emptying failed")
+	}
+}
+
+// TestNoFalseNegatives is the correctness contract: every moving point
+// whose exact motion passes through the query region during the window
+// must be among the returned candidates.
+func TestNoFalseNegatives(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New(100, 20)
+	type obj struct {
+		loc geo.Point
+		vel geo.Vector
+		t   float64
+	}
+	objs := map[uint64]obj{}
+	for i := uint64(1); i <= 400; i++ {
+		o := obj{
+			loc: geo.Pt(rng.Float64(), rng.Float64()),
+			vel: geo.Vec(rng.Float64()*0.02-0.01, rng.Float64()*0.02-0.01),
+			t:   100 + rng.Float64()*5,
+		}
+		objs[i] = o
+		tr.Insert(Entry{ID: i, Loc: o.loc, Vel: o.vel, T: o.t})
+	}
+	// Churn: move a third of them.
+	for i := uint64(1); i <= 400; i += 3 {
+		o := obj{
+			loc: geo.Pt(rng.Float64(), rng.Float64()),
+			vel: geo.Vec(rng.Float64()*0.02-0.01, rng.Float64()*0.02-0.01),
+			t:   105 + rng.Float64()*5,
+		}
+		objs[i] = o
+		tr.Insert(Entry{ID: i, Loc: o.loc, Vel: o.vel, T: o.t})
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		r := geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.05+rng.Float64()*0.2)
+		t1 := 100 + rng.Float64()*10
+		t2 := t1 + rng.Float64()*10
+		cands := map[uint64]bool{}
+		tr.SearchInterval(r, t1, t2, func(e Entry) bool {
+			cands[e.ID] = true
+			return true
+		})
+		for id, o := range objs {
+			m := geo.Motion{Start: o.loc, Vel: o.vel, T0: o.t}
+			if m.IntersectsRectDuring(r, t1, t2) && !cands[id] {
+				t.Fatalf("trial %d: object %d intersects but was not a candidate", trial, id)
+			}
+		}
+	}
+}
+
+// TestPruningEffective sanity-checks that the tree actually prunes: a
+// query far from everything should visit no leaf entries.
+func TestPruningEffective(t *testing.T) {
+	tr := New(0, 5)
+	rng := rand.New(rand.NewSource(3))
+	for i := uint64(1); i <= 300; i++ {
+		// Objects in [0,1]² moving slowly.
+		tr.Insert(Entry{
+			ID:  i,
+			Loc: geo.Pt(rng.Float64(), rng.Float64()),
+			Vel: geo.Vec(rng.Float64()*0.002-0.001, rng.Float64()*0.002-0.001),
+			T:   0,
+		})
+	}
+	visited := 0
+	tr.SearchInterval(geo.R(50, 50, 51, 51), 0, 5, func(Entry) bool {
+		visited++
+		return true
+	})
+	if visited != 0 {
+		t.Fatalf("distant query visited %d entries", visited)
+	}
+	// Early stop works.
+	n := 0
+	tr.SearchInterval(geo.R(0, 0, 1, 1), 0, 5, func(Entry) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestRandomChurnInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := New(0, 10)
+	live := map[uint64]bool{}
+	next := uint64(1)
+	for op := 0; op < 3000; op++ {
+		switch {
+		case len(live) == 0 || rng.Float64() < 0.5:
+			id := next
+			next++
+			live[id] = true
+			tr.Insert(Entry{
+				ID:  id,
+				Loc: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+				Vel: geo.Vec(rng.Float64()-0.5, rng.Float64()-0.5),
+				T:   rng.Float64() * 5,
+			})
+		case rng.Float64() < 0.5:
+			// Update a live entry.
+			var id uint64
+			for id = range live {
+				break
+			}
+			tr.Insert(Entry{ID: id, Loc: geo.Pt(rng.Float64()*10, rng.Float64()*10), T: rng.Float64() * 5})
+		default:
+			var id uint64
+			for id = range live {
+				break
+			}
+			delete(live, id)
+			if !tr.Delete(id) {
+				t.Fatalf("op %d: delete %d failed", op, id)
+			}
+		}
+		if op%487 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			if tr.Len() != len(live) {
+				t.Fatalf("op %d: Len=%d live=%d", op, tr.Len(), len(live))
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"cqp/internal/geo"
+)
+
+// FuzzReader feeds arbitrary text to the trace reader: it must never
+// panic, and every record it accepts must survive a write/read round
+// trip.
+func FuzzReader(f *testing.F) {
+	f.Add("O,0,0.000,1,0.5,0.5,0.001,0.002\n")
+	f.Add("Q,3,15.000,7,0.1,0.2,0.3,0.4\n")
+	f.Add("# comment\n\nO,1,1,1,1,1,1,1\n")
+	f.Add("garbage")
+	f.Add("O,0,0,1,0.1,0.1,0,0,extra\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewReader(strings.NewReader(input))
+		for {
+			rec, err := r.Read()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return // parse errors are fine
+			}
+			// Round trip.
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			var werr error
+			if rec.IsQuery {
+				werr = w.WriteQuery(rec.Tick, rec.Time, rec.Query, rec.Region)
+			} else {
+				werr = w.WriteObject(rec.Tick, rec.Time, rec.Object, rec.Loc, rec.Vel)
+			}
+			if werr != nil {
+				t.Fatalf("re-write failed: %v", werr)
+			}
+			again, err := NewReader(&buf).Read()
+			if err != nil {
+				t.Fatalf("re-read failed: %v", err)
+			}
+			if again.IsQuery != rec.IsQuery || again.Tick != rec.Tick {
+				t.Fatalf("round trip changed record: %+v vs %+v", rec, again)
+			}
+			// Coordinates survive within the format's printed precision.
+			const eps = 1e-6
+			if !rec.IsQuery && again.Loc.Dist(rec.Loc) > eps {
+				t.Fatalf("location drifted: %v vs %v", rec.Loc, again.Loc)
+			}
+			if rec.IsQuery {
+				d := geo.Pt(again.Region.MinX, again.Region.MinY).
+					Dist(geo.Pt(rec.Region.MinX, rec.Region.MinY))
+				if d > eps {
+					t.Fatalf("region drifted: %v vs %v", rec.Region, again.Region)
+				}
+			}
+		}
+	})
+}

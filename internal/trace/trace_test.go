@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteObject(0, 0, 1, geo.Pt(0.5, 0.25), geo.Vec(0.001, -0.002)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteQuery(0, 0, 7, geo.R(0.1, 0.2, 0.3, 0.4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteObject(3, 15, 2, geo.Pt(0, 0), geo.Vector{}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	r := NewReader(&buf)
+	rec, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.IsQuery || rec.Object != 1 || rec.Loc != geo.Pt(0.5, 0.25) || rec.Vel != geo.Vec(0.001, -0.002) {
+		t.Fatalf("record 1 = %+v", rec)
+	}
+	ou := rec.ObjectUpdate()
+	if ou.ID != 1 || ou.Kind != core.Moving {
+		t.Fatalf("ObjectUpdate = %+v", ou)
+	}
+
+	rec, err = r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.IsQuery || rec.Query != 7 || rec.Region != geo.R(0.1, 0.2, 0.3, 0.4) {
+		t.Fatalf("record 2 = %+v", rec)
+	}
+	qu := rec.QueryUpdate()
+	if qu.ID != 7 || qu.Kind != core.Range {
+		t.Fatalf("QueryUpdate = %+v", qu)
+	}
+
+	rec, err = r.Read()
+	if err != nil || rec.Tick != 3 || rec.Time != 15 {
+		t.Fatalf("record 3 = %+v, %v", rec, err)
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("EOF expected, got %v", err)
+	}
+}
+
+func TestCommentsAndBlanksSkipped(t *testing.T) {
+	in := "# header\n\nO,0,0.000,1,0.1,0.1,0,0\n   \n# trailing\n"
+	r := NewReader(strings.NewReader(in))
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("EOF expected, got %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"O,0,0,1,0.1,0.1,0",          // too few fields
+		"X,0,0,1,0.1,0.1,0,0",        // unknown kind
+		"O,zero,0,1,0.1,0.1,0,0",     // bad tick
+		"O,0,zero,1,0.1,0.1,0,0",     // bad time
+		"O,0,0,minusone,0.1,0.1,0,0", // bad id
+		"O,0,0,1,zero,0.1,0,0",       // bad coordinate
+	}
+	for _, c := range cases {
+		r := NewReader(strings.NewReader(c + "\n"))
+		if _, err := r.Read(); err == nil || errors.Is(err, io.EOF) {
+			t.Errorf("line %q: expected parse error, got %v", c, err)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"cqp/internal/core"
+)
+
+func benchBatch(n int) UpdateBatch {
+	m := UpdateBatch{Time: 1}
+	for i := 0; i < n; i++ {
+		m.Updates = append(m.Updates, core.Update{
+			Query: core.QueryID(i % 100), Object: core.ObjectID(i), Positive: i%3 != 0,
+		})
+	}
+	return m
+}
+
+func BenchmarkWireEncodeBatch1000(b *testing.B) {
+	m := benchBatch(1000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := w.Write(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(EncodedSize(m)))
+}
+
+func BenchmarkWireDecodeBatch1000(b *testing.B) {
+	m := benchBatch(1000)
+	var buf bytes.Buffer
+	NewWriter(&buf).Write(m)
+	frame := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewReader(bytes.NewReader(frame)).Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(frame)))
+}

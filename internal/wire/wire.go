@@ -1,0 +1,487 @@
+// Package wire defines the framed binary protocol between the
+// location-aware server and its clients.
+//
+// Every message is framed as
+//
+//	uint32 payload length | uint8 message type | payload
+//
+// with all integers little endian. The protocol is deliberately small:
+// clients push object/query reports upstream; the server pushes
+// incremental update batches downstream; and a three-message handshake
+// (Commit, Wakeup, RecoveryDiff/FullAnswer) implements out-of-sync client
+// recovery with a checksum guard.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// MsgObjectReport (client→server): an object location/velocity report
+	// or removal.
+	MsgObjectReport MsgType = iota + 1
+	// MsgQueryReport (client→server): query registration, movement, or
+	// removal. The connection is subscribed to the query's updates.
+	MsgQueryReport
+	// MsgCommit (client→server): the client acknowledges having applied
+	// the stream for a query; carries the checksum of its answer.
+	MsgCommit
+	// MsgWakeup (client→server): an out-of-sync client reconnects,
+	// carrying the checksum of its rolled-back (last committed) answer.
+	MsgWakeup
+	// MsgUpdateBatch (server→client): incremental positive/negative
+	// updates from one evaluation step.
+	MsgUpdateBatch
+	// MsgRecoveryDiff (server→client): incremental updates that carry a
+	// recovering client from its committed answer to the current one.
+	MsgRecoveryDiff
+	// MsgFullAnswer (server→client): a complete answer; the recovery
+	// fallback when checksums disagree (and the naive baseline's only
+	// message).
+	MsgFullAnswer
+	// MsgCommitAck (server→client): the commit was accepted; the client's
+	// snapshot now matches the server's committed answer.
+	MsgCommitAck
+	// MsgStatsRequest (client→server): ask for server statistics.
+	MsgStatsRequest
+	// MsgStatsResponse (server→client): engine counters and population
+	// sizes.
+	MsgStatsResponse
+)
+
+// MaxPayload bounds a message payload; it accommodates a full answer over
+// every object of a paper-scale run with room to spare.
+const MaxPayload = 64 << 20
+
+// Errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxPayload")
+	ErrUnknownType   = errors.New("wire: unknown message type")
+)
+
+// ObjectReport is the payload of MsgObjectReport.
+type ObjectReport struct {
+	Update core.ObjectUpdate
+}
+
+// QueryReport is the payload of MsgQueryReport.
+type QueryReport struct {
+	Update core.QueryUpdate
+}
+
+// Commit is the payload of MsgCommit.
+type Commit struct {
+	Query    core.QueryID
+	Checksum uint64
+}
+
+// Wakeup is the payload of MsgWakeup. It carries the full query
+// definition so a server that lost the query (restart) can re-register it
+// transparently; a server that still knows the query ignores the
+// definition and keeps its committed state intact.
+type Wakeup struct {
+	Update   core.QueryUpdate
+	Checksum uint64
+}
+
+// UpdateBatch is the payload of MsgUpdateBatch and MsgRecoveryDiff.
+type UpdateBatch struct {
+	Time    float64
+	Updates []core.Update
+}
+
+// FullAnswer is the payload of MsgFullAnswer.
+type FullAnswer struct {
+	Query   core.QueryID
+	Time    float64
+	Objects []core.ObjectID
+}
+
+// CommitAck is the payload of MsgCommitAck.
+type CommitAck struct {
+	Query    core.QueryID
+	Checksum uint64
+}
+
+// StatsRequest is the (empty) payload of MsgStatsRequest.
+type StatsRequest struct{}
+
+// StatsResponse is the payload of MsgStatsResponse.
+type StatsResponse struct {
+	Stats   core.Stats
+	Objects uint32
+	Queries uint32
+	Uptime  float64 // server clock, seconds
+}
+
+// Message is any decodable protocol message.
+type Message interface{ msgType() MsgType }
+
+func (ObjectReport) msgType() MsgType  { return MsgObjectReport }
+func (QueryReport) msgType() MsgType   { return MsgQueryReport }
+func (Commit) msgType() MsgType        { return MsgCommit }
+func (Wakeup) msgType() MsgType        { return MsgWakeup }
+func (UpdateBatch) msgType() MsgType   { return MsgUpdateBatch }
+func (FullAnswer) msgType() MsgType    { return MsgFullAnswer }
+func (CommitAck) msgType() MsgType     { return MsgCommitAck }
+func (StatsRequest) msgType() MsgType  { return MsgStatsRequest }
+func (StatsResponse) msgType() MsgType { return MsgStatsResponse }
+
+// RecoveryDiff wraps an UpdateBatch under the MsgRecoveryDiff type.
+type RecoveryDiff UpdateBatch
+
+func (RecoveryDiff) msgType() MsgType { return MsgRecoveryDiff }
+
+// Writer encodes messages onto a stream. Not safe for concurrent use.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write encodes one message and flushes it.
+func (w *Writer) Write(m Message) error {
+	w.buf = appendMessage(w.buf[:0], m)
+	var header [5]byte
+	binary.LittleEndian.PutUint32(header[0:], uint32(len(w.buf)))
+	header[4] = byte(m.msgType())
+	if _, err := w.w.Write(header[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader decodes messages from a stream. Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read decodes the next message. It returns io.EOF at a clean end of
+// stream.
+func (r *Reader) Read() (Message, error) {
+	var header [5]byte
+	if _, err := io.ReadFull(r.r, header[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(header[0:])
+	if length > MaxPayload {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(r.buf) < int(length) {
+		r.buf = make([]byte, length)
+	}
+	payload := r.buf[:length]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return decodeMessage(MsgType(header[4]), payload)
+}
+
+// --- encoding helpers -----------------------------------------------------
+
+func appendU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) bool() bool { return d.u8() != 0 }
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = errors.New("wire: truncated payload")
+	}
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("wire: %d trailing bytes in payload", len(d.b))
+	}
+	return nil
+}
+
+func appendMessage(b []byte, m Message) []byte {
+	switch m := m.(type) {
+	case ObjectReport:
+		u := m.Update
+		b = appendU64(b, uint64(u.ID))
+		b = append(b, byte(u.Kind))
+		b = appendF64(b, u.Loc.X)
+		b = appendF64(b, u.Loc.Y)
+		b = appendF64(b, u.Vel.DX)
+		b = appendF64(b, u.Vel.DY)
+		b = appendF64(b, u.T)
+		b = appendBool(b, u.Remove)
+		b = appendU32(b, uint32(len(u.Waypoints)))
+		for _, w := range u.Waypoints {
+			b = appendF64(b, w.P.X)
+			b = appendF64(b, w.P.Y)
+			b = appendF64(b, w.T)
+		}
+	case QueryReport:
+		b = appendQueryUpdate(b, m.Update)
+	case Commit:
+		b = appendU64(b, uint64(m.Query))
+		b = appendU64(b, m.Checksum)
+	case CommitAck:
+		b = appendU64(b, uint64(m.Query))
+		b = appendU64(b, m.Checksum)
+	case StatsRequest:
+		// empty payload
+	case StatsResponse:
+		for _, v := range []uint64{
+			m.Stats.Steps, m.Stats.ObjectReports, m.Stats.QueryReports,
+			m.Stats.PositiveUpdates, m.Stats.NegativeUpdates,
+			m.Stats.KNNRecomputes, m.Stats.CandidateChecks, m.Stats.RegionEvalCells,
+		} {
+			b = appendU64(b, v)
+		}
+		b = appendU32(b, m.Objects)
+		b = appendU32(b, m.Queries)
+		b = appendF64(b, m.Uptime)
+	case Wakeup:
+		b = appendQueryUpdate(b, m.Update)
+		b = appendU64(b, m.Checksum)
+	case UpdateBatch:
+		b = appendUpdateBatch(b, m)
+	case RecoveryDiff:
+		b = appendUpdateBatch(b, UpdateBatch(m))
+	case FullAnswer:
+		b = appendU64(b, uint64(m.Query))
+		b = appendF64(b, m.Time)
+		b = appendU32(b, uint32(len(m.Objects)))
+		for _, id := range m.Objects {
+			b = appendU64(b, uint64(id))
+		}
+	default:
+		panic(fmt.Sprintf("wire: cannot encode %T", m))
+	}
+	return b
+}
+
+func appendQueryUpdate(b []byte, u core.QueryUpdate) []byte {
+	b = appendU64(b, uint64(u.ID))
+	b = append(b, byte(u.Kind))
+	for _, v := range []float64{u.Region.MinX, u.Region.MinY, u.Region.MaxX, u.Region.MaxY,
+		u.Focal.X, u.Focal.Y} {
+		b = appendF64(b, v)
+	}
+	b = appendU32(b, uint32(u.K))
+	b = appendF64(b, u.T1)
+	b = appendF64(b, u.T2)
+	b = appendF64(b, u.T)
+	b = appendBool(b, u.Remove)
+	return b
+}
+
+func decodeQueryUpdate(d *decoder) core.QueryUpdate {
+	var u core.QueryUpdate
+	u.ID = core.QueryID(d.u64())
+	u.Kind = core.QueryKind(d.u8())
+	u.Region = geo.Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
+	u.Focal = geo.Pt(d.f64(), d.f64())
+	u.K = int(d.u32())
+	u.T1 = d.f64()
+	u.T2 = d.f64()
+	u.T = d.f64()
+	u.Remove = d.bool()
+	return u
+}
+
+func appendUpdateBatch(b []byte, m UpdateBatch) []byte {
+	b = appendF64(b, m.Time)
+	b = appendU32(b, uint32(len(m.Updates)))
+	for _, u := range m.Updates {
+		b = appendU64(b, uint64(u.Query))
+		b = appendU64(b, uint64(u.Object))
+		b = appendBool(b, u.Positive)
+	}
+	return b
+}
+
+func decodeMessage(t MsgType, payload []byte) (Message, error) {
+	d := &decoder{b: payload}
+	switch t {
+	case MsgObjectReport:
+		var m ObjectReport
+		m.Update.ID = core.ObjectID(d.u64())
+		m.Update.Kind = core.ObjectKind(d.u8())
+		m.Update.Loc = geo.Pt(d.f64(), d.f64())
+		m.Update.Vel = geo.Vec(d.f64(), d.f64())
+		m.Update.T = d.f64()
+		m.Update.Remove = d.bool()
+		n := int(d.u32())
+		if d.err == nil && n > len(d.b)/24 {
+			return nil, errors.New("wire: waypoint count exceeds payload")
+		}
+		if n > 0 {
+			m.Update.Waypoints = make([]geo.TimedPoint, 0, n)
+			for i := 0; i < n; i++ {
+				m.Update.Waypoints = append(m.Update.Waypoints, geo.TimedPoint{
+					P: geo.Pt(d.f64(), d.f64()), T: d.f64(),
+				})
+			}
+		}
+		return m, d.finish()
+	case MsgQueryReport:
+		m := QueryReport{Update: decodeQueryUpdate(d)}
+		return m, d.finish()
+	case MsgCommit:
+		m := Commit{Query: core.QueryID(d.u64()), Checksum: d.u64()}
+		return m, d.finish()
+	case MsgCommitAck:
+		m := CommitAck{Query: core.QueryID(d.u64()), Checksum: d.u64()}
+		return m, d.finish()
+	case MsgStatsRequest:
+		return StatsRequest{}, d.finish()
+	case MsgStatsResponse:
+		var m StatsResponse
+		m.Stats.Steps = d.u64()
+		m.Stats.ObjectReports = d.u64()
+		m.Stats.QueryReports = d.u64()
+		m.Stats.PositiveUpdates = d.u64()
+		m.Stats.NegativeUpdates = d.u64()
+		m.Stats.KNNRecomputes = d.u64()
+		m.Stats.CandidateChecks = d.u64()
+		m.Stats.RegionEvalCells = d.u64()
+		m.Objects = d.u32()
+		m.Queries = d.u32()
+		m.Uptime = d.f64()
+		return m, d.finish()
+	case MsgWakeup:
+		m := Wakeup{Update: decodeQueryUpdate(d), Checksum: d.u64()}
+		return m, d.finish()
+	case MsgUpdateBatch:
+		m, err := decodeUpdateBatch(d)
+		return m, err
+	case MsgRecoveryDiff:
+		m, err := decodeUpdateBatch(d)
+		return RecoveryDiff(m), err
+	case MsgFullAnswer:
+		var m FullAnswer
+		m.Query = core.QueryID(d.u64())
+		m.Time = d.f64()
+		n := int(d.u32())
+		if d.err == nil && n > len(d.b)/8 {
+			return nil, errors.New("wire: answer count exceeds payload")
+		}
+		m.Objects = make([]core.ObjectID, 0, n)
+		for i := 0; i < n; i++ {
+			m.Objects = append(m.Objects, core.ObjectID(d.u64()))
+		}
+		return m, d.finish()
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+}
+
+func decodeUpdateBatch(d *decoder) (UpdateBatch, error) {
+	var m UpdateBatch
+	m.Time = d.f64()
+	n := int(d.u32())
+	if d.err == nil && n > len(d.b)/17 {
+		return m, errors.New("wire: update count exceeds payload")
+	}
+	m.Updates = make([]core.Update, 0, n)
+	for i := 0; i < n; i++ {
+		m.Updates = append(m.Updates, core.Update{
+			Query:    core.QueryID(d.u64()),
+			Object:   core.ObjectID(d.u64()),
+			Positive: d.bool(),
+		})
+	}
+	return m, d.finish()
+}
+
+// EncodedSize returns the wire size in bytes of a message, including the
+// frame header; the benchmarks use it to measure answer bandwidth exactly
+// as the network would see it.
+func EncodedSize(m Message) int {
+	return 5 + len(appendMessage(nil, m))
+}

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(m); err != nil {
+		t.Fatalf("write %T: %v", m, err)
+	}
+	got, err := NewReader(&buf).Read()
+	if err != nil {
+		t.Fatalf("read %T: %v", m, err)
+	}
+	return got
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	msgs := []Message{
+		ObjectReport{Update: core.ObjectUpdate{
+			ID: 42, Kind: core.Predictive, Loc: geo.Pt(1.5, -2.25),
+			Vel: geo.Vec(0.125, -0.5), T: 99.5,
+		}},
+		ObjectReport{Update: core.ObjectUpdate{ID: 7, Remove: true}},
+		ObjectReport{Update: core.ObjectUpdate{
+			ID: 8, Kind: core.Predictive, Loc: geo.Pt(0, 0), T: 1,
+			Waypoints: []geo.TimedPoint{{P: geo.Pt(1, 1), T: 2}, {P: geo.Pt(2, 0), T: 4}},
+		}},
+		QueryReport{Update: core.QueryUpdate{
+			ID: 9, Kind: core.Range, Region: geo.R(0, 1, 2, 3), T: 5,
+		}},
+		QueryReport{Update: core.QueryUpdate{
+			ID: 10, Kind: core.KNN, Focal: geo.Pt(4, 5), K: 3, T: 6,
+		}},
+		QueryReport{Update: core.QueryUpdate{
+			ID: 11, Kind: core.PredictiveRange, Region: geo.R(1, 1, 2, 2),
+			T1: 10, T2: 20, T: 7,
+		}},
+		QueryReport{Update: core.QueryUpdate{ID: 12, Remove: true}},
+		Commit{Query: 5, Checksum: 0xDEADBEEF},
+		CommitAck{Query: 5, Checksum: 0xDEADBEEF},
+		Wakeup{Update: core.QueryUpdate{ID: 5, Kind: core.Range, Region: geo.R(0, 0, 1, 1)}, Checksum: 77},
+		UpdateBatch{Time: 12.5, Updates: []core.Update{
+			{Query: 1, Object: 2, Positive: true},
+			{Query: 1, Object: 3, Positive: false},
+		}},
+		UpdateBatch{Time: 0},
+		RecoveryDiff{Time: 3, Updates: []core.Update{{Query: 9, Object: 1, Positive: true}}},
+		FullAnswer{Query: 8, Time: 44, Objects: []core.ObjectID{1, 5, 9}},
+		FullAnswer{Query: 8, Time: 44},
+		StatsRequest{},
+		StatsResponse{
+			Stats:   core.Stats{Steps: 1, ObjectReports: 2, QueryReports: 3, PositiveUpdates: 4, NegativeUpdates: 5, KNNRecomputes: 6, CandidateChecks: 7, RegionEvalCells: 8},
+			Objects: 9, Queries: 10, Uptime: 11.5,
+		},
+	}
+	for _, m := range msgs {
+		got := roundTrip(t, m)
+		want := m
+		// Empty slices decode as non-nil empty; normalize.
+		if !equalMessages(got, want) {
+			t.Errorf("round trip %T:\n got %+v\nwant %+v", m, got, want)
+		}
+	}
+}
+
+func equalMessages(a, b Message) bool {
+	norm := func(m Message) Message {
+		switch m := m.(type) {
+		case UpdateBatch:
+			if len(m.Updates) == 0 {
+				m.Updates = nil
+			}
+			return m
+		case RecoveryDiff:
+			if len(m.Updates) == 0 {
+				m.Updates = nil
+			}
+			return m
+		case FullAnswer:
+			if len(m.Objects) == 0 {
+				m.Objects = nil
+			}
+			return m
+		default:
+			return m
+		}
+	}
+	return reflect.DeepEqual(norm(a), norm(b))
+}
+
+func TestStreamOfMessages(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 100; i++ {
+		if err := w.Write(Commit{Query: core.QueryID(i), Checksum: uint64(i * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 100; i++ {
+		m, err := r.Read()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		c := m.(Commit)
+		if c.Query != core.QueryID(i) || c.Checksum != uint64(i*i) {
+			t.Fatalf("message %d = %+v", i, c)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("end of stream err = %v", err)
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	NewWriter(&buf).Write(Commit{Query: 1, Checksum: 2})
+	data := buf.Bytes()
+	// Claim the right length but provide fewer payload bytes.
+	short := data[:len(data)-3]
+	if _, err := NewReader(bytes.NewReader(short)).Read(); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	// Corrupt the declared length to be under-sized for the type.
+	bad := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(bad[0:], 4)
+	if _, err := NewReader(bytes.NewReader(bad[:4+1+4])).Read(); err == nil {
+		t.Error("undersized payload should fail")
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	var buf bytes.Buffer
+	NewWriter(&buf).Write(Commit{Query: 1, Checksum: 2})
+	data := buf.Bytes()
+	// Grow the payload by one byte and fix the length header.
+	data = append(data, 0xAA)
+	binary.LittleEndian.PutUint32(data[0:], uint32(len(data)-5))
+	if _, err := NewReader(bytes.NewReader(data)).Read(); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	frame := []byte{0, 0, 0, 0, 0xEE}
+	if _, err := NewReader(bytes.NewReader(frame)).Read(); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFrameTooLargeRejected(t *testing.T) {
+	var header [5]byte
+	binary.LittleEndian.PutUint32(header[0:], MaxPayload+1)
+	header[4] = byte(MsgCommit)
+	if _, err := NewReader(bytes.NewReader(header[:])).Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAbsurdCountsRejected(t *testing.T) {
+	// An UpdateBatch claiming more updates than the payload can hold must
+	// fail before allocating.
+	payload := appendF64(nil, 1.0)
+	payload = appendU32(payload, 1<<30)
+	var frame []byte
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	frame = append(frame, lenBuf[:]...)
+	frame = append(frame, byte(MsgUpdateBatch))
+	frame = append(frame, payload...)
+	if _, err := NewReader(bytes.NewReader(frame)).Read(); err == nil {
+		t.Error("absurd update count should fail")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	m := UpdateBatch{Time: 1, Updates: []core.Update{{Query: 1, Object: 2, Positive: true}}}
+	// 5 header + 8 time + 4 count + 17 per update.
+	if got := EncodedSize(m); got != 5+8+4+17 {
+		t.Errorf("EncodedSize = %d", got)
+	}
+	var buf bytes.Buffer
+	NewWriter(&buf).Write(m)
+	if buf.Len() != EncodedSize(m) {
+		t.Errorf("EncodedSize %d != actual %d", EncodedSize(m), buf.Len())
+	}
+}

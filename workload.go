@@ -1,0 +1,47 @@
+package cqp
+
+import (
+	"cqp/internal/gen"
+	"cqp/internal/roadnet"
+)
+
+// Workload generation: the Brinkhoff-style network-based generator the
+// benchmarks (and the paper's evaluation) run on.
+type (
+	// RoadNetwork is a synthetic city road network.
+	RoadNetwork = roadnet.Network
+	// RoadNetworkConfig parameterizes GenerateRoadNetwork.
+	RoadNetworkConfig = roadnet.Config
+	// RoadClass is a road class (Side, Main, Highway).
+	RoadClass = roadnet.Class
+	// World is a population of network-constrained moving objects.
+	World = gen.World
+	// WorldConfig parameterizes NewWorld.
+	WorldConfig = gen.Config
+	// Workload drives an engine with the paper's evaluation setup.
+	Workload = gen.Workload
+)
+
+// Road classes.
+const (
+	// SideRoad is a dense, slow side street.
+	SideRoad = roadnet.Side
+	// MainRoad is a faster arterial.
+	MainRoad = roadnet.Main
+	// HighwayRoad is the fastest class.
+	HighwayRoad = roadnet.Highway
+)
+
+// GenerateRoadNetwork builds a deterministic synthetic city network.
+func GenerateRoadNetwork(cfg RoadNetworkConfig) *RoadNetwork { return roadnet.Generate(cfg) }
+
+// NewWorld creates a moving-object population on a road network.
+func NewWorld(cfg WorldConfig) (*World, error) { return gen.NewWorld(cfg) }
+
+// MustNewWorld is NewWorld that panics on configuration errors.
+func MustNewWorld(cfg WorldConfig) *World { return gen.MustNewWorld(cfg) }
+
+// NewWorkload builds the paper's evaluation workload over a world.
+func NewWorkload(w *World, numQueries int, querySide float64, seed int64) *Workload {
+	return gen.NewWorkload(w, numQueries, querySide, seed)
+}
