@@ -2,18 +2,28 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-full vet fmt examples clean
+.PHONY: all build test race chaos fuzz cover bench bench-full vet fmt examples clean
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/server/ ./internal/client/ ./internal/wire/
+	$(GO) test -race ./...
+
+# The seeded fault-injection convergence test (see DESIGN.md, "Failure
+# model & recovery").
+chaos:
+	$(GO) test -race -run TestChaosConvergence -count=1 -v ./internal/server/
+
+# Short fuzz pass over the wire decoder's hostile-input handling.
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire/
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1

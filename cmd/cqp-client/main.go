@@ -34,6 +34,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for the simulated feed")
 		commitEvr = flag.Duration("commit", 30*time.Second, "commit (checkpoint) period")
 		statsEvr  = flag.Duration("stats", 0, "print server stats at this period (0 = off)")
+
+		retryInitial  = flag.Duration("retry-initial", 500*time.Millisecond, "first reconnect backoff")
+		retryMax      = flag.Duration("retry-max", 15*time.Second, "reconnect backoff ceiling")
+		retryAttempts = flag.Int("retry-attempts", 0, "give up after this many reconnect attempts (0 = retry forever)")
 	)
 	flag.Parse()
 
@@ -59,7 +63,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cqp-client:", err)
 		os.Exit(1)
 	}
-	c, err := cqp.Dial(*addr)
+	c, err := cqp.DialOptions(*addr, cqp.ClientOptions{
+		AutoReconnect: true,
+		Retry: cqp.RetryPolicy{
+			InitialBackoff: *retryInitial,
+			MaxBackoff:     *retryMax,
+			MaxAttempts:    *retryAttempts,
+			Seed:           *seed,
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cqp-client:", err)
 		os.Exit(1)
@@ -120,14 +132,16 @@ func main() {
 					st.Objects, st.Queries, st.Stats.Steps,
 					st.Stats.PositiveUpdates, st.Stats.NegativeUpdates, st.Uptime)
 			case cqp.EventDisconnected:
-				fmt.Fprintln(os.Stderr, "cqp-client: disconnected:", ev.Err)
-				for {
-					time.Sleep(time.Second)
-					if err := c.Reconnect(*addr); err == nil {
-						fmt.Println("reconnected; recovery in progress")
-						break
-					}
+				// The client reconnects on its own with jittered backoff;
+				// recovery (diff or full answer) follows automatically.
+				if ev.Err != nil {
+					fmt.Fprintln(os.Stderr, "cqp-client: disconnected:", ev.Err)
+				} else {
+					fmt.Fprintln(os.Stderr, "cqp-client: disconnected (connection closed by server)")
 				}
+			case cqp.EventReconnectFailed:
+				fmt.Fprintln(os.Stderr, "cqp-client: reconnect attempts exhausted:", ev.Err)
+				os.Exit(1)
 			}
 		case <-commits.C:
 			if err := c.Commit(q); err != nil {
@@ -150,10 +164,12 @@ func runFeed(c *cqp.Client, n int, seed int64) {
 		world.Advance(1)
 		for i := 0; i < n; i++ {
 			loc, _ := world.Object(i)
-			if err := c.ReportObject(cqp.ObjectUpdate{
+			// Report errors are transient (auto-reconnect heals the link);
+			// keep feeding so the stream resumes after recovery.
+			if c.ReportObject(cqp.ObjectUpdate{
 				ID: cqp.ObjectID(i + 1), Kind: cqp.Moving, Loc: loc, T: world.Now(),
-			}); err != nil {
-				return
+			}) != nil {
+				break
 			}
 		}
 	}

@@ -28,6 +28,12 @@ func main() {
 		size     = flag.Float64("size", 1.0, "monitored space is the square [0,size)²")
 		horizon  = flag.Float64("horizon", 100, "predictive trajectory horizon (seconds)")
 		repoDir  = flag.String("repo", "", "repository directory for durable commits and location history (empty = in-memory only)")
+
+		readTO    = flag.Duration("read-timeout", 45*time.Second, "reap sessions silent for this long (0 = never)")
+		writeTO   = flag.Duration("write-timeout", 5*time.Second, "per-frame write deadline (<0 = none)")
+		heartbeat = flag.Duration("heartbeat", 15*time.Second, "server→client heartbeat period (0 = off)")
+		outbox    = flag.Int("outbox", 256, "per-session outbound queue depth; full = shed the client")
+		maxFrame  = flag.Uint("max-frame", 1<<20, "largest accepted inbound frame in bytes")
 	)
 	flag.Parse()
 
@@ -37,8 +43,13 @@ func main() {
 			GridN:             *gridN,
 			PredictiveHorizon: *horizon,
 		},
-		Interval:      *interval,
-		RepositoryDir: *repoDir,
+		Interval:          *interval,
+		RepositoryDir:     *repoDir,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		HeartbeatInterval: *heartbeat,
+		OutboxSize:        *outbox,
+		MaxFrame:          uint32(*maxFrame),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cqp-server:", err)

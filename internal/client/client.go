@@ -5,15 +5,23 @@
 // commit point and asks the server for the committed→current diff,
 // receiving the complete answer only when the checksum handshake detects
 // divergence.
+//
+// With Options.AutoReconnect the client treats a dead connection as the
+// paper's out-of-sync condition: it redials with jittered exponential
+// backoff and resumes through the wakeup recovery path, with no
+// application involvement beyond observing the events.
 package client
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"cqp/internal/core"
 	"cqp/internal/wire"
@@ -30,13 +38,17 @@ const (
 	// EventFullAnswer is a complete answer (recovery fallback).
 	EventFullAnswer
 	// EventDisconnected reports that the connection died; the client may
-	// Reconnect.
+	// Reconnect (or, with AutoReconnect, is already retrying).
 	EventDisconnected
 	// EventCommitted acknowledges a Commit: the server's committed answer
 	// now equals the client's snapshot.
 	EventCommitted
 	// EventStats answers a RequestStats call.
 	EventStats
+	// EventReconnectFailed reports that automatic reconnection exhausted
+	// RetryPolicy.MaxAttempts; the client stays disconnected until a
+	// manual Reconnect.
+	EventReconnectFailed
 )
 
 // Event is one notification from the read loop. After the event has been
@@ -46,7 +58,7 @@ type Event struct {
 	Time    float64
 	Updates []core.Update // EventUpdates, EventRecovered
 	Query   core.QueryID  // EventFullAnswer
-	Err     error         // EventDisconnected
+	Err     error         // EventDisconnected, EventReconnectFailed
 
 	// Stats carries the server statistics of an EventStats.
 	Stats *ServerStats
@@ -60,6 +72,72 @@ type ServerStats struct {
 	Uptime  float64
 }
 
+// RetryPolicy shapes the jittered exponential backoff of automatic
+// reconnection. The zero value picks the defaults noted per field.
+type RetryPolicy struct {
+	InitialBackoff time.Duration // delay before the first retry (default 100ms)
+	MaxBackoff     time.Duration // backoff ceiling (default 5s)
+	Multiplier     float64       // backoff growth factor (default 2)
+	Jitter         float64       // ± fraction applied to each delay (default 0.2)
+	MaxAttempts    int           // give up after this many attempts (default 0 = never)
+	Seed           int64         // jitter randomness seed (default 1), fixed for reproducible tests
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// backoff returns the jittered delay preceding reconnect attempt n
+// (1-based).
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(p.InitialBackoff) * math.Pow(p.Multiplier, float64(attempt-1))
+	if ceil := float64(p.MaxBackoff); d > ceil {
+		d = ceil
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// Options parameterizes DialOptions. The zero value reproduces Dial's
+// behavior: plain TCP, no automatic reconnection, no read deadline.
+type Options struct {
+	// Dialer overrides how connections are established (fault injection,
+	// proxies, in-memory transports). Defaults to a plain TCP dial.
+	Dialer func(addr string) (net.Conn, error)
+
+	// AutoReconnect redials after a lost connection using Retry, resuming
+	// through the out-of-sync wakeup protocol.
+	AutoReconnect bool
+
+	// Retry shapes AutoReconnect's backoff.
+	Retry RetryPolicy
+
+	// ReadTimeout is the per-message read deadline; a server silent for
+	// longer counts as disconnected. Zero disables the deadline. When
+	// set it should comfortably exceed the server's heartbeat interval.
+	ReadTimeout time.Duration
+}
+
+// ErrClosed is returned by operations on a Close()d client.
+var ErrClosed = errors.New("client: use of closed client")
+
 // queryView is the client-side state of one continuous query.
 type queryView struct {
 	def      core.QueryUpdate
@@ -70,27 +148,47 @@ type queryView struct {
 // Client is a connection to the location-aware server. All methods are
 // safe for concurrent use.
 type Client struct {
+	addr string
+	opts Options
+	dial func(addr string) (net.Conn, error)
+
 	mu      sync.Mutex
 	conn    net.Conn
 	w       *wire.Writer
 	queries map[core.QueryID]*queryView
+	rng     *rand.Rand // backoff jitter; guarded by mu
 
-	events chan Event
-	wg     sync.WaitGroup
-	closed bool
+	events   chan Event
+	wg       sync.WaitGroup
+	retryWG  sync.WaitGroup
+	closed   bool
+	closedCh chan struct{}
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a server with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to a server with explicit lifecycle options.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	opts.Retry = opts.Retry.withDefaults()
+	dial := opts.Dialer
+	if dial == nil {
+		dial = func(a string) (net.Conn, error) { return net.Dial("tcp", a) }
+	}
+	conn, err := dial(addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial: %w", err)
 	}
 	c := &Client{
-		conn:    conn,
-		w:       wire.NewWriter(conn),
-		queries: make(map[core.QueryID]*queryView),
-		events:  make(chan Event, 64),
+		addr:     addr,
+		opts:     opts,
+		dial:     dial,
+		conn:     conn,
+		w:        wire.NewWriter(conn),
+		queries:  make(map[core.QueryID]*queryView),
+		rng:      rand.New(rand.NewSource(opts.Retry.Seed)),
+		events:   make(chan Event, 64),
+		closedCh: make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.readLoop(conn)
@@ -101,7 +199,8 @@ func Dial(addr string) (*Client, error) {
 // consumers block the read loop, applying natural backpressure.
 func (c *Client) Events() <-chan Event { return c.events }
 
-// Close tears the connection down and closes the Events channel.
+// Close tears the connection down, stops any pending automatic
+// reconnection, and closes the Events channel.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -110,9 +209,11 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	conn := c.conn
+	close(c.closedCh)
 	c.mu.Unlock()
 	err := conn.Close()
 	c.wg.Wait()
+	c.retryWG.Wait()
 	close(c.events)
 	return err
 }
@@ -199,7 +300,8 @@ func (c *Client) RequestStats() error {
 // Drop severs the connection without closing the client, simulating the
 // battery or signal loss of the paper's out-of-sync clients: updates the
 // server emits while dropped are lost. The read loop emits
-// EventDisconnected; call Reconnect to resynchronize.
+// EventDisconnected; call Reconnect to resynchronize (with AutoReconnect
+// the client resynchronizes by itself).
 func (c *Client) Drop() error {
 	c.mu.Lock()
 	conn := c.conn
@@ -214,7 +316,7 @@ func (c *Client) Drop() error {
 // either an incremental recovery diff or a full answer; both arrive as
 // events and leave the answers synchronized.
 func (c *Client) Reconnect(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := c.dial(addr)
 	if err != nil {
 		return fmt.Errorf("client: reconnect: %w", err)
 	}
@@ -222,7 +324,7 @@ func (c *Client) Reconnect(addr string) error {
 	if c.closed {
 		c.mu.Unlock()
 		conn.Close()
-		return errors.New("client: reconnect after Close")
+		return ErrClosed
 	}
 	c.conn.Close() // stop any stale read loop
 	c.conn = conn
@@ -251,10 +353,42 @@ func (c *Client) Reconnect(addr string) error {
 	return nil
 }
 
+// reconnectLoop retries Reconnect with jittered exponential backoff until
+// it succeeds, the client is closed, or MaxAttempts is exhausted. At most
+// one reconnectLoop runs at a time: it is only spawned by a dying read
+// loop, and a new read loop only exists once reconnection succeeded.
+func (c *Client) reconnectLoop() {
+	defer c.retryWG.Done()
+	p := c.opts.Retry
+	var lastErr error
+	for attempt := 1; p.MaxAttempts == 0 || attempt <= p.MaxAttempts; attempt++ {
+		c.mu.Lock()
+		d := p.backoff(attempt, c.rng)
+		c.mu.Unlock()
+		select {
+		case <-c.closedCh:
+			return
+		case <-time.After(d):
+		}
+		err := c.Reconnect(c.addr)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, ErrClosed) {
+			return
+		}
+		lastErr = err
+	}
+	c.events <- Event{Kind: EventReconnectFailed, Err: lastErr}
+}
+
 func (c *Client) readLoop(conn net.Conn) {
 	defer c.wg.Done()
 	r := wire.NewReader(conn)
 	for {
+		if c.opts.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+		}
 		msg, err := r.Read()
 		if err != nil {
 			c.mu.Lock()
@@ -266,6 +400,10 @@ func (c *Client) readLoop(conn net.Conn) {
 			}
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				err = nil
+			}
+			if c.opts.AutoReconnect {
+				c.retryWG.Add(1)
+				go c.reconnectLoop()
 			}
 			c.events <- Event{Kind: EventDisconnected, Err: err}
 			return
@@ -306,6 +444,13 @@ func (c *Client) apply(msg wire.Message) {
 		ev = Event{Kind: EventFullAnswer, Time: m.Time, Query: m.Query}
 	case wire.CommitAck:
 		ev = Event{Kind: EventCommitted, Query: m.Query}
+	case wire.Heartbeat:
+		// Echo so the server's read deadline sees a live peer; invisible
+		// to the application. A write failure here is the read loop's
+		// problem to notice.
+		c.w.Write(wire.Heartbeat{Time: m.Time})
+		c.mu.Unlock()
+		return
 	case wire.StatsResponse:
 		ev = Event{Kind: EventStats, Time: m.Uptime, Stats: &ServerStats{
 			Stats:   m.Stats,

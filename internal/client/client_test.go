@@ -133,6 +133,90 @@ func TestMultipleQueriesOneConnection(t *testing.T) {
 	t.Fatal("answers never converged")
 }
 
+func TestAutoReconnectAfterDrop(t *testing.T) {
+	s := startServer(t)
+	addr := s.Addr().String()
+	c, err := client.DialOptions(addr, client.Options{
+		AutoReconnect: true,
+		Retry: client.RetryPolicy{
+			InitialBackoff: 5 * time.Millisecond,
+			MaxBackoff:     50 * time.Millisecond,
+			Seed:           3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	feed, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Close()
+
+	feed.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: geo.Pt(1, 1)})
+	c.RegisterQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(0, 0, 2, 2)})
+	for i := 0; i < 100; i++ {
+		s.Evaluate()
+		if a, _ := c.Answer(1); len(a) == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.Commit(1)
+	wait(t, c, client.EventCommitted)
+
+	// Sever the link; no manual Reconnect anywhere below. While away,
+	// object 2 enters the region.
+	if err := c.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	wait(t, c, client.EventDisconnected)
+	feed.ReportObject(core.ObjectUpdate{ID: 2, Kind: core.Moving, Loc: geo.Pt(1.5, 1.5), T: 1})
+	for i := 0; i < 100; i++ {
+		s.Evaluate()
+		if s.Stats().ObjectReports >= 2 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The client reconnects by itself and recovers via the wakeup diff.
+	ev := wait(t, c, client.EventRecovered)
+	if len(ev.Updates) != 1 || !ev.Updates[0].Positive || ev.Updates[0].Object != 2 {
+		t.Fatalf("auto-recovery diff = %v", ev.Updates)
+	}
+	if ans, _ := c.Answer(1); len(ans) != 2 {
+		t.Fatalf("answer after auto-recovery = %v", ans)
+	}
+}
+
+func TestReconnectFailedAfterMaxAttempts(t *testing.T) {
+	s := startServer(t)
+	c, err := client.DialOptions(s.Addr().String(), client.Options{
+		AutoReconnect: true,
+		Retry: client.RetryPolicy{
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     10 * time.Millisecond,
+			MaxAttempts:    3,
+			Seed:           5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Kill the server for good: every retry must fail, and after
+	// MaxAttempts the client reports that it gave up.
+	s.Close()
+	wait(t, c, client.EventDisconnected)
+	ev := wait(t, c, client.EventReconnectFailed)
+	if ev.Err == nil {
+		t.Fatal("EventReconnectFailed should carry the last dial error")
+	}
+}
+
 func TestRecoveryAcrossMultipleQueries(t *testing.T) {
 	s := startServer(t)
 	addr := s.Addr().String()

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	if p.InitialBackoff != 100*time.Millisecond || p.MaxBackoff != 5*time.Second ||
+		p.Multiplier != 2 || p.Jitter != 0.2 || p.MaxAttempts != 0 || p.Seed != 1 {
+		t.Fatalf("defaults = %+v", p)
+	}
+	// Explicit values survive.
+	q := RetryPolicy{InitialBackoff: time.Second, MaxAttempts: 3}.withDefaults()
+	if q.InitialBackoff != time.Second || q.MaxAttempts != 3 {
+		t.Fatalf("explicit values clobbered: %+v", q)
+	}
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{
+		InitialBackoff: 10 * time.Millisecond,
+		MaxBackoff:     80 * time.Millisecond,
+		Multiplier:     2,
+		Jitter:         0.25,
+		Seed:           42,
+	}.withDefaults()
+	schedule := func() []time.Duration {
+		rng := rand.New(rand.NewSource(p.Seed))
+		var out []time.Duration
+		for attempt := 1; attempt <= 10; attempt++ {
+			out = append(out, p.backoff(attempt, rng))
+		}
+		return out
+	}
+	a, b := schedule(), schedule()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v != %v (same seed must give same schedule)", i+1, a[i], b[i])
+		}
+		lo := time.Duration(float64(p.MaxBackoff) * (1 - p.Jitter))
+		hi := time.Duration(float64(p.MaxBackoff) * (1 + p.Jitter))
+		if a[i] > hi {
+			t.Fatalf("attempt %d backoff %v exceeds jittered ceiling %v", i+1, a[i], hi)
+		}
+		// Once the exponential curve passes the cap, delays sit in the
+		// jitter band around MaxBackoff.
+		if i >= 4 && a[i] < lo {
+			t.Fatalf("attempt %d backoff %v below jittered cap floor %v", i+1, a[i], lo)
+		}
+	}
+	// The curve must actually grow before capping.
+	if a[0] >= a[3] {
+		t.Fatalf("backoff not growing: %v", a[:4])
+	}
+}

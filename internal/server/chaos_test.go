@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cqp/internal/client"
+	"cqp/internal/core"
+	"cqp/internal/faultnet"
+	"cqp/internal/geo"
+)
+
+// TestChaosConvergence is the failure-mode counterpart of the repo's
+// central invariant: under a seeded storm of injected latency, resets,
+// partial writes, and bit corruption, every client's answer must still
+// converge to the server engine's answer once the storm ends — via the
+// paper's out-of-sync machinery (bounded outboxes shedding slow peers,
+// automatic reconnect with backoff, wakeup checksums, and commit-time
+// full-answer healing).
+func TestChaosConvergence(t *testing.T) {
+	const (
+		seed       = 0xC0FFEE
+		numClients = 8
+		numObjects = 6 // per client
+		steps      = 40
+	)
+	inj := faultnet.New(faultnet.Faults{
+		Seed:          seed,
+		Grace:         4, // let the initial register/report handshake through
+		PDelay:        0.05,
+		MaxDelay:      2 * time.Millisecond,
+		PReset:        0.015,
+		PPartialWrite: 0.01,
+		PCorrupt:      0.01,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := startServer(t, Config{
+		Listener:          inj.Listener(ln),
+		Interval:          2 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		ReadTimeout:       500 * time.Millisecond,
+		WriteTimeout:      200 * time.Millisecond,
+		OutboxSize:        32,
+	})
+	addr := ln.Addr().String()
+
+	clients := make([]*client.Client, numClients)
+	for ci := range clients {
+		c, err := client.DialOptions(addr, client.Options{
+			AutoReconnect: true,
+			Retry: client.RetryPolicy{
+				InitialBackoff: 2 * time.Millisecond,
+				MaxBackoff:     20 * time.Millisecond,
+				Jitter:         0.2,
+				Seed:           int64(ci + 1),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[ci] = c
+		defer c.Close()
+		go func() { // drain events until Close
+			for range c.Events() {
+			}
+		}()
+	}
+
+	// The storm: every client reports a private flock of objects moving
+	// through its query region, committing now and then, while faultnet
+	// tears at every connection.
+	var wg sync.WaitGroup
+	for ci, c := range clients {
+		wg.Add(1)
+		go func(ci int, c *client.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + ci)))
+			q := core.QueryID(ci + 1)
+			center := geo.Pt(1+rng.Float64()*8, 1+rng.Float64()*8)
+			def := core.QueryUpdate{ID: q, Kind: core.Range, Region: geo.RectAt(center, 2)}
+			for i := 0; i < 100; i++ {
+				if c.RegisterQuery(def) == nil {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			base := core.ObjectID(ci*numObjects + 1)
+			for step := 0; step < steps; step++ {
+				id := base + core.ObjectID(rng.Intn(numObjects))
+				// Near the region boundary, so objects keep crossing it.
+				loc := geo.Pt(center.X-3+rng.Float64()*6, center.Y-3+rng.Float64()*6)
+				c.ReportObject(core.ObjectUpdate{ // errors heal via reconnect
+					ID: id, Kind: core.Moving, Loc: loc, T: float64(step),
+				})
+				if rng.Intn(5) == 0 {
+					c.Commit(q)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(ci, c)
+	}
+	wg.Wait()
+
+	// Storm over: faults off, transport transparent again.
+	inj.Disable()
+
+	// Every client forces one last resynchronization (covering even the
+	// pathological case where corruption mangled its registration) and
+	// must then converge to the engine's answer, healed by the
+	// commit-checksum handshake.
+	for ci, c := range clients {
+		q := core.QueryID(ci + 1)
+		c.Drop() // auto-reconnect issues the wakeup resync
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			c.Commit(q)
+			time.Sleep(20 * time.Millisecond)
+			want, _ := s.Answer(q)
+			got, ok := c.Answer(q)
+			if ok && fmt.Sprint(want) == fmt.Sprint(got) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("client %d never converged: client %v, server %v", ci, got, want)
+			}
+		}
+	}
+}

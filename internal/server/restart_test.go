@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cqp/internal/client"
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// listenSamePort restarts a server on the exact address of its
+// predecessor (needed so auto-reconnecting clients find it again),
+// retrying briefly in case the OS has not released the port yet.
+func listenSamePort(t *testing.T, addr string, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quietLogger()
+	}
+	if cfg.Engine.Bounds.Empty() {
+		cfg.Engine = core.Options{Bounds: geo.R(0, 0, 10, 10), GridN: 8}
+	}
+	for i := 0; i < 50; i++ {
+		s, err := Listen(addr, cfg)
+		if err == nil {
+			t.Cleanup(func() { s.Close() })
+			return s
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("could not rebind %s", addr)
+	return nil
+}
+
+// TestRestartRecoveryPaths drives both sides of the wakeup handshake
+// across a full server restart backed by the repository:
+//
+//   - Client A committed, and its snapshot matches the durably committed
+//     answer → the restarted server must heal it with the incremental
+//     MsgRecoveryDiff carrying exactly the changes since the commit.
+//   - Client B's last commit never reached the server (it died first), so
+//     B's rolled-back snapshot diverges from the restored committed
+//     answer → the restarted server must fall back to MsgFullAnswer.
+//
+// B runs with AutoReconnect and must resynchronize without any manual
+// reconnection once the server is back on the same address.
+func TestRestartRecoveryPaths(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	s := startServer(t, Config{RepositoryDir: dir})
+	addr := s.Addr().String()
+
+	a, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.DialOptions(addr, client.Options{
+		AutoReconnect: true,
+		Retry: client.RetryPolicy{
+			InitialBackoff: 10 * time.Millisecond,
+			MaxBackoff:     100 * time.Millisecond,
+			Seed:           7,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	feed, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Close()
+
+	// QA over {1, 2}; QB over {3}.
+	feed.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: geo.Pt(1, 1)})
+	feed.ReportObject(core.ObjectUpdate{ID: 2, Kind: core.Moving, Loc: geo.Pt(1.5, 1.5)})
+	feed.ReportObject(core.ObjectUpdate{ID: 3, Kind: core.Moving, Loc: geo.Pt(9, 9)})
+	a.RegisterQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(0, 0, 2, 2)})
+	b.RegisterQuery(core.QueryUpdate{ID: 2, Kind: core.Range, Region: geo.R(8, 8, 10, 10)})
+	evaluateUntil(t, s, func() bool { return s.NumObjects() == 3 && s.NumQueries() == 2 })
+	waitEvent(t, a, client.EventUpdates)
+	waitEvent(t, b, client.EventUpdates)
+
+	// Both commit; the commits are durable.
+	if err := a.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, a, client.EventCommitted)
+	if err := b.Commit(2); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, b, client.EventCommitted)
+
+	// B's answer advances past its durable commit: object 4 enters QB.
+	feed.ReportObject(core.ObjectUpdate{ID: 4, Kind: core.Moving, Loc: geo.Pt(9.5, 9.5), T: 1})
+	evaluateUntil(t, s, func() bool { return s.Stats().ObjectReports >= 4 })
+	waitEvent(t, b, client.EventUpdates)
+
+	// Hard restart. B commits into the void (the server is gone), so its
+	// snapshot becomes {3, 4} while the repository still holds {3}.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, a, client.EventDisconnected)
+	waitEvent(t, b, client.EventDisconnected)
+	b.Commit(2) // write fails or is lost; the local snapshot still advances
+
+	s2 := listenSamePort(t, addr, Config{RepositoryDir: dir})
+
+	// B auto-reconnects: its wakeup checksum ({3,4}) cannot match the
+	// restored committed answer ({3}), so the server heals it with the
+	// complete answer.
+	waitEvent(t, b, client.EventFullAnswer)
+
+	// The world re-reports, with object 1 having left QA while the
+	// server was down.
+	feed2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed2.Close()
+	feed2.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: geo.Pt(5, 5), T: 2})
+	feed2.ReportObject(core.ObjectUpdate{ID: 2, Kind: core.Moving, Loc: geo.Pt(1.5, 1.5), T: 2})
+	feed2.ReportObject(core.ObjectUpdate{ID: 3, Kind: core.Moving, Loc: geo.Pt(9, 9), T: 2})
+	feed2.ReportObject(core.ObjectUpdate{ID: 4, Kind: core.Moving, Loc: geo.Pt(9.5, 9.5), T: 2})
+	evaluateUntil(t, s2, func() bool { return s2.NumObjects() == 4 })
+
+	// A reconnects manually: its snapshot {1,2} matches the committed
+	// answer restored from the repository, so recovery is the incremental
+	// diff — exactly −1.
+	if err := a.Reconnect(addr); err != nil {
+		t.Fatal(err)
+	}
+	ev := waitEvent(t, a, client.EventRecovered)
+	if len(ev.Updates) != 1 || ev.Updates[0].Positive || ev.Updates[0].Object != 1 {
+		t.Fatalf("recovery diff = %v, want [-1]", ev.Updates)
+	}
+	if ans, _ := a.Answer(1); fmt.Sprint(ans) != "[2]" {
+		t.Fatalf("A after recovery: %v", ans)
+	}
+
+	// B converges to the server's answer for QB through routine updates.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s2.Evaluate()
+		want, _ := s2.Answer(2)
+		got, _ := b.Answer(2)
+		if len(want) == 2 && fmt.Sprint(got) == fmt.Sprint(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("B never converged: client %v, server %v", got, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

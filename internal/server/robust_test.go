@@ -1,0 +1,170 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"cqp/internal/client"
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// stallListener wraps accepted connections so every server→client write
+// blocks until release is closed; client→server traffic is unaffected.
+// It makes the shed-slow-client path deterministic: the session writer
+// wedges on the first frame, the outbox fills, and the next enqueue
+// sheds.
+type stallListener struct {
+	net.Listener
+	release chan struct{}
+}
+
+func (l *stallListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &stallConn{Conn: c, release: l.release}, nil
+}
+
+type stallConn struct {
+	net.Conn
+	release chan struct{}
+}
+
+func (c *stallConn) Write(p []byte) (int, error) {
+	<-c.release
+	return c.Conn.Write(p)
+}
+
+func TestShedSlowClientHealsOnReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unstall := func() { releaseOnce.Do(func() { close(release) }) }
+	s := startServer(t, Config{
+		Listener:     &stallListener{Listener: ln, release: release},
+		OutboxSize:   2,
+		WriteTimeout: time.Second,
+	})
+	// Runs before the server's own cleanup: a wedged writer would
+	// otherwise make Close hang if the test fails mid-way.
+	t.Cleanup(unstall)
+	addr := ln.Addr().String()
+
+	sub, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	feed, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer feed.Close()
+
+	feed.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: geo.Pt(5, 5)})
+	sub.RegisterQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(4, 4, 6, 6)})
+	evaluateUntil(t, s, func() bool { return s.NumQueries() == 1 && s.NumObjects() == 1 })
+	// The +1 update is now in the stalled writer's hands. Produce more
+	// batches than writer (1) + outbox (2) can hold by toggling the
+	// object in and out of the region; the 4th forces a shed.
+	for i := 0; i < 6; i++ {
+		loc := geo.Pt(9, 9) // out
+		if i%2 == 1 {
+			loc = geo.Pt(5, 5) // back in
+		}
+		feed.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: loc, T: float64(i + 1)})
+		reports := uint64(i + 2) // 1 initial + i+1 toggles
+		evaluateUntil(t, s, func() bool { return s.Stats().ObjectReports >= reports })
+	}
+	// The subscriber was shed: its connection is closed server-side.
+	waitEvent(t, sub, client.EventDisconnected)
+
+	// Shed == out-of-sync. Un-stall the transport and run the paper's
+	// recovery: the client reconnects, wakes up, and converges.
+	unstall()
+	if err := sub.Reconnect(addr); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, sub, client.EventRecovered)
+	want, _ := s.Answer(1)
+	got, _ := sub.Answer(1)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("after shed recovery: client %v, server %v", got, want)
+	}
+}
+
+func TestHeartbeatKeepsIdleClientAlive(t *testing.T) {
+	s := startServer(t, Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		ReadTimeout:       80 * time.Millisecond,
+	})
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The client sends nothing itself for several read-timeout windows;
+	// its heartbeat echoes must keep the session alive.
+	time.Sleep(400 * time.Millisecond)
+	if err := c.RequestStats(); err != nil {
+		t.Fatalf("idle client was reaped: %v", err)
+	}
+	waitEvent(t, c, client.EventStats)
+}
+
+func TestReadDeadlineReapsSilentPeer(t *testing.T) {
+	s := startServer(t, Config{
+		HeartbeatInterval: 10 * time.Millisecond,
+		ReadTimeout:       50 * time.Millisecond,
+	})
+	// A raw TCP peer that never echoes heartbeats (nor sends anything)
+	// must be disconnected by the read deadline.
+	raw, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4096)
+	for {
+		if _, err := raw.Read(buf); err != nil {
+			return // server closed the connection: reaped
+		}
+	}
+}
+
+func TestCloseDrainsQueuedBatches(t *testing.T) {
+	s := startServer(t, Config{})
+	c, err := client.Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.ReportObject(core.ObjectUpdate{ID: 1, Kind: core.Moving, Loc: geo.Pt(5, 5)})
+	c.RegisterQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(4, 4, 6, 6)})
+	evaluateUntil(t, s, func() bool { return s.NumQueries() == 1 && s.NumObjects() == 1 })
+	// Close immediately after evaluation: the just-queued +1 batch must
+	// still be delivered (drained) before the connection is torn down.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Close()
+	}()
+	ev := waitEvent(t, c, client.EventUpdates)
+	if len(ev.Updates) != 1 || !ev.Updates[0].Positive || ev.Updates[0].Object != 1 {
+		t.Fatalf("drained updates = %v", ev.Updates)
+	}
+	waitEvent(t, c, client.EventDisconnected)
+	wg.Wait()
+}

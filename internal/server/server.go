@@ -17,6 +17,14 @@
 //   - MsgWakeup reconnects an out-of-sync client: if its checksum matches
 //     the committed answer the server replies with the incremental
 //     MsgRecoveryDiff, otherwise with a complete MsgFullAnswer.
+//
+// Connection lifecycle: each session owns a bounded outbox drained by a
+// dedicated writer goroutine, so a stalled TCP peer can never block an
+// evaluation tick. When the outbox overflows the session is shed — a shed
+// client is simply an out-of-sync client, and the paper's wakeup protocol
+// heals it on reconnect. Optional per-session read deadlines paired with
+// periodic heartbeats reap silently dead peers, and Close drains every
+// outbox before tearing connections down.
 package server
 
 import (
@@ -25,6 +33,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -32,6 +41,17 @@ import (
 	"cqp/internal/geo"
 	"cqp/internal/repository"
 	"cqp/internal/wire"
+)
+
+// Defaults for the connection-lifecycle knobs in Config.
+const (
+	// DefaultWriteTimeout bounds one outbound frame write.
+	DefaultWriteTimeout = 5 * time.Second
+	// DefaultOutboxSize is the per-session outbound queue depth.
+	DefaultOutboxSize = 128
+	// DefaultMaxFrame caps inbound frames. Every legitimate
+	// client→server message is far smaller; larger prefixes are hostile.
+	DefaultMaxFrame = 1 << 20
 )
 
 // Config parameterizes a Server.
@@ -52,6 +72,33 @@ type Config struct {
 	// Logger receives connection-level errors. Defaults to the standard
 	// logger.
 	Logger *log.Logger
+
+	// Listener, when non-nil, is used instead of listening on the addr
+	// passed to Listen. Tests use it to interpose fault injection
+	// (internal/faultnet) or custom transports.
+	Listener net.Listener
+
+	// ReadTimeout is the per-message read deadline of a session; a peer
+	// silent for longer is reaped. Zero disables deadlines. When set it
+	// should comfortably exceed HeartbeatInterval so live-but-idle
+	// clients (which echo heartbeats) survive.
+	ReadTimeout time.Duration
+
+	// WriteTimeout bounds each outbound frame write. Defaults to
+	// DefaultWriteTimeout; negative disables the deadline.
+	WriteTimeout time.Duration
+
+	// HeartbeatInterval is the period of server→client heartbeats. Zero
+	// disables them.
+	HeartbeatInterval time.Duration
+
+	// OutboxSize is the per-session outbound queue depth; when a
+	// session's outbox is full the client is shed (disconnected) rather
+	// than allowed to stall evaluation. Defaults to DefaultOutboxSize.
+	OutboxSize int
+
+	// MaxFrame caps inbound frame payloads. Defaults to DefaultMaxFrame.
+	MaxFrame uint32
 }
 
 // Server is a running location-aware server. Create with Listen, stop
@@ -62,25 +109,63 @@ type Server struct {
 	repo     *repository.Repository // nil when persistence is disabled
 	subs     map[core.QueryID]*session
 	sessions map[*session]struct{}
+	draining bool // set by Close: no further outbox enqueues
 
-	ln       net.Listener
-	logger   *log.Logger
-	interval time.Duration
-	start    time.Time
+	ln           net.Listener
+	logger       *log.Logger
+	interval     time.Duration
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	heartbeat    time.Duration
+	outboxSize   int
+	maxFrame     uint32
+	start        time.Time
 
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
 }
 
-// session is one client connection.
+// session is one client connection. The read loop (handleConn) and the
+// writer goroutine share it; `dead` is guarded by its own mutex because
+// the writer flips it without holding the server lock.
 type session struct {
-	conn net.Conn
-	w    *wire.Writer
+	conn       net.Conn
+	w          *wire.Writer
+	outbox     chan wire.Message
+	outboxOnce sync.Once // guards close(outbox); callers hold Server.mu
+	writerDone chan struct{}
+
+	mu   sync.Mutex
 	dead bool
 }
 
-// Listen starts a server on addr (e.g. "127.0.0.1:0").
+// markDead flags the session and closes its connection (once). Safe from
+// any goroutine.
+func (sess *session) markDead() {
+	sess.mu.Lock()
+	already := sess.dead
+	sess.dead = true
+	sess.mu.Unlock()
+	if !already {
+		sess.conn.Close()
+	}
+}
+
+func (sess *session) isDead() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.dead
+}
+
+// closeOutbox releases the writer goroutine. Callers must hold Server.mu
+// so the close cannot race an enqueue.
+func (sess *session) closeOutbox() {
+	sess.outboxOnce.Do(func() { close(sess.outbox) })
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0"). When cfg.Listener
+// is set, addr is ignored and the provided listener is served instead.
 func Listen(addr string, cfg Config) (*Server, error) {
 	engine, err := core.NewEngine(cfg.Engine)
 	if err != nil {
@@ -93,27 +178,50 @@ func Listen(addr string, cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		if repo != nil {
-			repo.Close()
+	ln := cfg.Listener
+	if ln == nil {
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			if repo != nil {
+				repo.Close()
+			}
+			return nil, fmt.Errorf("server: listen: %w", err)
 		}
-		return nil, fmt.Errorf("server: listen: %w", err)
 	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = log.Default()
 	}
+	writeTimeout := cfg.WriteTimeout
+	switch {
+	case writeTimeout == 0:
+		writeTimeout = DefaultWriteTimeout
+	case writeTimeout < 0:
+		writeTimeout = 0
+	}
+	outboxSize := cfg.OutboxSize
+	if outboxSize <= 0 {
+		outboxSize = DefaultOutboxSize
+	}
+	maxFrame := cfg.MaxFrame
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
 	s := &Server{
-		engine:   engine,
-		repo:     repo,
-		subs:     make(map[core.QueryID]*session),
-		sessions: make(map[*session]struct{}),
-		ln:       ln,
-		logger:   logger,
-		interval: cfg.Interval,
-		start:    time.Now(),
-		closed:   make(chan struct{}),
+		engine:       engine,
+		repo:         repo,
+		subs:         make(map[core.QueryID]*session),
+		sessions:     make(map[*session]struct{}),
+		ln:           ln,
+		logger:       logger,
+		interval:     cfg.Interval,
+		readTimeout:  cfg.ReadTimeout,
+		writeTimeout: writeTimeout,
+		heartbeat:    cfg.HeartbeatInterval,
+		outboxSize:   outboxSize,
+		maxFrame:     maxFrame,
+		start:        time.Now(),
+		closed:       make(chan struct{}),
 	}
 	// Restore the stationary-object catalog (gas stations, hospitals, ...)
 	// from the repository: stationary objects do not re-report after a
@@ -137,22 +245,30 @@ func Listen(addr string, cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.tickLoop()
 	}
+	if s.heartbeat > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
 	return s, nil
 }
 
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops accepting connections, terminates all sessions, and closes
-// the repository. It is idempotent.
+// Close stops accepting connections, drains every session's queued
+// outbound frames, terminates all sessions, and closes the repository.
+// It is idempotent.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		err = s.ln.Close()
 		s.mu.Lock()
+		s.draining = true
+		// Release every writer: it drains its queued frames, then closes
+		// the connection, which in turn unblocks the session's read loop.
 		for sess := range s.sessions {
-			sess.conn.Close()
+			sess.closeOutbox()
 		}
 		s.mu.Unlock()
 		s.wg.Wait()
@@ -182,6 +298,25 @@ func (s *Server) tickLoop() {
 	}
 }
 
+func (s *Server) heartbeatLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			now := s.now()
+			for sess := range s.sessions {
+				s.send(sess, wire.Heartbeat{Time: now})
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
 // Evaluate runs one bulk evaluation step and streams the resulting
 // incremental updates to subscribed clients. It returns the number of
 // updates produced. Exposed for tests and for Interval == 0 setups.
@@ -201,7 +336,7 @@ func (s *Server) evaluateLocked() int {
 	perSession := make(map[*session][]core.Update)
 	for _, u := range updates {
 		sess, ok := s.subs[u.Query]
-		if !ok || sess.dead {
+		if !ok || sess.isDead() {
 			continue
 		}
 		perSession[sess] = append(perSession[sess], u)
@@ -212,17 +347,41 @@ func (s *Server) evaluateLocked() int {
 	return len(updates)
 }
 
-// send writes a message to a session, marking it dead on failure. Caller
-// holds s.mu.
+// send enqueues a message on a session's outbox; the session's writer
+// goroutine performs the actual (deadline-bounded) write, so evaluation
+// never blocks on a slow peer. A full outbox sheds the client: it is
+// disconnected and recovers through the wakeup protocol. Caller holds
+// s.mu.
 func (s *Server) send(sess *session, m wire.Message) {
-	if sess.dead {
+	if s.draining || sess.isDead() {
 		return
 	}
-	sess.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	if err := sess.w.Write(m); err != nil {
-		sess.dead = true
-		sess.conn.Close()
+	select {
+	case sess.outbox <- m:
+	default:
+		s.logger.Printf("server: shedding slow client %v (outbox full)", sess.conn.RemoteAddr())
+		sess.markDead()
 	}
+}
+
+// sessionWriter drains one session's outbox onto its connection. It owns
+// the wire.Writer: no other goroutine writes to the connection.
+func (s *Server) sessionWriter(sess *session) {
+	defer close(sess.writerDone)
+	for m := range sess.outbox {
+		if sess.isDead() {
+			continue // drain without writing
+		}
+		if s.writeTimeout > 0 {
+			sess.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+		if err := sess.w.Write(m); err != nil {
+			sess.markDead()
+		}
+	}
+	// Outbox closed and drained (graceful shutdown or session teardown):
+	// closing the connection unblocks the session's read loop.
+	sess.conn.Close()
 }
 
 func (s *Server) acceptLoop() {
@@ -248,21 +407,37 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
-	defer conn.Close()
-	sess := &session{conn: conn, w: wire.NewWriter(conn)}
+	sess := &session{
+		conn:       conn,
+		w:          wire.NewWriter(conn),
+		outbox:     make(chan wire.Message, s.outboxSize),
+		writerDone: make(chan struct{}),
+	}
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
 	s.sessions[sess] = struct{}{}
 	s.mu.Unlock()
+	go s.sessionWriter(sess)
 	defer func() {
 		s.mu.Lock()
 		delete(s.sessions, sess)
+		sess.markDead()
+		sess.closeOutbox()
 		s.mu.Unlock()
+		<-sess.writerDone
 	}()
-	r := wire.NewReader(conn)
+	r := wire.NewReaderLimit(conn, s.maxFrame)
 	for {
+		if s.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
 		msg, err := r.Read()
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
 				select {
 				case <-s.closed:
 				default:
@@ -300,6 +475,9 @@ func (s *Server) handleMessage(sess *session, msg wire.Message) {
 		s.handleCommit(sess, m)
 	case wire.Wakeup:
 		s.handleWakeup(sess, m)
+	case wire.Heartbeat:
+		// The client's echo; its arrival alone refreshed the read
+		// deadline.
 	case wire.StatsRequest:
 		s.send(sess, wire.StatsResponse{
 			Stats:   s.engine.Stats(),
@@ -427,6 +605,14 @@ func (s *Server) Stats() core.Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.engine.Stats()
+}
+
+// Answer returns the engine's current answer for q (for monitoring and
+// for tests that compare client state against the server's ground truth).
+func (s *Server) Answer(q core.QueryID) ([]core.ObjectID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Answer(q)
 }
 
 // NumObjects returns the engine's registered object count.

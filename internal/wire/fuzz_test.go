@@ -33,9 +33,22 @@ func FuzzDecode(f *testing.F) {
 			f.Fatal(err)
 		}
 		f.Add(buf.Bytes())
+		// Hostile variants of every valid frame: truncations (a stalled or
+		// partially-written connection) and single-bit flips (corruption
+		// in transit).
+		frame := buf.Bytes()
+		f.Add(frame[:len(frame)/2])
+		f.Add(frame[:len(frame)-1])
+		for _, bit := range []int{0, 7, len(frame)*4 + 1, len(frame)*8 - 1} {
+			mut := append([]byte(nil), frame...)
+			mut[bit/8] ^= 1 << (bit % 8)
+			f.Add(mut)
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	// A maximal claimed length with no payload behind it.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x03, byte(MsgUpdateBatch)})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := NewReader(bytes.NewReader(data)).Read()

@@ -59,11 +59,21 @@ const (
 	// MsgStatsResponse (server→client): engine counters and population
 	// sizes.
 	MsgStatsResponse
+	// MsgHeartbeat (both directions): liveness probe. The server sends it
+	// periodically; the client echoes it so per-session read deadlines
+	// see traffic from live peers.
+	MsgHeartbeat
 )
 
 // MaxPayload bounds a message payload; it accommodates a full answer over
 // every object of a paper-scale run with room to spare.
 const MaxPayload = 64 << 20
+
+// maxPrealloc bounds the buffer allocated before any payload bytes have
+// actually arrived. A hostile length prefix therefore cannot force a
+// large allocation: buffers beyond this size grow only as fast as the
+// peer delivers real bytes.
+const maxPrealloc = 64 << 10
 
 // Errors.
 var (
@@ -118,6 +128,11 @@ type CommitAck struct {
 // StatsRequest is the (empty) payload of MsgStatsRequest.
 type StatsRequest struct{}
 
+// Heartbeat is the payload of MsgHeartbeat.
+type Heartbeat struct {
+	Time float64 // sender clock, seconds
+}
+
 // StatsResponse is the payload of MsgStatsResponse.
 type StatsResponse struct {
 	Stats   core.Stats
@@ -138,6 +153,7 @@ func (FullAnswer) msgType() MsgType    { return MsgFullAnswer }
 func (CommitAck) msgType() MsgType     { return MsgCommitAck }
 func (StatsRequest) msgType() MsgType  { return MsgStatsRequest }
 func (StatsResponse) msgType() MsgType { return MsgStatsResponse }
+func (Heartbeat) msgType() MsgType     { return MsgHeartbeat }
 
 // RecoveryDiff wraps an UpdateBatch under the MsgRecoveryDiff type.
 type RecoveryDiff UpdateBatch
@@ -177,11 +193,23 @@ func (w *Writer) Write(m Message) error {
 type Reader struct {
 	r   *bufio.Reader
 	buf []byte
+	max uint32
 }
 
-// NewReader returns a Reader over r.
+// NewReader returns a Reader over r accepting frames up to MaxPayload.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReader(r)}
+	return NewReaderLimit(r, MaxPayload)
+}
+
+// NewReaderLimit returns a Reader over r rejecting frames whose payload
+// exceeds maxFrame bytes (0 means MaxPayload). Servers use a tight limit
+// on inbound frames: every legitimate client→server message is small, so
+// a large length prefix is hostile and is refused before any allocation.
+func NewReaderLimit(r io.Reader, maxFrame uint32) *Reader {
+	if maxFrame == 0 || maxFrame > MaxPayload {
+		maxFrame = MaxPayload
+	}
+	return &Reader{r: bufio.NewReader(r), max: maxFrame}
 }
 
 // Read decodes the next message. It returns io.EOF at a clean end of
@@ -195,17 +223,47 @@ func (r *Reader) Read() (Message, error) {
 		return nil, fmt.Errorf("wire: read header: %w", err)
 	}
 	length := binary.LittleEndian.Uint32(header[0:])
-	if length > MaxPayload {
-		return nil, ErrFrameTooLarge
+	if length > r.max {
+		return nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrFrameTooLarge, length, r.max)
 	}
-	if cap(r.buf) < int(length) {
-		r.buf = make([]byte, length)
-	}
-	payload := r.buf[:length]
-	if _, err := io.ReadFull(r.r, payload); err != nil {
+	payload, err := r.readPayload(int(length))
+	if err != nil {
 		return nil, fmt.Errorf("wire: read payload: %w", err)
 	}
 	return decodeMessage(MsgType(header[4]), payload)
+}
+
+// readPayload returns the next n payload bytes. Buffers up to
+// maxPrealloc are allocated outright; larger ones grow chunk by chunk as
+// bytes actually arrive, so the length prefix alone never commits memory.
+func (r *Reader) readPayload(n int) ([]byte, error) {
+	if cap(r.buf) >= n || n <= maxPrealloc {
+		if cap(r.buf) < n {
+			r.buf = make([]byte, n)
+		}
+		payload := r.buf[:n]
+		if _, err := io.ReadFull(r.r, payload); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	buf := r.buf[:0]
+	for len(buf) < n {
+		chunk := min(n-len(buf), maxPrealloc)
+		if cap(buf)-len(buf) < chunk {
+			grown := make([]byte, len(buf), min(n, 2*cap(buf)+chunk))
+			copy(grown, buf)
+			buf = grown
+		}
+		start := len(buf)
+		buf = buf[:start+chunk]
+		if _, err := io.ReadFull(r.r, buf[start:]); err != nil {
+			return nil, err
+		}
+		r.buf = buf[:0]
+	}
+	r.buf = buf
+	return buf, nil
 }
 
 // --- encoding helpers -----------------------------------------------------
@@ -314,6 +372,8 @@ func appendMessage(b []byte, m Message) []byte {
 		b = appendU64(b, m.Checksum)
 	case StatsRequest:
 		// empty payload
+	case Heartbeat:
+		b = appendF64(b, m.Time)
 	case StatsResponse:
 		for _, v := range []uint64{
 			m.Stats.Steps, m.Stats.ObjectReports, m.Stats.QueryReports,
@@ -420,6 +480,9 @@ func decodeMessage(t MsgType, payload []byte) (Message, error) {
 		return m, d.finish()
 	case MsgStatsRequest:
 		return StatsRequest{}, d.finish()
+	case MsgHeartbeat:
+		m := Heartbeat{Time: d.f64()}
+		return m, d.finish()
 	case MsgStatsResponse:
 		var m StatsResponse
 		m.Stats.Steps = d.u64()

@@ -59,6 +59,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		FullAnswer{Query: 8, Time: 44, Objects: []core.ObjectID{1, 5, 9}},
 		FullAnswer{Query: 8, Time: 44},
 		StatsRequest{},
+		Heartbeat{Time: 33.25},
 		StatsResponse{
 			Stats:   core.Stats{Steps: 1, ObjectReports: 2, QueryReports: 3, PositiveUpdates: 4, NegativeUpdates: 5, KNNRecomputes: 6, CandidateChecks: 7, RegionEvalCells: 8},
 			Objects: 9, Queries: 10, Uptime: 11.5,
@@ -165,6 +166,80 @@ func TestFrameTooLargeRejected(t *testing.T) {
 	header[4] = byte(MsgCommit)
 	if _, err := NewReader(bytes.NewReader(header[:])).Read(); !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReaderLimitRejectsOversizedFrame(t *testing.T) {
+	// A frame valid under the default limit must be refused by a reader
+	// with a tighter one — before any payload is consumed.
+	var buf bytes.Buffer
+	NewWriter(&buf).Write(FullAnswer{Query: 1, Objects: make([]core.ObjectID, 100)})
+	r := NewReaderLimit(&buf, 64)
+	if _, err := r.Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v", err)
+	}
+	// Limit 0 means the default.
+	if r := NewReaderLimit(bytes.NewReader(nil), 0); r.max != MaxPayload {
+		t.Errorf("limit 0 → %d, want MaxPayload", r.max)
+	}
+}
+
+func TestHostileLengthPrefixDoesNotAllocate(t *testing.T) {
+	// A header claiming a near-maximal payload followed by nothing must
+	// fail without committing payload-sized memory. (The incremental
+	// reader allocates at most maxPrealloc before bytes arrive.)
+	var frame [5]byte
+	binary.LittleEndian.PutUint32(frame[0:], MaxPayload-1)
+	frame[4] = byte(MsgFullAnswer)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := NewReader(bytes.NewReader(frame[:])).Read(); err == nil {
+			t.Fatal("truncated hostile frame should fail")
+		}
+	})
+	// bufio.Reader + reader + one ≤64KiB chunk, with slack; far below the
+	// hundreds that a per-byte or per-chunk-leak implementation would hit,
+	// and the test would OOM long before MaxPayload-sized allocations.
+	if allocs > 20 {
+		t.Errorf("hostile prefix cost %.0f allocs", allocs)
+	}
+}
+
+func TestLargeFrameChunkedRoundTrip(t *testing.T) {
+	// A genuine large frame (over maxPrealloc) must still round-trip
+	// through the incremental read path.
+	objs := make([]core.ObjectID, 100_000) // 800KB payload
+	for i := range objs {
+		objs[i] = core.ObjectID(i * 3)
+	}
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).Write(FullAnswer{Query: 9, Time: 1, Objects: objs}); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	m, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.(FullAnswer)
+	if len(got.Objects) != len(objs) || got.Objects[99_999] != objs[99_999] {
+		t.Fatalf("large frame mangled: %d objects", len(got.Objects))
+	}
+}
+
+func TestBitFlippedFramesNeverPanic(t *testing.T) {
+	// Flip every bit of a representative frame one at a time: each
+	// variant must either decode or error, never panic, and header flips
+	// must not cause huge allocations (guarded by the limit).
+	var buf bytes.Buffer
+	NewWriter(&buf).Write(Wakeup{
+		Update:   core.QueryUpdate{ID: 5, Kind: core.Range, Region: geo.R(0, 0, 1, 1)},
+		Checksum: 99,
+	})
+	frame := buf.Bytes()
+	for bit := 0; bit < len(frame)*8; bit++ {
+		mut := append([]byte(nil), frame...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		NewReaderLimit(bytes.NewReader(mut), 1<<20).Read()
 	}
 }
 

@@ -34,13 +34,28 @@ const (
 	EventCommitted = client.EventCommitted
 	// EventStats carries a server-statistics response.
 	EventStats = client.EventStats
+	// EventReconnectFailed reports exhausted automatic reconnection.
+	EventReconnectFailed = client.EventReconnectFailed
 )
 
 // ServerStats is the server-side view returned by Client.RequestStats.
 type ServerStats = client.ServerStats
+
+// ClientOptions parameterizes DialOptions (automatic reconnection,
+// retry backoff, read deadlines, custom dialers).
+type ClientOptions = client.Options
+
+// RetryPolicy shapes the jittered exponential backoff of automatic
+// client reconnection.
+type RetryPolicy = client.RetryPolicy
 
 // Listen starts a location-aware server on addr.
 func Listen(addr string, cfg ServerConfig) (*Server, error) { return server.Listen(addr, cfg) }
 
 // Dial connects a client to a running server.
 func Dial(addr string) (*Client, error) { return client.Dial(addr) }
+
+// DialOptions connects a client with explicit lifecycle options.
+func DialOptions(addr string, opts ClientOptions) (*Client, error) {
+	return client.DialOptions(addr, opts)
+}
