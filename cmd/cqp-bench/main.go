@@ -13,6 +13,7 @@
 //	bulk       bulk vs. per-report processing
 //	predictive predictive queries: shared grid vs. TPR-tree
 //	parallel   gather-phase parallelism sweep
+//	shard      spatial shard count sweep (writes BENCH_shard.json)
 //	all        everything above
 //
 // Examples:
@@ -23,16 +24,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"cqp/internal/bench"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig5a|fig5b|shared|qindex|gridsize|recovery|bulk|predictive|parallel|all")
+		exp        = flag.String("exp", "all", "experiment: fig5a|fig5b|shared|qindex|gridsize|recovery|bulk|predictive|parallel|shard|all")
+		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shard")
 		objects    = flag.Int("objects", 20000, "moving object population")
 		queries    = flag.Int("queries", 20000, "moving query population")
 		ticks      = flag.Int("ticks", 8, "measured evaluation periods per point")
@@ -65,9 +70,10 @@ func main() {
 	run("bulk", func() { bulk(base) })
 	run("predictive", func() { predictive(base) })
 	run("parallel", func() { parallelExp(base) })
+	run("shard", func() { shardExp(base, *shards) })
 
 	switch *exp {
-	case "fig5a", "fig5b", "shared", "qindex", "gridsize", "recovery", "bulk", "predictive", "parallel", "all":
+	case "fig5a", "fig5b", "shared", "qindex", "gridsize", "recovery", "bulk", "predictive", "parallel", "shard", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "cqp-bench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -185,6 +191,35 @@ func parallelExp(base bench.Fig5Config) {
 	for i, w := range workers {
 		fmt.Printf("%10d %12.1f %8.1fx\n", w, times[i], times[0]/times[i])
 	}
+	fmt.Println()
+}
+
+func shardExp(base bench.Fig5Config, list string) {
+	var counts []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "cqp-bench: bad -shards entry %q\n", f)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	fmt.Println("=== Shard scaling: Step latency vs. spatial shard count (30% update rate) ===")
+	results := bench.RunShardSweep(base, counts)
+	fmt.Printf("%10s %8s %12s %9s %12s\n", "shards", "tiles", "step ms", "speedup", "updates/tick")
+	for _, r := range results {
+		fmt.Printf("%10d %4dx%-3d %12.1f %8.2fx %12.0f\n",
+			r.Shards, r.Rows, r.Cols, r.StepMS, results[0].StepMS/r.StepMS, r.Updates)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_shard.json", append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqp-bench: writing BENCH_shard.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nwrote BENCH_shard.json")
 	fmt.Println()
 }
 

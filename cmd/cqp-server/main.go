@@ -27,6 +27,7 @@ func main() {
 		gridN    = flag.Int("grid", 64, "grid cells per axis")
 		size     = flag.Float64("size", 1.0, "monitored space is the square [0,size)²")
 		horizon  = flag.Float64("horizon", 100, "predictive trajectory horizon (seconds)")
+		shards   = flag.Int("shards", 1, "spatial shards evaluating in parallel (1 = single engine)")
 		repoDir  = flag.String("repo", "", "repository directory for durable commits and location history (empty = in-memory only)")
 
 		readTO    = flag.Duration("read-timeout", 45*time.Second, "reap sessions silent for this long (0 = never)")
@@ -43,6 +44,7 @@ func main() {
 			GridN:             *gridN,
 			PredictiveHorizon: *horizon,
 		},
+		Shards:            *shards,
 		Interval:          *interval,
 		RepositoryDir:     *repoDir,
 		ReadTimeout:       *readTO,

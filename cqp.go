@@ -19,6 +19,20 @@
 //		fmt.Println(u) // (Q1, +O1)
 //	}
 //
+// # Sharding
+//
+// Both the single Engine and the spatially sharded engine satisfy the
+// Processor interface. NewShardedEngine partitions the space into an
+// R×C tile grid with one engine per tile evaluating in parallel and a
+// router merging the per-tile streams into the same exact global answer
+// stream — a drop-in replacement when one core saturates:
+//
+//	p, err := cqp.NewShardedEngine(cqp.Options{Bounds: cqp.R(0, 0, 100, 100)}, 4)
+//	defer p.Close()
+//
+// The network server selects the implementation with its Shards config
+// knob (cmd/cqp-server -shards).
+//
 // The root package re-exports the engine (internal/core), the geometry
 // kernel (internal/geo), the network layer (internal/server,
 // internal/client), and the road-network workload generator
@@ -29,6 +43,7 @@ package cqp
 import (
 	"cqp/internal/core"
 	"cqp/internal/geo"
+	"cqp/internal/shard"
 )
 
 // Geometry kernel.
@@ -65,6 +80,15 @@ var (
 type (
 	// Engine is the shared incremental continuous query processor.
 	Engine = core.Engine
+	// Processor is the evaluation contract satisfied by both the single
+	// Engine and the sharded engine.
+	Processor = core.Processor
+	// ShardedEngine partitions the space into parallel per-tile engines
+	// behind the Processor interface.
+	ShardedEngine = shard.Engine
+	// ShardOptions configures a ShardedEngine (tile grid shape, kNN
+	// replication padding).
+	ShardOptions = shard.Options
 	// Options configures an Engine.
 	Options = core.Options
 	// Stats aggregates engine activity counters.
@@ -112,6 +136,14 @@ func NewEngine(opt Options) (*Engine, error) { return core.NewEngine(opt) }
 
 // MustNewEngine is NewEngine that panics on configuration errors.
 func MustNewEngine(opt Options) *Engine { return core.MustNewEngine(opt) }
+
+// NewShardedEngine constructs a spatially sharded processor over the
+// given space with n tile shards (arranged into the most square R×C
+// grid whose product is n), each evaluated by its own goroutine. Close
+// it when done to stop the workers.
+func NewShardedEngine(opt Options, n int) (*ShardedEngine, error) {
+	return shard.NewN(opt, n)
+}
 
 // ApplyUpdates replays an update stream onto a client-side answer set.
 func ApplyUpdates(answer map[ObjectID]struct{}, updates []Update, q QueryID) {

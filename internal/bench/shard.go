@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"time"
+
+	"cqp/internal/core"
+	"cqp/internal/gen"
+	"cqp/internal/geo"
+	"cqp/internal/roadnet"
+	"cqp/internal/shard"
+)
+
+// ShardResult is one point of the shard-scaling sweep: the same fixed
+// workload evaluated by a processor with the given shard count.
+type ShardResult struct {
+	Shards  int     `json:"shards"`
+	Rows    int     `json:"rows"`
+	Cols    int     `json:"cols"`
+	StepMS  float64 `json:"step_ms"` // avg Step latency per tick
+	Updates float64 `json:"updates"` // avg updates emitted per tick
+	Objects int     `json:"objects"` // workload population
+	Queries int     `json:"queries"` // workload population
+}
+
+// RunShardSweep measures the average Step time across shard counts on
+// an identical road-network workload. Count 1 runs the plain single
+// engine (the server's Shards=1 path); larger counts run the spatially
+// sharded engine from internal/shard.
+func RunShardSweep(cfg Fig5Config, counts []int) []ShardResult {
+	cfg = cfg.WithDefaults()
+	out := make([]ShardResult, 0, len(counts))
+	for _, n := range counts {
+		net := roadnet.Generate(roadnet.Config{Seed: cfg.Seed})
+		world := gen.MustNewWorld(gen.Config{Net: net, NumObjects: cfg.Objects, Seed: cfg.Seed})
+		wl := gen.NewWorkload(world, cfg.Queries, cfg.QuerySide, cfg.Seed)
+		scatter(wl)
+
+		copt := core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: cfg.GridN}
+		var (
+			proc core.Processor
+			rows = 1
+			cols = 1
+		)
+		if n > 1 {
+			se, err := shard.NewN(copt, n)
+			if err != nil {
+				panic(err)
+			}
+			defer se.Close()
+			rows, cols = shard.Split(n)
+			proc = se
+		} else {
+			proc = core.MustNewEngine(copt)
+		}
+
+		wl.Bootstrap(proc)
+		proc.Step(world.Now())
+
+		total, updates := 0.0, 0
+		for tick := 0; tick < cfg.Ticks; tick++ {
+			wl.Tick(proc, cfg.DT, cfg.Rate, cfg.QueryRate)
+			start := time.Now()
+			updates += len(proc.Step(world.Now()))
+			total += msSince(start)
+		}
+		out = append(out, ShardResult{
+			Shards:  n,
+			Rows:    rows,
+			Cols:    cols,
+			StepMS:  total / float64(cfg.Ticks),
+			Updates: float64(updates) / float64(cfg.Ticks),
+			Objects: cfg.Objects,
+			Queries: cfg.Queries,
+		})
+	}
+	return out
+}

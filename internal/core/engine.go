@@ -414,8 +414,15 @@ func (e *Engine) registerSwept(os *objectState) {
 }
 
 // applyQueryUpdate registers a new query or applies a movement report to
-// an existing one.
+// an existing one. Updates with an unknown kind are rejected up front,
+// before any state is touched: an invalid report must not auto-commit an
+// existing query or overwrite its timestamp.
 func (e *Engine) applyQueryUpdate(u QueryUpdate, out *[]Update) {
+	switch u.Kind {
+	case Range, KNN, PredictiveRange:
+	default:
+		return
+	}
 	qs, exists := e.qrys[u.ID]
 	if exists && qs.kind != u.Kind {
 		// A query changing kind is a re-registration: tear down the old
@@ -447,11 +454,6 @@ func (e *Engine) applyQueryUpdate(u QueryUpdate, out *[]Update) {
 		e.dirtyKNN[qs.id] = struct{}{}
 	case PredictiveRange:
 		e.applyPredictiveUpdate(qs, u.Region, u.T1, u.T2, out)
-	default:
-		// Unknown kind: deregister the placeholder if we just created it.
-		if !exists {
-			delete(e.qrys, u.ID)
-		}
 	}
 }
 

@@ -253,3 +253,47 @@ func TestStationaryObjectsAndPendingCount(t *testing.T) {
 		t.Fatalf("Pending after Step = %d", e.Pending())
 	}
 }
+
+// TestUnknownQueryKindNoSideEffects: an update with an unrecognized
+// kind must be rejected before any state is touched — in particular it
+// must not auto-commit an existing query's answer or overwrite its
+// timestamp, and the query must keep working afterwards.
+func TestUnknownQueryKindNoSideEffects(t *testing.T) {
+	e := newTestEngine(t)
+
+	// An unknown kind must not register a query at all.
+	e.ReportQuery(QueryUpdate{ID: 7, Kind: QueryKind(99)})
+	e.Step(0)
+	if e.NumQueries() != 0 {
+		t.Fatal("unknown kind registered a query")
+	}
+
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Moving, Loc: geo.Pt(2, 2), T: 1})
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: Range, Region: geo.R(1, 1, 3, 3), T: 1})
+	e.Step(1)
+	// Registration committed the then-empty answer; the object joined
+	// afterwards, so the answer is uncommitted.
+	if got, _ := e.Answer(1); len(got) != 1 {
+		t.Fatalf("answer = %v", got)
+	}
+	if ca, _ := e.CommittedAnswer(1); len(ca) != 0 {
+		t.Fatalf("committed = %v before the probe", ca)
+	}
+
+	e.ReportQuery(QueryUpdate{ID: 1, Kind: QueryKind(99), T: 2})
+	e.Step(2)
+	if ca, _ := e.CommittedAnswer(1); len(ca) != 0 {
+		t.Fatalf("unknown-kind update auto-committed: %v", ca)
+	}
+
+	// The query still evaluates normally.
+	e.ReportObject(ObjectUpdate{ID: 1, Kind: Moving, Loc: geo.Pt(9, 9), T: 3})
+	got := e.Step(3)
+	want := []Update{{Query: 1, Object: 1, Positive: false}}
+	if !updatesEqual(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if err := e.CheckConsistency(true); err != nil {
+		t.Fatal(err)
+	}
+}

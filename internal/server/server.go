@@ -40,6 +40,7 @@ import (
 	"cqp/internal/core"
 	"cqp/internal/geo"
 	"cqp/internal/repository"
+	"cqp/internal/shard"
 	"cqp/internal/wire"
 )
 
@@ -58,6 +59,12 @@ const (
 type Config struct {
 	// Engine configures the underlying query processor. Required.
 	Engine core.Options
+
+	// Shards selects the processor implementation: 0 or 1 runs the
+	// single core.Engine (today's behavior); larger values run the
+	// spatially sharded engine (internal/shard) with that many tile
+	// shards evaluating in parallel. Negative values are rejected.
+	Shards int
 
 	// Interval is the bulk-evaluation period Δt (the paper evaluates
 	// every 5 seconds; tests use milliseconds). Zero disables the
@@ -105,7 +112,7 @@ type Config struct {
 // with Close.
 type Server struct {
 	mu       sync.Mutex
-	engine   *core.Engine
+	engine   core.Processor
 	repo     *repository.Repository // nil when persistence is disabled
 	subs     map[core.QueryID]*session
 	sessions map[*session]struct{}
@@ -167,7 +174,7 @@ func (sess *session) closeOutbox() {
 // Listen starts a server on addr (e.g. "127.0.0.1:0"). When cfg.Listener
 // is set, addr is ignored and the provided listener is served instead.
 func Listen(addr string, cfg Config) (*Server, error) {
-	engine, err := core.NewEngine(cfg.Engine)
+	engine, err := newProcessor(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +182,7 @@ func Listen(addr string, cfg Config) (*Server, error) {
 	if cfg.RepositoryDir != "" {
 		repo, err = repository.Open(cfg.RepositoryDir)
 		if err != nil {
+			closeProcessor(engine)
 			return nil, err
 		}
 	}
@@ -185,6 +193,7 @@ func Listen(addr string, cfg Config) (*Server, error) {
 			if repo != nil {
 				repo.Close()
 			}
+			closeProcessor(engine)
 			return nil, fmt.Errorf("server: listen: %w", err)
 		}
 	}
@@ -234,6 +243,7 @@ func Listen(addr string, cfg Config) (*Server, error) {
 		if err != nil {
 			ln.Close()
 			repo.Close()
+			closeProcessor(engine)
 			return nil, err
 		}
 		engine.Step(0)
@@ -277,8 +287,30 @@ func (s *Server) Close() error {
 				err = rerr
 			}
 		}
+		closeProcessor(s.engine)
 	})
 	return err
+}
+
+// newProcessor builds the query processor Config.Shards selects: the
+// single core.Engine, or the sharded engine with that many tiles.
+func newProcessor(cfg Config) (core.Processor, error) {
+	switch {
+	case cfg.Shards < 0:
+		return nil, fmt.Errorf("server: Config.Shards must be non-negative, got %d", cfg.Shards)
+	case cfg.Shards > 1:
+		return shard.NewN(cfg.Engine, cfg.Shards)
+	default:
+		return core.NewEngine(cfg.Engine)
+	}
+}
+
+// closeProcessor releases processor-owned resources (the sharded
+// engine's worker goroutines); the plain core engine has none.
+func closeProcessor(p core.Processor) {
+	if c, ok := p.(io.Closer); ok {
+		c.Close()
+	}
 }
 
 // now returns the server clock in seconds since start.

@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"sort"
+
+	"cqp/internal/core"
+)
+
+// The kNN merge. Each tile replica maintains its *local* top-k: the k
+// nearest of the tile's own objects. The local top-k of every covered
+// tile is a superset of that tile's contribution to the global top-k,
+// so the union of local answers — the candidacy refcounts in
+// queryInfo.count — always contains the exact global answer, provided
+// the coverage is wide enough. settleKNN establishes "wide enough" as a
+// fixpoint: after ranking the candidates by distance, any uncovered
+// tile that could still hold a closer object (MinDist(focal, tile) ≤
+// distance to the current k-th candidate) is added to the coverage, the
+// query is registered on it, only those tiles are sub-stepped at the
+// same timestamp, and the loop repeats. Termination: the coverage only
+// grows and is bounded by the tile count, and adding candidates never
+// increases the k-th distance.
+//
+// A starved query (fewer than k candidates) is replicated to *every*
+// tile — including currently empty ones — mirroring the core engine,
+// which registers a starved query's interest region as the whole
+// bounds. This is what guarantees a later object arrival in any tile is
+// reported.
+
+// cand is one ranked kNN merge candidate.
+type cand struct {
+	id   core.ObjectID
+	dist float64
+}
+
+// rankedCandidates returns the query's live merge candidates ordered by
+// (distance to focal, ObjectID).
+func (e *Engine) rankedCandidates(qi *queryInfo) []cand {
+	cands := make([]cand, 0, len(qi.count))
+	for o := range qi.count {
+		info, ok := e.objs[o]
+		if !ok {
+			continue // removed this batch; its retraction is already merged
+		}
+		cands = append(cands, cand{id: o, dist: info.loc.Dist(qi.focal)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].id < cands[j].id
+	})
+	return cands
+}
+
+// settleKNNQueries runs the global top-k fixpoint for every kNN query
+// whose answer may have changed this step.
+func (e *Engine) settleKNNQueries(m *mergeState, now float64) {
+	for qid := range m.knnDirty {
+		qi, ok := e.qrys[qid]
+		if !ok || qi.kind != core.KNN {
+			continue // removed or re-registered as another kind
+		}
+		e.settleKNN(m, qi, now)
+	}
+}
+
+// settleKNN expands the query's coverage to a fixpoint, computes the
+// exact global top-k from the merged candidates, and emits the diff
+// against the previously reported global answer.
+func (e *Engine) settleKNN(m *mergeState, qi *queryInfo, now float64) {
+	var cands []cand
+	if qi.k > 0 {
+		for {
+			cands = e.rankedCandidates(qi)
+			starved := len(cands) < qi.k
+			var rk float64
+			if !starved {
+				rk = cands[qi.k-1].dist
+			}
+			var grow []int
+			for t := range e.workers {
+				if _, covered := qi.coverage[t]; covered {
+					continue
+				}
+				if starved || e.tiles[t].MinDist(qi.focal) <= rk {
+					grow = append(grow, t)
+				}
+			}
+			if len(grow) == 0 {
+				break
+			}
+			def := core.QueryUpdate{
+				ID: qi.id, Kind: core.KNN,
+				Focal: qi.focal, K: qi.k, T: qi.t,
+			}
+			for _, t := range grow {
+				qi.coverage[t] = struct{}{}
+				e.workers[t].eng.ReportQuery(def)
+			}
+			// Sub-step only the newly covered tiles, at the step's own
+			// timestamp: their engines register the replica and report
+			// its local top-k, which absorb folds into the candidates.
+			for _, batch := range e.stepTiles(grow, now) {
+				e.absorb(m, batch)
+			}
+		}
+	}
+
+	n := len(cands)
+	if n > qi.k {
+		n = qi.k
+	}
+	newAns := make(map[core.ObjectID]struct{}, n)
+	for i := 0; i < n; i++ {
+		newAns[cands[i].id] = struct{}{}
+	}
+	for o := range qi.answer {
+		if _, still := newAns[o]; !still {
+			e.emit(m, qi.id, o, false)
+		}
+	}
+	for o := range newAns {
+		if _, had := qi.answer[o]; !had {
+			e.emit(m, qi.id, o, true)
+		}
+	}
+	qi.answer = newAns
+	if n > 0 {
+		qi.radius = cands[n-1].dist
+	} else {
+		qi.radius = 0
+	}
+}

@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"sort"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// The client-protocol surface of the sharded engine. The router is the
+// single source of truth for answers and the commit/recover protocol:
+// per-tile engines also track committed state, but it is never
+// consulted — a query replicated to three tiles has one global answer
+// and one committed snapshot, both held here.
+
+// answerIDs returns the merged global answer of a query in ascending
+// ObjectID order.
+func (e *Engine) answerIDs(qi *queryInfo) []core.ObjectID {
+	var out []core.ObjectID
+	if qi.kind == core.KNN {
+		out = make([]core.ObjectID, 0, len(qi.answer))
+		for o := range qi.answer {
+			out = append(out, o)
+		}
+	} else {
+		out = make([]core.ObjectID, 0, len(qi.count))
+		for o, c := range qi.count {
+			if c > 0 {
+				out = append(out, o)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// answerSet returns the merged global answer as a set.
+func (e *Engine) answerSet(qi *queryInfo) map[core.ObjectID]struct{} {
+	if qi.kind == core.KNN {
+		out := make(map[core.ObjectID]struct{}, len(qi.answer))
+		for o := range qi.answer {
+			out[o] = struct{}{}
+		}
+		return out
+	}
+	out := make(map[core.ObjectID]struct{}, len(qi.count))
+	for o, c := range qi.count {
+		if c > 0 {
+			out[o] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Answer returns the current merged answer of q in ascending ObjectID
+// order, or nil and false if q is unknown.
+func (e *Engine) Answer(q core.QueryID) ([]core.ObjectID, bool) {
+	qi, ok := e.qrys[q]
+	if !ok {
+		return nil, false
+	}
+	return e.answerIDs(qi), true
+}
+
+// AnswerChecksum returns the order-independent checksum of q's current
+// answer; ok is false when q is unknown.
+func (e *Engine) AnswerChecksum(q core.QueryID) (uint64, bool) {
+	qi, ok := e.qrys[q]
+	if !ok {
+		return 0, false
+	}
+	return core.ChecksumIDs(e.answerIDs(qi)), true
+}
+
+// Commit records that q's client provably received the stream so far.
+// It reports whether q is registered.
+func (e *Engine) Commit(q core.QueryID) bool {
+	qi, ok := e.qrys[q]
+	if !ok {
+		return false
+	}
+	qi.committed = e.answerSet(qi)
+	return true
+}
+
+// CommittedAnswer returns the last committed answer of q in ascending
+// ObjectID order; ok is false when q is unknown.
+func (e *Engine) CommittedAnswer(q core.QueryID) ([]core.ObjectID, bool) {
+	qi, ok := e.qrys[q]
+	if !ok {
+		return nil, false
+	}
+	out := make([]core.ObjectID, 0, len(qi.committed))
+	for o := range qi.committed {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, true
+}
+
+// CommittedChecksum returns the checksum of q's committed answer; ok is
+// false when q is unknown.
+func (e *Engine) CommittedChecksum(q core.QueryID) (uint64, bool) {
+	qi, ok := e.qrys[q]
+	if !ok {
+		return 0, false
+	}
+	out := make([]core.ObjectID, 0, len(qi.committed))
+	for o := range qi.committed {
+		out = append(out, o)
+	}
+	return core.ChecksumIDs(out), true
+}
+
+// SeedCommitted installs a committed answer for q (repository restore
+// after a restart). It reports whether q is registered.
+func (e *Engine) SeedCommitted(q core.QueryID, objs []core.ObjectID) bool {
+	qi, ok := e.qrys[q]
+	if !ok {
+		return false
+	}
+	committed := make(map[core.ObjectID]struct{}, len(objs))
+	for _, o := range objs {
+		committed[o] = struct{}{}
+	}
+	qi.committed = committed
+	return true
+}
+
+// Recover returns the updates an out-of-sync client needs — the diff
+// between the committed and current merged answers, negatives first —
+// and then commits, exactly as core.Engine.Recover does.
+func (e *Engine) Recover(q core.QueryID) ([]core.Update, bool) {
+	qi, ok := e.qrys[q]
+	if !ok {
+		return nil, false
+	}
+	answer := e.answerSet(qi)
+	var out []core.Update
+	for o := range qi.committed {
+		if _, still := answer[o]; !still {
+			out = append(out, core.Update{Query: q, Object: o, Positive: false})
+		}
+	}
+	for o := range answer {
+		if _, had := qi.committed[o]; !had {
+			out = append(out, core.Update{Query: q, Object: o, Positive: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Positive != out[j].Positive {
+			return !out[i].Positive // negatives first, as the client prunes
+		}
+		return out[i].Object < out[j].Object
+	})
+	qi.committed = answer
+	return out, true
+}
+
+// Stats returns the router's activity counters. Step, report, and
+// update counts are the router's own (they match the single-engine
+// counts for the same workload); the work counters — kNN recomputes,
+// candidate checks, region cells visited — are summed over the tile
+// engines, exposing the actual evaluation work done across shards.
+func (e *Engine) Stats() core.Stats {
+	s := e.stats
+	for _, w := range e.workers {
+		ws := w.eng.Stats()
+		s.KNNRecomputes += ws.KNNRecomputes
+		s.CandidateChecks += ws.CandidateChecks
+		s.RegionEvalCells += ws.RegionEvalCells
+	}
+	return s
+}
+
+// Now returns the evaluation timestamp of the last Step.
+func (e *Engine) Now() float64 { return e.now }
+
+// Bounds returns the monitored space.
+func (e *Engine) Bounds() geo.Rect { return e.opt.Core.Bounds }
+
+// NumObjects returns the number of registered objects across all tiles.
+func (e *Engine) NumObjects() int { return len(e.objs) }
+
+// NumQueries returns the number of registered queries.
+func (e *Engine) NumQueries() int { return len(e.qrys) }

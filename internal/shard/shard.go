@@ -1,0 +1,379 @@
+// Package shard implements the spatially sharded continuous query
+// processor: the monitored space is split into an R×C grid of tiles,
+// each tile owns an independent core.Engine driven by its own worker
+// goroutine, and a thin single-threaded router partitions reports,
+// replicates queries, runs all tile engines in parallel, and merges the
+// per-tile update streams back into one exact global answer stream.
+//
+// The design follows the distributed continuous-query literature (Zhu &
+// Yu's distributed range monitoring, MOIST's space-partitioned moving
+// object indexer): partition the space, evaluate per partition, and
+// coordinate at the edges. Concretely:
+//
+//   - Every object is owned by exactly one tile — the tile containing
+//     its (bounds-clamped) reported location. A report that moves an
+//     object across a tile boundary is split into a removal routed to
+//     the old tile and an insertion routed to the new tile, so negative
+//     updates for queries in the old tile still fire.
+//   - Range queries are replicated to every tile their region overlaps,
+//     predictive range queries to every tile (a predictive object's
+//     trajectory can reach a distant query region from any tile), and
+//     kNN queries to every tile overlapping their focal circle plus a
+//     configurable padding ring of tiles, re-replicated whenever the
+//     circle grows.
+//   - Each tile engine spans the *full* global bounds (it simply holds
+//     only its tile's objects). This keeps every engine-level behavior —
+//     out-of-bounds clamping, predictive swept-region registration, kNN
+//     circle registration — identical to the single-engine case, which
+//     is what makes the merge exact.
+//   - Step broadcasts the evaluation to all workers, runs them in
+//     parallel, and merges the resulting streams: membership refcounts
+//     deduplicate positives/negatives for queries replicated to several
+//     tiles, and kNN answers are merged to the exact global top-k at
+//     the router (see knn.go).
+//
+// The Engine satisfies core.Processor and is a drop-in replacement for
+// *core.Engine behind internal/server. Like the core engine it is not
+// safe for concurrent use; callers serialize access. With Rows = Cols =
+// 1 it degenerates to a single engine behind a thin router.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// Options configures a sharded engine.
+type Options struct {
+	// Core configures each per-tile engine. Core.Bounds is the global
+	// monitored space; every tile engine spans it in full. Required.
+	Core core.Options
+
+	// Rows, Cols shape the tile grid. Both default to 1.
+	Rows, Cols int
+
+	// PadTiles is the kNN replication padding: a kNN query is
+	// replicated to every tile overlapping its focal circle grown by
+	// this many tile widths, so small circle growth does not force a
+	// re-replication every step. Defaults to 1.
+	PadTiles int
+}
+
+func (o *Options) withDefaults() (Options, error) {
+	out := *o
+	if out.Rows == 0 {
+		out.Rows = 1
+	}
+	if out.Cols == 0 {
+		out.Cols = 1
+	}
+	if out.Rows < 1 || out.Cols < 1 {
+		return out, fmt.Errorf("shard: Options.Rows and Cols must be positive, got %d x %d", out.Rows, out.Cols)
+	}
+	if out.PadTiles == 0 {
+		out.PadTiles = 1
+	}
+	if out.PadTiles < 0 {
+		return out, fmt.Errorf("shard: Options.PadTiles must be non-negative, got %d", out.PadTiles)
+	}
+	return out, nil
+}
+
+// Split factors a shard count into the most square Rows×Cols tile grid
+// whose product is exactly n (7 shards become 1×7; 12 become 3×4).
+func Split(n int) (rows, cols int) {
+	if n < 1 {
+		return 1, 1
+	}
+	r := int(math.Sqrt(float64(n)))
+	for r > 1 && n%r != 0 {
+		r--
+	}
+	return r, n / r
+}
+
+// worker is one tile: its engine and the goroutine driving it. The
+// router owns the engine between steps (buffering reports is plain
+// method calls); during a step the worker goroutine owns it. The cmd
+// send and res receive establish the happens-before edges that make the
+// handoff race-free.
+type worker struct {
+	eng *core.Engine
+	cmd chan float64
+	res chan []core.Update
+}
+
+func (w *worker) run() {
+	for now := range w.cmd {
+		w.res <- w.eng.Step(now)
+	}
+}
+
+// objInfo is the router's record of one object: which tile owns it and
+// its last reported location (used for migration detection and for the
+// kNN merge distance computations).
+type objInfo struct {
+	tile int
+	loc  geo.Point
+}
+
+// queryInfo is the router's record of one query: its definition (for
+// replication), the tiles currently holding a replica, the per-object
+// replica-membership refcounts, and the globally merged answer state.
+type queryInfo struct {
+	id   core.QueryID
+	kind core.QueryKind
+	t    float64
+
+	region geo.Rect  // Range / PredictiveRange region
+	focal  geo.Point // KNN focal point
+	k      int       // KNN cardinality
+	radius float64   // KNN: distance to the current global k-th member
+
+	// coverage is the set of tiles holding a replica of this query.
+	// Invariant: every replica receives every subsequent update of the
+	// query, so replicas never go stale.
+	coverage map[int]struct{}
+
+	// count refcounts, per object, how many replicas currently report
+	// it as a member. For Range and PredictiveRange queries an object
+	// is owned by exactly one tile, so the merged global answer is
+	// simply {o : count[o] > 0}; the refcount deduplicates the
+	// transient −/+ pairs of cross-tile migrations. For KNN queries
+	// count tracks *candidacy* (membership in some tile's local top-k)
+	// and the exact global answer is maintained separately.
+	count map[core.ObjectID]int
+
+	// answer is the exact global top-k of a KNN query; nil for other
+	// kinds (their answer is derived from count).
+	answer map[core.ObjectID]struct{}
+
+	// committed is the last committed answer; nil until the first
+	// commit, mirroring core.
+	committed map[core.ObjectID]struct{}
+}
+
+// Engine is the sharded processor. See the package documentation.
+type Engine struct {
+	opt        Options
+	rows, cols int
+	tiles      []geo.Rect
+	tileW      float64
+	tileH      float64
+
+	workers  []*worker
+	objCount []int // objects owned per tile
+
+	now  float64
+	objs map[core.ObjectID]*objInfo
+	qrys map[core.QueryID]*queryInfo
+
+	// candKNN is the reverse candidacy index: for each object, the KNN
+	// queries holding it as a merge candidate. An object report must
+	// re-rank those queries even when no tile emits a membership
+	// change (a candidate moving within its tile's local top-k changes
+	// global distances silently).
+	candKNN map[core.ObjectID]map[core.QueryID]struct{}
+
+	objBuf []core.ObjectUpdate
+	qryBuf []core.QueryUpdate
+
+	stats core.Stats
+
+	closeOnce sync.Once
+}
+
+var _ core.Processor = (*Engine)(nil)
+
+// New constructs a sharded engine over opt.Core.Bounds.
+func New(opt Options) (*Engine, error) {
+	o, err := opt.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	b := o.Core.Bounds
+	n := o.Rows * o.Cols
+	e := &Engine{
+		opt:      o,
+		rows:     o.Rows,
+		cols:     o.Cols,
+		tiles:    make([]geo.Rect, n),
+		workers:  make([]*worker, n),
+		objCount: make([]int, n),
+		objs:     make(map[core.ObjectID]*objInfo),
+		qrys:     make(map[core.QueryID]*queryInfo),
+		candKNN:  make(map[core.ObjectID]map[core.QueryID]struct{}),
+	}
+	for i := 0; i < n; i++ {
+		eng, err := core.NewEngine(o.Core)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		w := &worker{eng: eng, cmd: make(chan float64), res: make(chan []core.Update, 1)}
+		e.workers[i] = w
+		go w.run()
+	}
+	e.tileW = b.Width() / float64(o.Cols)
+	e.tileH = b.Height() / float64(o.Rows)
+	for r := 0; r < o.Rows; r++ {
+		for c := 0; c < o.Cols; c++ {
+			e.tiles[r*o.Cols+c] = geo.Rect{
+				MinX: b.MinX + float64(c)*e.tileW,
+				MinY: b.MinY + float64(r)*e.tileH,
+				MaxX: b.MinX + float64(c+1)*e.tileW,
+				MaxY: b.MinY + float64(r+1)*e.tileH,
+			}
+		}
+	}
+	return e, nil
+}
+
+// NewN constructs a sharded engine with n tiles arranged by Split.
+func NewN(opt core.Options, n int) (*Engine, error) {
+	rows, cols := Split(n)
+	return New(Options{Core: opt, Rows: rows, Cols: cols})
+}
+
+// MustNew is New that panics on configuration errors, for tests and
+// examples.
+func MustNew(opt Options) *Engine {
+	e, err := New(opt)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Close stops every tile worker goroutine. The engine must not be used
+// afterwards. It is idempotent and safe on a partially constructed
+// engine.
+func (e *Engine) Close() error {
+	e.closeOnce.Do(func() {
+		for _, w := range e.workers {
+			if w != nil {
+				close(w.cmd)
+			}
+		}
+	})
+	return nil
+}
+
+// NumTiles returns the number of tiles (shards).
+func (e *Engine) NumTiles() int { return len(e.workers) }
+
+// TileRect returns the spatial extent of tile i, for tests and
+// monitoring.
+func (e *Engine) TileRect(i int) geo.Rect { return e.tiles[i] }
+
+// tileCoords maps a point to tile grid coordinates, clamped so every
+// point — including out-of-bounds reports — is owned by a valid tile,
+// exactly as grid cells clamp in the core engine.
+func (e *Engine) tileCoords(p geo.Point) (cx, cy int) {
+	b := e.opt.Core.Bounds
+	cx = int((p.X - b.MinX) / e.tileW)
+	cy = int((p.Y - b.MinY) / e.tileH)
+	if cx < 0 {
+		cx = 0
+	} else if cx > e.cols-1 {
+		cx = e.cols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy > e.rows-1 {
+		cy = e.rows - 1
+	}
+	return cx, cy
+}
+
+// tileOf returns the index of the tile owning a point.
+func (e *Engine) tileOf(p geo.Point) int {
+	cx, cy := e.tileCoords(p)
+	return cy*e.cols + cx
+}
+
+// clampToBounds clamps a point into the monitored space componentwise.
+func (e *Engine) clampToBounds(p geo.Point) geo.Point {
+	b := e.opt.Core.Bounds
+	if p.X < b.MinX {
+		p.X = b.MinX
+	} else if p.X > b.MaxX {
+		p.X = b.MaxX
+	}
+	if p.Y < b.MinY {
+		p.Y = b.MinY
+	} else if p.Y > b.MaxY {
+		p.Y = b.MaxY
+	}
+	return p
+}
+
+// tilesOverlapping adds to dst every tile a region can share an owned
+// object with. The region is clamped into bounds componentwise first:
+// clamping is monotone, so the owner tile of any (clamped) location the
+// region contains always falls inside the resulting index range.
+func (e *Engine) tilesOverlapping(r geo.Rect, dst map[int]struct{}) map[int]struct{} {
+	if dst == nil {
+		dst = make(map[int]struct{})
+	}
+	if !r.Valid() {
+		return dst
+	}
+	lo := e.clampToBounds(geo.Pt(r.MinX, r.MinY))
+	hi := e.clampToBounds(geo.Pt(r.MaxX, r.MaxY))
+	x1, y1 := e.tileCoords(lo)
+	x2, y2 := e.tileCoords(hi)
+	for cy := y1; cy <= y2; cy++ {
+		for cx := x1; cx <= x2; cx++ {
+			dst[cy*e.cols+cx] = struct{}{}
+		}
+	}
+	return dst
+}
+
+// allTiles adds every tile index to dst.
+func (e *Engine) allTiles(dst map[int]struct{}) map[int]struct{} {
+	if dst == nil {
+		dst = make(map[int]struct{}, len(e.workers))
+	}
+	for i := range e.workers {
+		dst[i] = struct{}{}
+	}
+	return dst
+}
+
+// knnCoverage returns the tiles a kNN query must be replicated to for a
+// focal circle of the given radius, padded by PadTiles tile widths.
+func (e *Engine) knnCoverage(focal geo.Point, radius float64, dst map[int]struct{}) map[int]struct{} {
+	pad := float64(e.opt.PadTiles) * math.Max(e.tileW, e.tileH)
+	return e.tilesOverlapping(geo.RectAround(focal, radius+pad), dst)
+}
+
+// stepTiles runs Step(now) on the given tiles in parallel and returns
+// their update batches in tile order.
+func (e *Engine) stepTiles(tiles []int, now float64) [][]core.Update {
+	for _, t := range tiles {
+		e.workers[t].cmd <- now
+	}
+	out := make([][]core.Update, 0, len(tiles))
+	for _, t := range tiles {
+		out = append(out, <-e.workers[t].res)
+	}
+	return out
+}
+
+// stepAll runs Step(now) on every tile in parallel.
+func (e *Engine) stepAll(now float64) [][]core.Update {
+	for _, w := range e.workers {
+		w.cmd <- now
+	}
+	out := make([][]core.Update, 0, len(e.workers))
+	for _, w := range e.workers {
+		out = append(out, <-w.res)
+	}
+	return out
+}

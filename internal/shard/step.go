@@ -1,0 +1,369 @@
+package shard
+
+import (
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// ReportObject buffers an object update for the next Step.
+func (e *Engine) ReportObject(u core.ObjectUpdate) {
+	e.objBuf = append(e.objBuf, u)
+}
+
+// ReportQuery buffers a query registration, movement, or removal for
+// the next Step.
+func (e *Engine) ReportQuery(u core.QueryUpdate) {
+	e.qryBuf = append(e.qryBuf, u)
+}
+
+// Pending returns the number of buffered, not yet processed reports.
+func (e *Engine) Pending() int { return len(e.objBuf) + len(e.qryBuf) }
+
+// pair identifies one (query, object) membership decision during a
+// merge.
+type pair struct {
+	q core.QueryID
+	o core.ObjectID
+}
+
+// mergeState is the scratch state of one router Step: the pre-step
+// membership of every touched pair (so each pair emits at most one net
+// transition regardless of how many tile streams mention it), the KNN
+// queries needing a global re-rank, the queries and objects removed in
+// this batch, and the merged output.
+type mergeState struct {
+	prior    map[pair]bool
+	touched  []pair
+	knnDirty map[core.QueryID]struct{}
+
+	removedQrys map[core.QueryID]*queryInfo
+	removedObjs map[core.ObjectID]struct{}
+
+	out []core.Update
+}
+
+// Step routes every buffered report to its tile(s), runs all tile
+// engines in parallel at time now, and merges their update streams into
+// the exact global incremental answer stream. See core.Engine.Step for
+// the contract; the returned slice is freshly allocated and its order
+// is unspecified.
+func (e *Engine) Step(now float64) []core.Update {
+	e.now = now
+	e.stats.Steps++
+	m := &mergeState{
+		prior:       make(map[pair]bool),
+		knnDirty:    make(map[core.QueryID]struct{}),
+		removedQrys: make(map[core.QueryID]*queryInfo),
+		removedObjs: make(map[core.ObjectID]struct{}),
+	}
+
+	e.routeObjects(m)
+	e.routeQueries(m)
+
+	for _, batch := range e.stepAll(now) {
+		e.absorb(m, batch)
+	}
+	e.emitSetTransitions(m)
+	e.settleKNNQueries(m, now)
+
+	e.objBuf = e.objBuf[:0]
+	e.qryBuf = e.qryBuf[:0]
+	return m.out
+}
+
+// routeObjects applies the buffered object reports to the routing table
+// and forwards each to the tile owning the new location, splitting
+// cross-tile moves into a removal (old tile) plus an insertion (new
+// tile) so the old tile's queries still see their negative updates.
+func (e *Engine) routeObjects(m *mergeState) {
+	for i := range e.objBuf {
+		u := e.objBuf[i]
+		e.stats.ObjectReports++
+		if u.Remove {
+			info, ok := e.objs[u.ID]
+			if !ok {
+				continue
+			}
+			e.workers[info.tile].eng.ReportObject(core.ObjectUpdate{ID: u.ID, Remove: true})
+			e.objCount[info.tile]--
+			delete(e.objs, u.ID)
+			m.removedObjs[u.ID] = struct{}{}
+			e.markCandidateQueries(m, u.ID)
+			continue
+		}
+		if len(u.Waypoints) > 0 {
+			// Mirror the core engine's validation: a malformed trajectory
+			// is rejected wholesale, keeping the prior state — it must
+			// not trigger a migration.
+			tr := geo.Trajectory{Start: u.Loc, T0: u.T, Waypoints: u.Waypoints}
+			if !tr.Valid() {
+				continue
+			}
+		}
+		t := e.tileOf(u.Loc)
+		if info, ok := e.objs[u.ID]; ok {
+			if info.tile != t {
+				e.workers[info.tile].eng.ReportObject(core.ObjectUpdate{ID: u.ID, Remove: true})
+				e.objCount[info.tile]--
+				e.objCount[t]++
+				info.tile = t
+			}
+			info.loc = u.Loc
+		} else {
+			e.objs[u.ID] = &objInfo{tile: t, loc: u.Loc}
+			e.objCount[t]++
+		}
+		e.workers[t].eng.ReportObject(u)
+		e.markCandidateQueries(m, u.ID)
+	}
+}
+
+// markCandidateQueries schedules a global re-rank for every KNN query
+// holding the object as a merge candidate: its distance changed even if
+// no tile reports a membership change.
+func (e *Engine) markCandidateQueries(m *mergeState, id core.ObjectID) {
+	for qid := range e.candKNN[id] {
+		m.knnDirty[qid] = struct{}{}
+	}
+}
+
+// routeQueries applies the buffered query reports: removals are
+// forwarded to every replica, registrations and movements update the
+// replication coverage and are forwarded to it.
+func (e *Engine) routeQueries(m *mergeState) {
+	for i := range e.qryBuf {
+		u := e.qryBuf[i]
+		e.stats.QueryReports++
+		if u.Remove {
+			qi, ok := e.qrys[u.ID]
+			if !ok {
+				continue
+			}
+			for t := range qi.coverage {
+				e.workers[t].eng.ReportQuery(core.QueryUpdate{ID: u.ID, Remove: true})
+			}
+			e.detachCandidates(qi)
+			delete(e.qrys, u.ID)
+			// Keep the record until the merge completes: tiles may have
+			// emitted phase-1 negatives for this query (an object removal
+			// processed before the removal of the query), exactly as the
+			// single engine does.
+			m.removedQrys[u.ID] = qi
+			continue
+		}
+		switch u.Kind {
+		case core.Range, core.KNN, core.PredictiveRange:
+		default:
+			continue // mirror core: unknown kind, no side effects
+		}
+		e.applyQueryUpdate(m, u)
+	}
+}
+
+// applyQueryUpdate registers or moves one query at the router: it
+// mirrors the core engine's auto-commit semantics, recomputes the
+// replication coverage for the new definition, and forwards the update
+// to every tile that holds — or must now hold — a replica.
+func (e *Engine) applyQueryUpdate(m *mergeState, u core.QueryUpdate) {
+	qi, exists := e.qrys[u.ID]
+	switch {
+	case !exists:
+		qi = &queryInfo{
+			id:       u.ID,
+			kind:     u.Kind,
+			count:    make(map[core.ObjectID]int),
+			coverage: make(map[int]struct{}),
+		}
+		e.qrys[u.ID] = qi
+		// A fresh registration auto-commits its (empty) answer, as core
+		// does.
+		qi.committed = make(map[core.ObjectID]struct{})
+	case qi.kind != u.Kind:
+		// Kind change: core tears the query down silently (no negative
+		// updates) and starts fresh, committing the empty answer. The
+		// replicas handle the change themselves; only the merge state
+		// resets here. Stale replicas outside the new coverage are
+		// removed below.
+		e.detachCandidates(qi)
+		qi.count = make(map[core.ObjectID]int)
+		qi.answer = nil
+		qi.radius = 0
+		qi.kind = u.Kind
+		qi.committed = make(map[core.ObjectID]struct{})
+	default:
+		// Hearing from a query's client proves it consumed the stream:
+		// auto-commit. The snapshot mirrors core's phase ordering — the
+		// pre-step answer minus the objects removed earlier in this
+		// batch (core's phase 1 retracts those before phase 2 commits).
+		committed := make(map[core.ObjectID]struct{})
+		for _, o := range e.answerIDs(qi) {
+			if _, removed := m.removedObjs[o]; !removed {
+				committed[o] = struct{}{}
+			}
+		}
+		qi.committed = committed
+	}
+
+	qi.t = u.T
+	newCov := make(map[int]struct{})
+	switch u.Kind {
+	case core.Range:
+		qi.region = u.Region
+		e.tilesOverlapping(u.Region, newCov)
+	case core.PredictiveRange:
+		// A predictive object's trajectory can enter the query region
+		// from any tile, and the object↔query join runs in the tile
+		// owning the object: replicate everywhere.
+		qi.region = u.Region
+		e.allTiles(newCov)
+	case core.KNN:
+		qi.focal = u.Focal
+		qi.k = u.K
+		// Coverage is monotone for a KNN query: every tile that ever
+		// held a replica keeps receiving updates (a stale replica would
+		// contribute stale candidates). The focal circle uses the
+		// previous radius; the post-step fixpoint corrects it.
+		for t := range qi.coverage {
+			newCov[t] = struct{}{}
+		}
+		e.knnCoverage(u.Focal, qi.radius, newCov)
+		m.knnDirty[qi.id] = struct{}{}
+	}
+
+	for t := range qi.coverage {
+		if _, keep := newCov[t]; !keep {
+			// The region moved off this tile: forward the update so the
+			// replica retracts its members with proper negatives, then
+			// remove the now-empty replica in the same tile step.
+			e.workers[t].eng.ReportQuery(u)
+			e.workers[t].eng.ReportQuery(core.QueryUpdate{ID: u.ID, Remove: true})
+		}
+	}
+	for t := range newCov {
+		e.workers[t].eng.ReportQuery(u)
+	}
+	qi.coverage = newCov
+}
+
+// lookupMerge resolves a query touched by a tile stream, including
+// queries removed earlier in this batch.
+func (e *Engine) lookupMerge(m *mergeState, q core.QueryID) *queryInfo {
+	if qi, ok := e.qrys[q]; ok {
+		return qi
+	}
+	return m.removedQrys[q]
+}
+
+// absorb folds one tile's update batch into the merge refcounts,
+// recording the pre-step membership of each pair on first touch.
+func (e *Engine) absorb(m *mergeState, batch []core.Update) {
+	for _, u := range batch {
+		qi := e.lookupMerge(m, u.Query)
+		if qi == nil {
+			continue
+		}
+		key := pair{u.Query, u.Object}
+		if _, seen := m.prior[key]; !seen {
+			m.prior[key] = e.memberOf(qi, u.Object)
+			m.touched = append(m.touched, key)
+		}
+		if u.Positive {
+			qi.count[u.Object]++
+			if qi.count[u.Object] == 1 && qi.kind == core.KNN {
+				e.addCandidate(u.Object, qi.id)
+			}
+		} else {
+			switch c := qi.count[u.Object]; {
+			case c > 1:
+				qi.count[u.Object] = c - 1
+			case c == 1:
+				delete(qi.count, u.Object)
+				if qi.kind == core.KNN {
+					e.dropCandidate(u.Object, qi.id)
+				}
+			}
+			// c == 0: a retraction for a query re-registered under the
+			// same ID in this batch; the fresh state never held it.
+		}
+	}
+}
+
+// memberOf reports whether the merged global answer of qi currently
+// contains o.
+func (e *Engine) memberOf(qi *queryInfo, o core.ObjectID) bool {
+	if qi.kind == core.KNN {
+		_, in := qi.answer[o]
+		return in
+	}
+	return qi.count[o] > 0
+}
+
+func (e *Engine) addCandidate(o core.ObjectID, q core.QueryID) {
+	set := e.candKNN[o]
+	if set == nil {
+		set = make(map[core.QueryID]struct{})
+		e.candKNN[o] = set
+	}
+	set[q] = struct{}{}
+}
+
+func (e *Engine) dropCandidate(o core.ObjectID, q core.QueryID) {
+	if set := e.candKNN[o]; set != nil {
+		delete(set, q)
+		if len(set) == 0 {
+			delete(e.candKNN, o)
+		}
+	}
+}
+
+// detachCandidates removes a KNN query from the reverse candidacy index
+// on removal or kind change.
+func (e *Engine) detachCandidates(qi *queryInfo) {
+	if qi.kind != core.KNN {
+		return
+	}
+	for o := range qi.count {
+		e.dropCandidate(o, qi.id)
+	}
+}
+
+// emitSetTransitions emits the net membership transition of every
+// touched non-KNN pair (KNN queries are settled by the exact top-k
+// merge afterwards). A pair mentioned by several tile streams — e.g. a
+// cross-tile migration inside a multi-tile query, retracted by one tile
+// and asserted by the other — nets out here and emits nothing, while a
+// genuine change emits exactly once.
+func (e *Engine) emitSetTransitions(m *mergeState) {
+	for _, key := range m.touched {
+		qi := e.lookupMerge(m, key.q)
+		if qi == nil {
+			continue
+		}
+		if qi.kind == core.KNN {
+			if _, live := e.qrys[key.q]; live {
+				m.knnDirty[key.q] = struct{}{}
+			} else if _, was := qi.answer[key.o]; was && qi.count[key.o] == 0 {
+				// A query removed in this batch still streams the
+				// phase-1 negatives of its departed members, as the
+				// single engine does.
+				delete(qi.answer, key.o)
+				e.emit(m, key.q, key.o, false)
+			}
+			continue
+		}
+		nowIn := qi.count[key.o] > 0
+		if nowIn != m.prior[key] {
+			e.emit(m, key.q, key.o, nowIn)
+		}
+	}
+}
+
+// emit appends one merged global update.
+func (e *Engine) emit(m *mergeState, q core.QueryID, o core.ObjectID, positive bool) {
+	if positive {
+		e.stats.PositiveUpdates++
+	} else {
+		e.stats.NegativeUpdates++
+	}
+	m.out = append(m.out, core.Update{Query: q, Object: o, Positive: positive})
+}
