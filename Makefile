@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos fuzz cover bench bench-full vet fmt examples clean
+.PHONY: all build test race chaos fuzz cover bench bench-full vet lint fmt examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -21,15 +21,24 @@ race:
 chaos:
 	$(GO) test -race -run TestChaosConvergence -count=1 -v ./internal/server/
 
-# Short fuzz pass over the wire decoder's hostile-input handling.
+# Short fuzz passes over the wire protocol: hostile input to the
+# decoder, then structured messages through the encode→decode→encode
+# round trip.
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=30s ./internal/wire/
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
 
 vet:
 	$(GO) vet ./...
+
+# The project's own static-analysis suite (see DESIGN.md, "Mechanically
+# enforced invariants"). Exits nonzero on any finding not covered by a
+# //lint:allow annotation.
+lint:
+	$(GO) run ./cmd/cqp-lint ./...
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,118 @@
+// Command cqp-lint runs the project's static-analysis suite (package
+// cqp/internal/analysis) over module packages.
+//
+// Standalone:
+//
+//	cqp-lint [-checks determinism,maporder,...] [-list] ./...
+//
+// exits 1 when findings remain after //lint:allow filtering, printing
+// each as file:line:col: [analyzer] message.
+//
+// As a vet tool it speaks the cmd/go unitchecker protocol, so the same
+// binary plugs into the build cache:
+//
+//	go vet -vettool=$(which cqp-lint) ./...
+//
+// In that mode cmd/go hands the tool a JSON .cfg per package (file
+// lists plus export data for every dependency) and expects diagnostics
+// on stderr with exit status 2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cqp/internal/analysis"
+	"cqp/internal/analysis/driver"
+)
+
+func main() {
+	// cmd/go probes vet tools with `-V=full` before anything else; a
+	// lone .cfg argument is the per-package invocation that follows.
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// cmd/go asks the tool for its flag schema; the suite takes no
+		// per-run flags in vettool mode.
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheckerMain(args[0]))
+	}
+
+	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cqp-lint [flags] ./... | ./dir ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modDir, err := findModuleDir()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqp-lint:", err)
+		os.Exit(2)
+	}
+	cfg := &driver.Config{ModulePath: "cqp", ModuleDir: modDir}
+	if *checks != "" {
+		as, err := analysis.ByName(strings.Split(*checks, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cqp-lint:", err)
+			os.Exit(2)
+		}
+		cfg.Analyzers = as
+	}
+	findings, err := cfg.Run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqp-lint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		rel := f
+		if r, err := filepath.Rel(modDir, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "cqp-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// findModuleDir walks up from the working directory to the go.mod.
+func findModuleDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cqp/internal/analysis"
+	"cqp/internal/analysis/driver"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// package when invoking a vet tool (see cmd/go/internal/work: the
+// unitchecker protocol). Fields we do not consume are listed so the
+// decode stays strict about shape without being strict about content.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion answers cmd/go's `-V=full` probe. The build ID must
+// change when the binary changes (it keys the vet result cache), so it
+// is a content hash of the executable.
+func printVersion() {
+	prog := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", prog, h.Sum(nil))
+}
+
+// unitcheckerMain handles one per-package vet invocation. Exit status 0
+// means no findings, 2 means findings (printed to stderr) — the
+// convention cmd/go expects from vet tools.
+func unitcheckerMain(cfgFile string) int {
+	cfg, err := readVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqp-lint:", err)
+		return 1
+	}
+	// The suite exports no cross-package facts, but the protocol
+	// requires the facts file to exist before cmd/go will cache the
+	// result.
+	defer func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		}
+	}()
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Lint scope is shipped code: drop _test.go files. The in-package
+	// test variant then reduces to the plain package; the external
+	// _test package reduces to nothing.
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "cqp-lint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{Importer: imp}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "cqp-lint:", err)
+		return 1
+	}
+
+	dcfg := &driver.Config{
+		ModulePath: "cqp",
+		Analyzers:  analysis.All(),
+		Scope:      driver.DefaultScope(),
+	}
+	findings, err := dcfg.LintPackage(&driver.Package{
+		Path:  cfg.ImportPath,
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cqp-lint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &cfg, nil
+}

@@ -1,0 +1,181 @@
+// Package analysistest runs one analyzer over a fixture package and
+// compares its diagnostics against `// want` expectations embedded in
+// the fixture source — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// project's own driver so it works in a hermetic build environment.
+//
+// A fixture lives in testdata/src/<name>/ under the calling test's
+// package directory. Each line that should produce a diagnostic carries
+// a trailing comment with one or more quoted regular expressions:
+//
+//	time.Now() // want `time\.Now`
+//	x := f()   // want "first finding" "second finding"
+//
+// The test fails if a diagnostic has no matching expectation on its
+// line, or an expectation goes unmatched. Fixtures are typechecked for
+// real (they may import module packages such as cqp/internal/wire), so
+// a fixture that does not compile fails the test with the type error.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cqp/internal/analysis"
+	"cqp/internal/analysis/driver"
+)
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.+)$`)
+	quotedRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+)
+
+// expectation is one `// want` pattern awaiting a diagnostic.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> (relative to the test's working
+// directory), applies the analyzer, and enforces the `// want`
+// expectations.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	modDir, modPath := findModule(t)
+
+	rel, err := filepath.Rel(modDir, mustAbs(t, dir))
+	if err != nil {
+		t.Fatalf("fixture %s is outside the module: %v", dir, err)
+	}
+	importPath := modPath + "/" + filepath.ToSlash(rel)
+
+	l := driver.NewLoader(modPath, modDir)
+	pkg, err := l.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+
+	wants := collectWants(t, dir)
+
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.Info,
+	}
+	pass.Report = func(d analysis.Diagnostic) {
+		pos := pkg.Fset.Position(d.Pos)
+		file := filepath.Base(pos.Filename)
+		for _, e := range wants[file][pos.Line] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				return
+			}
+		}
+		t.Errorf("%s:%d: unexpected diagnostic: %s", file, pos.Line, d.Message)
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for file, lines := range wants {
+		for line, exps := range lines {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: expected diagnostic matching %s, got none", file, line, e.raw)
+				}
+			}
+		}
+	}
+}
+
+// collectWants scans the fixture's non-test .go files for `// want`
+// comments, keyed by base filename and line.
+func collectWants(t *testing.T, dir string) map[string]map[int][]*expectation {
+	t.Helper()
+	out := make(map[string]map[int][]*expectation)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			lineNo := i + 1
+			for _, q := range quotedRe.FindAllString(m[1], -1) {
+				pat, err := unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", name, lineNo, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %s: %v", name, lineNo, q, err)
+				}
+				if out[name] == nil {
+					out[name] = make(map[int][]*expectation)
+				}
+				out[name][lineNo] = append(out[name][lineNo], &expectation{re: re, raw: q})
+			}
+		}
+	}
+	return out
+}
+
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}
+
+// findModule walks up from the working directory to the enclosing
+// go.mod and returns its directory and module path.
+func findModule(t *testing.T) (dir, path string) {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if data, err := os.ReadFile(filepath.Join(dir, "go.mod")); err == nil {
+			first := strings.SplitN(string(data), "\n", 2)[0]
+			f := strings.Fields(first)
+			if len(f) == 2 && f[0] == "module" {
+				return dir, f[1]
+			}
+			t.Fatalf("malformed go.mod in %s", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func mustAbs(t *testing.T, p string) string {
+	t.Helper()
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}

@@ -1,0 +1,272 @@
+// Package driver loads module packages with full type information and
+// runs the cqp analysis suite over them. It exists because the build
+// environment is hermetic: there is no golang.org/x/tools, so the
+// loading half of go/packages is reimplemented here on go/parser +
+// go/types + go/importer. Standard-library dependencies are typechecked
+// from source (srcimporter); module-internal imports ("cqp/...") are
+// resolved against the module directory and cached.
+//
+// The driver owns two policies the analyzers themselves deliberately do
+// not encode, so that tests can run analyzers directly on fixtures:
+//
+//   - package scoping: the determinism analyzer applies only to
+//     analysis.DeterministicPackages; the others apply everywhere;
+//
+//   - suppression: a finding is dropped when the offending line, or the
+//     line directly above it, carries
+//
+//     //lint:allow <analyzer> <reason>
+//
+//     with a non-empty reason. A bare "//lint:allow analyzer" does not
+//     suppress anything (the driver has no way to tell a justified
+//     exception from a silenced one).
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"cqp/internal/analysis"
+)
+
+func init() {
+	// The source importer consults build.Default; with cgo enabled it
+	// would try to resolve the cgo halves of net/os/user and fail in a
+	// toolchain-only container. The pure-Go variants typecheck fine.
+	build.Default.CgoEnabled = false
+}
+
+// Finding is one diagnostic surviving //lint:allow filtering.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Config describes one lint run.
+type Config struct {
+	// ModulePath is the module's import path prefix ("cqp").
+	ModulePath string
+	// ModuleDir is the directory holding go.mod.
+	ModuleDir string
+	// Analyzers to run; defaults to analysis.All().
+	Analyzers []*analysis.Analyzer
+	// Scope restricts an analyzer (by name) to a set of package import
+	// paths; analyzers absent from the map run everywhere. Defaults to
+	// DefaultScope().
+	Scope map[string]map[string]bool
+}
+
+// DefaultScope is the production scoping: determinism applies only to
+// the deterministic packages.
+func DefaultScope() map[string]map[string]bool {
+	return map[string]map[string]bool{
+		analysis.Determinism.Name: analysis.DeterministicPackages,
+	}
+}
+
+// Run expands patterns ("./..." for the whole module, "./internal/core"
+// or "cqp/internal/core" for one package), loads each package, and runs
+// the configured analyzers. Findings come back sorted by position. The
+// error reports load or typecheck failures, not findings.
+func (c *Config) Run(patterns []string) ([]Finding, error) {
+	if c.Analyzers == nil {
+		c.Analyzers = analysis.All()
+	}
+	if c.Scope == nil {
+		c.Scope = DefaultScope()
+	}
+	paths, err := c.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLoader(c.ModulePath, c.ModuleDir)
+	var findings []Finding
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+		fs, err := c.LintPackage(pkg)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// LintPackage applies every in-scope analyzer to one loaded package and
+// filters findings through the //lint:allow annotations. It is the
+// per-package half of Run, exported for the unitchecker mode of
+// cmd/cqp-lint, which loads packages through cmd/go's export data
+// rather than this driver's loader.
+func (c *Config) LintPackage(pkg *Package) ([]Finding, error) {
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	var findings []Finding
+	for _, a := range c.Analyzers {
+		if scope, ok := c.Scope[a.Name]; ok && !scope[pkg.Path] {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if allows.allowed(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	return findings, nil
+}
+
+// expand resolves command-line patterns to module package import paths.
+func (c *Config) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := modulePackages(c.ModulePath, c.ModuleDir)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				add(p)
+			}
+		case pat == ".":
+			add(c.ModulePath)
+		case strings.HasPrefix(pat, "./"):
+			add(c.ModulePath + "/" + filepath.ToSlash(strings.TrimPrefix(pat, "./")))
+		case pat == c.ModulePath || strings.HasPrefix(pat, c.ModulePath+"/"):
+			add(pat)
+		default:
+			return nil, fmt.Errorf("unrecognized package pattern %q (use ./..., ./dir, or %s/dir)", pat, c.ModulePath)
+		}
+	}
+	return out, nil
+}
+
+// modulePackages walks the module tree and returns the import path of
+// every directory containing at least one non-test .go file, skipping
+// testdata and hidden directories.
+func modulePackages(modPath, modDir string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(modDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != modDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(modDir, path)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					out = append(out, modPath)
+				} else {
+					out = append(out, modPath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// --- //lint:allow ----------------------------------------------------------
+
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_-]+)\s+(\S.*)$`)
+
+// allowSet maps file -> line -> set of analyzer names allowed there.
+type allowSet map[string]map[int]map[string]bool
+
+// allowed reports whether the finding at pos is suppressed by an
+// annotation on its line or the line directly above.
+func (s allowSet) allowed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	out := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				m := allowRe.FindStringSubmatch(cm.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(cm.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					out[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					lines[pos.Line] = set
+				}
+				set[m[1]] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one fully typechecked package ready for analysis. Files
+// are parsed with comments (the driver needs them for //lint:allow) and
+// exclude _test.go: the lint scope is shipped code.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader typechecks packages using the standard library's source
+// importer for external dependencies and the module directory for
+// "cqp/..." imports. One Loader shares a FileSet and a package cache
+// across Load calls, so a dependency is typechecked once per run.
+type Loader struct {
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	modPath string
+	modDir  string
+	cache   map[string]*types.Package
+}
+
+func NewLoader(modPath, modDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		modPath: modPath,
+		modDir:  modDir,
+		cache:   make(map[string]*types.Package),
+	}
+}
+
+// Import implements types.Importer for the typechecker's benefit:
+// module-internal paths resolve against the module directory (without
+// the expense of a full types.Info), everything else delegates to the
+// source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		if p, ok := l.cache[path]; ok {
+			return p, nil
+		}
+		pkg, _, err := l.check(path, l.dirOf(path), nil)
+		if err != nil {
+			return nil, err
+		}
+		l.cache[path] = pkg
+		return pkg, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// Load typechecks the module package at the given import path with a
+// full types.Info for analysis.
+func (l *Loader) Load(path string) (*Package, error) {
+	return l.LoadDir(l.dirOf(path), path)
+}
+
+// LoadDir typechecks the package in dir under the given import path.
+// It exists for analysistest fixtures, whose directories live under
+// testdata and are not themselves module packages (though they may
+// import module packages).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg, files, err := l.check(path, dir, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+func (l *Loader) dirOf(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	return filepath.Join(l.modDir, filepath.FromSlash(rel))
+}
+
+// check parses the non-test .go files of dir (in stable name order) and
+// typechecks them; info may be nil for dependencies.
+func (l *Loader) check(path, dir string, info *types.Info) (*types.Package, []*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, files, nil
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` loops over maps whose bodies feed
+// order-sensitive sinks — the exact bug class that desynchronizes
+// clients: the server's contract is that every client sees a
+// reproducible update stream, so nothing that reaches an emitted
+// []Update, the wire, or a checksum may inherit Go's randomized map
+// iteration order.
+//
+// A loop is reported when its body
+//
+//   - appends to a slice of Update values (directly or through *[]Update),
+//   - calls a function passing a []Update, *[]Update, or a struct
+//     carrying a []Update field (the engines' out-parameters and merge
+//     state),
+//   - writes to the wire (a Write/Flush method from internal/wire, net,
+//     or bufio), or
+//   - accumulates a checksum with a ^= fold,
+//
+// unless the appended-to slice is sorted later in the same function
+// (sort.Slice / sort.SliceStable / sort.Sort / slices.Sort*), which is
+// the canonicalization idiom used across the repository.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag map-ordered iteration feeding emitted update slices, wire " +
+		"writes, or checksums without an intervening sort — map order must " +
+		"never reach a client-visible stream",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncMapOrder(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFuncMapOrder(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportMapOrderSinks(pass, body, rs)
+		return true
+	})
+}
+
+// reportMapOrderSinks inspects one map-range body for order-sensitive
+// sinks and reports each, unless a later sort in the enclosing function
+// canonicalizes the sink slice.
+func reportMapOrderSinks(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // separate execution context
+		case *ast.AssignStmt:
+			if x.Tok == token.XOR_ASSIGN {
+				pass.Reportf(x.Pos(), "checksum accumulated in map iteration order: if the fold is not order-independent the checksum diverges between runs (sort the keys, or annotate a commutative fold)")
+				return true
+			}
+			// out = append(out, ...) where out carries updates.
+			for i, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isAppendCall(info, call) || i >= len(x.Lhs) {
+					continue
+				}
+				lhs := x.Lhs[i]
+				t := info.TypeOf(lhs)
+				if t != nil && isUpdateSlice(t) {
+					if sortedAfter(pass, fn, rs, lhs) {
+						continue
+					}
+					pass.Reportf(x.Pos(), "append to emitted update slice in map iteration order without a later sort: clients would see irreproducible streams")
+				}
+			}
+		case *ast.CallExpr:
+			if isAppendCall(info, x) {
+				return true // handled at the AssignStmt
+			}
+			if recvPkg, name := wireWriteMethod(info, x); name != "" {
+				pass.Reportf(x.Pos(), "%s.%s on the wire in map iteration order: frame order must not depend on map traversal", recvPkg, name)
+				return true
+			}
+			for _, arg := range x.Args {
+				t := info.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if carriesUpdateSlice(t) {
+					pass.Reportf(x.Pos(), "call forwards an update sink (%s) in map iteration order: emission order must not depend on map traversal (iterate sorted keys)", types.TypeString(t, types.RelativeTo(pass.Pkg)))
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAppendCall reports whether call is the builtin append.
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isUpdateSlice reports whether t is []Update or *[]Update for a named
+// struct type called Update (the engines' emitted-update element).
+func isUpdateSlice(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return isNamedUpdate(s.Elem())
+}
+
+func isNamedUpdate(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Update"
+}
+
+// carriesUpdateSlice reports whether t is (a pointer to) a []Update or
+// a struct with a []Update field one level deep — the shapes through
+// which the engines pass their emission buffers (out *[]Update,
+// *mergeState{out []Update}, wire.UpdateBatch{Updates []Update}).
+func carriesUpdateSlice(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if isUpdateSlice(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if s, ok := ft.Underlying().(*types.Slice); ok && isNamedUpdate(s.Elem()) {
+			return true
+		}
+	}
+	return false
+}
+
+// wireWriteMethod reports a Write/Flush method call whose receiver type
+// is defined in internal/wire, net, or bufio.
+func wireWriteMethod(info *types.Info, call *ast.CallExpr) (pkg, name string) {
+	fn := funcOf(info, call)
+	if fn == nil || fn.Type().(*types.Signature).Recv() == nil {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Write", "Flush", "WriteString", "WriteByte":
+	default:
+		return "", ""
+	}
+	switch p := pkgPathOf(fn); {
+	case p == "net" || p == "bufio":
+		return p, fn.Name()
+	case len(p) >= len("internal/wire") && p[len(p)-len("internal/wire"):] == "internal/wire":
+		return "wire", fn.Name()
+	}
+	return "", ""
+}
+
+// sortedAfter reports whether the slice rooted at sink is passed to a
+// sort call after the range loop, in the same function body.
+func sortedAfter(pass *Pass, fn *ast.BlockStmt, rs *ast.RangeStmt, sink ast.Expr) bool {
+	root := rootObject(pass.TypesInfo, sink)
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		if !isSortCall(pass.TypesInfo, call) {
+			return true
+		}
+		if rootObject(pass.TypesInfo, call.Args[0]) == root {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := funcOf(info, call)
+	if fn == nil {
+		return false
+	}
+	switch pkgPathOf(fn) {
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable", "Ints", "Strings", "Float64s":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	// Project-local canonicalizers: core.SortUpdates and friends.
+	return fn.Name() == "SortUpdates"
+}

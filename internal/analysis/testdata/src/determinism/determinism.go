@@ -1,0 +1,46 @@
+// Fixture for the determinism analyzer: wall-clock reads, the global
+// math/rand generator, and crypto/rand are forbidden; explicitly seeded
+// generators and time arithmetic on report-carried values are fine.
+package determinism
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn generator`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `global rand\.Float64 generator`
+}
+
+func ambientEntropy(b []byte) {
+	crand.Read(b) // want `crypto/rand\.Read`
+}
+
+// seededRand is the sanctioned idiom: the caller owns the seed, so
+// replay reproduces the draw sequence.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// timeArithmetic only manipulates values that entered via reports.
+func timeArithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d * 2)
+}

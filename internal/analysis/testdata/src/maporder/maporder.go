@@ -1,0 +1,85 @@
+// Fixture for the maporder analyzer: map-range bodies must not feed
+// emitted update slices, wire writes, or checksum folds without a
+// canonicalizing sort.
+package maporder
+
+import (
+	"bufio"
+	"sort"
+)
+
+// Update mirrors the engines' emitted-update element; the analyzer
+// matches any named struct called Update.
+type Update struct {
+	Query  int
+	Object int
+}
+
+// emitUnsorted appends in map iteration order and never sorts: the
+// client-visible stream would differ between runs.
+func emitUnsorted(m map[int]bool) []Update {
+	var out []Update
+	for q := range m {
+		out = append(out, Update{Query: q}) // want `append to emitted update slice in map iteration order`
+	}
+	return out
+}
+
+// emitSorted is the canonicalization idiom: the append is fine because
+// the slice is sorted before it escapes.
+func emitSorted(m map[int]bool) []Update {
+	var out []Update
+	for q := range m {
+		out = append(out, Update{Query: q})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Query < out[j].Query })
+	return out
+}
+
+// checksumFold accumulates a ^= fold in map order; unless the fold is
+// provably commutative (and annotated), that is a reproducibility bug.
+func checksumFold(m map[uint64]bool) uint64 {
+	var sum uint64
+	for id := range m {
+		sum ^= id * 0x9e3779b9 // want `checksum accumulated in map iteration order`
+	}
+	return sum
+}
+
+// forwardSink passes the emission buffer to a callee inside the loop:
+// emission order still depends on map traversal.
+func forwardSink(m map[int]bool, out *[]Update) {
+	for q := range m {
+		collect(out, q) // want `call forwards an update sink`
+	}
+}
+
+func collect(out *[]Update, q int) {
+	*out = append(*out, Update{Query: q})
+}
+
+// wireWrite frames output in map iteration order.
+func wireWrite(m map[int]string, w *bufio.Writer) {
+	for _, s := range m {
+		w.WriteString(s) // want `bufio\.WriteString on the wire in map iteration order`
+	}
+}
+
+// sliceRange is not a map range: ordered iteration is fine.
+func sliceRange(in []int) []Update {
+	var out []Update
+	for _, q := range in {
+		out = append(out, Update{Query: q})
+	}
+	return out
+}
+
+// plainAccumulate appends non-Update data: not an emitted stream.
+func plainAccumulate(m map[int]bool) []int {
+	var out []int
+	for q := range m {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,72 @@
+// Fixture for the validatefirst analyzer: receiver state must not be
+// mutated before the method's parameter validation has passed.
+package validatefirst
+
+type registry struct {
+	kinds map[int]int
+	count int
+}
+
+type update struct {
+	ID   int
+	Kind int
+}
+
+func valid(u update) bool { return u.Kind >= 0 && u.Kind <= 2 }
+
+// applyKindDispatchBad registers the update before the kind switch has
+// rejected malformed input — the applyQueryUpdate bug class.
+func (r *registry) applyKindDispatchBad(u update) {
+	r.kinds[u.ID] = u.Kind // want `mutated before the parameter validation`
+	switch u.Kind {
+	case 0, 1, 2:
+	default:
+		return
+	}
+}
+
+// applyKindDispatchGood rejects first, then mutates.
+func (r *registry) applyKindDispatchGood(u update) {
+	switch u.Kind {
+	case 0, 1, 2:
+	default:
+		return
+	}
+	r.kinds[u.ID] = u.Kind
+}
+
+// applyValidatorBad bumps a counter before the validator has run.
+func (r *registry) applyValidatorBad(u update) {
+	r.count++ // want `mutated before the parameter validation`
+	if !valid(u) {
+		return
+	}
+	r.kinds[u.ID] = u.Kind
+}
+
+// applyValidatorGood validates first.
+func (r *registry) applyValidatorGood(u update) {
+	if !valid(u) {
+		return
+	}
+	r.count++
+	r.kinds[u.ID] = u.Kind
+}
+
+// deleteBeforeGuard tears down state for input that may yet be
+// rejected.
+func (r *registry) deleteBeforeGuard(u update) {
+	delete(r.kinds, u.ID) // want `mutated before the parameter validation`
+	switch u.Kind {
+	case 0:
+	default:
+		return
+	}
+}
+
+// noGuard: without a recognizable validation guard the analyzer stays
+// silent — precision over recall.
+func (r *registry) noGuard(u update) {
+	r.kinds[u.ID] = u.Kind
+	r.count++
+}

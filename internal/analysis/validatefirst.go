@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ValidateFirst flags methods that mutate receiver state before their
+// parameter validation has passed — the applyQueryUpdate bug class: a
+// malformed query report must be rejected *before* it auto-commits the
+// query or overwrites its timestamp, otherwise an invalid input mutates
+// protocol state it was never entitled to touch.
+//
+// The analysis is deliberately narrow to stay precise. Within each
+// method body it looks for a top-level validation guard:
+//
+//   - a `switch` over an expression derived only from parameters with a
+//     clause that just returns (the kind-dispatch rejection idiom), or
+//   - an `if` whose condition is derived only from parameters and calls
+//     a validator (a function or method whose name contains "valid"),
+//     and whose body terminates.
+//
+// If such a guard exists, any earlier top-level statement that writes a
+// receiver field, writes through a receiver map, or deletes from one is
+// reported.
+var ValidateFirst = &Analyzer{
+	Name: "validatefirst",
+	Doc: "flag receiver-state mutation before parameter validation: invalid " +
+		"reports must be rejected before they commit answers or overwrite " +
+		"engine state",
+	Run: runValidateFirst,
+}
+
+func runValidateFirst(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			checkValidateFirst(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkValidateFirst(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	recv := receiverObject(info, fd)
+	if recv == nil {
+		return
+	}
+	params := paramObjects(info, fd)
+	if len(params) == 0 {
+		return
+	}
+
+	// Locate the first top-level validation guard.
+	guardIdx := -1
+	var guardPos ast.Node
+	for i, stmt := range fd.Body.List {
+		if isValidationGuard(info, stmt, params) {
+			guardIdx = i
+			guardPos = stmt
+			break
+		}
+	}
+	if guardIdx <= 0 {
+		return // no guard, or the guard is already first
+	}
+
+	for _, stmt := range fd.Body.List[:guardIdx] {
+		if node, what := mutatesReceiver(info, stmt, recv); node != nil {
+			pass.Reportf(node.Pos(), "%s mutated before the parameter validation at line %d: reject invalid input before touching receiver state", what, pass.Fset.Position(guardPos.Pos()).Line)
+		}
+	}
+}
+
+func receiverObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	return info.Defs[names[0]]
+}
+
+func paramObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// isValidationGuard recognizes the two rejection idioms described in
+// the analyzer doc.
+func isValidationGuard(info *types.Info, stmt ast.Stmt, params map[types.Object]bool) bool {
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil || s.Tag == nil || !paramDerived(info, s.Tag, params) {
+			return false
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if clauseJustReturns(cc.Body) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil || !paramDerived(info, s.Cond, params) {
+			return false
+		}
+		if !mentionsValidator(info, s.Cond) {
+			return false
+		}
+		return terminates(s.Body)
+	}
+	return false
+}
+
+// clauseJustReturns reports whether a case body is empty or consists
+// solely of a return (the `default: return` rejection idiom). An empty
+// body only counts for non-default clauses (fallthrough-free dispatch),
+// so require at least a return.
+func clauseJustReturns(body []ast.Stmt) bool {
+	if len(body) != 1 {
+		return false
+	}
+	_, ok := body[0].(*ast.ReturnStmt)
+	return ok
+}
+
+// terminates reports whether a block's last statement is a return,
+// panic, or continue.
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// paramDerived reports whether every identifier in e that names a
+// variable resolves to a parameter. Package-level functions, constants,
+// types, and selectors hanging off parameters are allowed.
+func paramDerived(info *types.Info, e ast.Expr, params map[types.Object]bool) bool {
+	ok := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		obj := info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return true
+		}
+		if v.IsField() {
+			return true // field selection on a param chain
+		}
+		if !params[obj] {
+			ok = false
+		}
+		return true
+	})
+	return ok
+}
+
+// mentionsValidator reports whether the condition calls something whose
+// name contains "valid" (Valid, IsValid, validate, ...).
+func mentionsValidator(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := funcOf(info, call); fn != nil {
+			if strings.Contains(strings.ToLower(fn.Name()), "valid") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mutatesReceiver reports the first receiver-state mutation inside
+// stmt: an assignment whose left side roots at the receiver, an
+// increment/decrement of a receiver field, or a delete on a receiver
+// map. Nested function literals are skipped.
+func mutatesReceiver(info *types.Info, stmt ast.Stmt, recv types.Object) (pos ast.Node, what string) {
+	var hitNode ast.Node
+	var hitWhat string
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if hitNode != nil {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if rootObject(info, lhs) == recv && !isBlank(lhs) {
+					hitNode, hitWhat = x, "receiver state ("+exprString(lhs)+")"
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if rootObject(info, x.X) == recv {
+				hitNode, hitWhat = x, "receiver state ("+exprString(x.X)+")"
+				return false
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "delete" && len(x.Args) > 0 {
+				if rootObject(info, x.Args[0]) == recv {
+					hitNode, hitWhat = x, "receiver map ("+exprString(x.Args[0])+")"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if hitNode == nil {
+		return nil, ""
+	}
+	return hitNode, hitWhat
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -222,6 +222,7 @@ func (c *Client) Close() error {
 func (c *Client) ReportObject(u core.ObjectUpdate) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:allow locksend c.mu is what serializes callers on the shared wire.Writer; the conn carries a write deadline, so a stalled server errors the write rather than wedging the client
 	return c.w.Write(wire.ObjectReport{Update: u})
 }
 
@@ -245,6 +246,7 @@ func (c *Client) RegisterQuery(u core.QueryUpdate) error {
 	}
 	v.def = u
 	v.snapshot = copySet(v.answer)
+	//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
 	return c.w.Write(wire.QueryReport{Update: u})
 }
 
@@ -253,6 +255,7 @@ func (c *Client) RemoveQuery(id core.QueryID) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.queries, id)
+	//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
 	return c.w.Write(wire.QueryReport{Update: core.QueryUpdate{ID: id, Remove: true}})
 }
 
@@ -269,6 +272,7 @@ func (c *Client) Commit(q core.QueryID) error {
 		return fmt.Errorf("client: commit of unknown query %d", q)
 	}
 	v.snapshot = copySet(v.answer)
+	//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
 	return c.w.Write(wire.Commit{Query: q, Checksum: checksumSet(v.answer)})
 }
 
@@ -294,6 +298,7 @@ func (c *Client) Answer(q core.QueryID) ([]core.ObjectID, bool) {
 func (c *Client) RequestStats() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
 	return c.w.Write(wire.StatsRequest{})
 }
 
@@ -448,7 +453,8 @@ func (c *Client) apply(msg wire.Message) {
 		// Echo so the server's read deadline sees a live peer; invisible
 		// to the application. A write failure here is the read loop's
 		// problem to notice.
-		c.w.Write(wire.Heartbeat{Time: m.Time})
+		//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
+		c.w.Write(wire.Heartbeat{Time: m.Time}) //lint:allow erradrift echo failure surfaces as the read loop's next error; there is no caller to hand it to
 		c.mu.Unlock()
 		return
 	case wire.StatsResponse:

@@ -19,6 +19,7 @@ func ChecksumIDs(ids []ObjectID) uint64 {
 func checksumSet(s map[ObjectID]struct{}) uint64 {
 	var sum uint64
 	for id := range s {
+		//lint:allow maporder XOR of per-ID mixes is commutative; the fold is order-independent by construction (see TestChecksumOrderIndependent)
 		sum ^= splitmix64(uint64(id))
 	}
 	return sum

@@ -197,8 +197,9 @@ func (e *Engine) Answer(q QueryID) ([]ObjectID, bool) {
 
 // Step processes every buffered object and query report as one bulk
 // spatial join at time now, returning the incremental updates to all
-// affected query answers. The returned slice is freshly allocated; its
-// order is unspecified.
+// affected query answers. The returned slice is freshly allocated and in
+// canonical order (see SortUpdates): feeding the same report stream to
+// two engines yields bit-identical update streams.
 //
 // This is the paper's periodic evaluation: the server buffers updates and
 // evaluates them every Δt seconds.
@@ -318,16 +319,25 @@ func (e *Engine) Step(now float64) []Update {
 	}
 
 	// Phase 4: recompute the answer of every dirty kNN query exactly and
-	// emit the membership diff.
-	for qid := range e.dirtyKNN {
-		if qs, ok := e.qrys[qid]; ok {
-			e.recomputeKNN(qs, &out)
+	// emit the membership diff, in query order so the grid's region
+	// maintenance and the recompute stats are replay-stable.
+	if len(e.dirtyKNN) > 0 {
+		dirty := make([]QueryID, 0, len(e.dirtyKNN))
+		for qid := range e.dirtyKNN {
+			dirty = append(dirty, qid)
 		}
-		delete(e.dirtyKNN, qid)
+		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+		clear(e.dirtyKNN)
+		for _, qid := range dirty {
+			if qs, ok := e.qrys[qid]; ok {
+				e.recomputeKNN(qs, &out)
+			}
+		}
 	}
 
 	e.objBuf = e.objBuf[:0]
 	e.qryBuf = e.qryBuf[:0]
+	SortUpdates(out)
 	return out
 }
 
@@ -359,7 +369,12 @@ func (e *Engine) removeObject(id ObjectID, out *[]Update) {
 	if !ok {
 		return
 	}
+	qids := make([]QueryID, 0, len(os.queries))
 	for qid := range os.queries {
+		qids = append(qids, qid)
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	for _, qid := range qids {
 		qs := e.qrys[qid]
 		if qs.kind == KNN {
 			// A departed member must be replaced by the next nearest.

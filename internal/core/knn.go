@@ -1,6 +1,10 @@
 package core
 
-import "cqp/internal/geo"
+import (
+	"sort"
+
+	"cqp/internal/geo"
+)
 
 // recomputeKNN performs an exact k-nearest-neighbor search for a dirty
 // kNN query, emits the diff against the stored answer, and re-registers
@@ -28,23 +32,26 @@ func (e *Engine) recomputeKNN(qs *queryState, out *[]Update) {
 		}
 	}
 
-	// Emit the diff. Collect first: setMember mutates qs.answer.
-	var drop, add []*objectState
+	// Emit the diff in object order (collect first: setMember mutates
+	// qs.answer; sort so the update stream never inherits map order).
+	var drop, add []ObjectID
 	for oid := range qs.answer {
 		if _, keep := newAnswer[oid]; !keep {
-			drop = append(drop, e.objs[oid])
+			drop = append(drop, oid)
 		}
 	}
 	for oid := range newAnswer {
 		if _, had := qs.answer[oid]; !had {
-			add = append(add, e.objs[oid])
+			add = append(add, oid)
 		}
 	}
-	for _, os := range drop {
-		e.setMember(qs, os, false, out)
+	sort.Slice(drop, func(i, j int) bool { return drop[i] < drop[j] })
+	sort.Slice(add, func(i, j int) bool { return add[i] < add[j] })
+	for _, oid := range drop {
+		e.setMember(qs, e.objs[oid], false, out)
 	}
-	for _, os := range add {
-		e.setMember(qs, os, true, out)
+	for _, oid := range add {
+		e.setMember(qs, e.objs[oid], true, out)
 	}
 
 	// Region maintenance: while the query is starved (fewer than k objects

@@ -11,7 +11,10 @@ import "cqp/internal/geo"
 //
 //   - ReportObject and ReportQuery buffer reports; Step applies every
 //     buffered report as one bulk evaluation at the given time and
-//     returns the incremental (Q, ±A) updates in unspecified order.
+//     returns the incremental (Q, ±A) updates in canonical order (see
+//     SortUpdates). Feeding the same report stream to any Processor
+//     yields a bit-identical update stream — the reproducibility the
+//     out-of-sync protocol and the differential shard tests rely on.
 //   - Replaying the update stream against a query's previously reported
 //     answer always yields exactly its current Answer.
 //   - Commit, Recover, CommittedAnswer, the checksums, and SeedCommitted

@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"cqp/internal/geo"
 )
@@ -102,6 +103,26 @@ type Update struct {
 	Query    QueryID
 	Object   ObjectID
 	Positive bool
+}
+
+// SortUpdates puts an update stream into the engines' canonical
+// emission order: ascending by (Query, Object), stably. Stability
+// matters when the same pair appears more than once in a step (an
+// object leaving and re-entering an answer): the −/+ sequence keeps its
+// evaluation order, so replaying the sorted stream still reproduces the
+// current answer exactly.
+//
+// Both engines canonicalize their Step output with this before
+// returning, which is what makes the update stream bit-reproducible
+// across runs despite Go's randomized map iteration and goroutine
+// scheduling in the parallel gather.
+func SortUpdates(out []Update) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Query != out[j].Query {
+			return out[i].Query < out[j].Query
+		}
+		return out[i].Object < out[j].Object
+	})
 }
 
 // String renders the update in the paper's (Q, ±A) notation.

@@ -373,7 +373,12 @@ func (s *Server) evaluateLocked() int {
 		}
 		perSession[sess] = append(perSession[sess], u)
 	}
+	// Each batch preserves Step's canonical update order, so the stream
+	// any one client sees is reproducible; the enqueue order *across*
+	// sessions is not client-observable (each session only receives its
+	// own batch, and send never blocks).
 	for sess, batch := range perSession {
+		//lint:allow maporder per-session batch content is canonically ordered; cross-session enqueue order is not observable by any client
 		s.send(sess, wire.UpdateBatch{Time: now, Updates: batch})
 	}
 	return len(updates)

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"cqp/internal/core"
@@ -89,20 +90,14 @@ func runDifferential(t *testing.T, seed int64, rows, cols, steps int) {
 				}
 				report(&u, nil)
 			case rng.Float64() < 0.08:
-				var id core.ObjectID
-				for id = range objects {
-					break
-				}
+				id := pickObject(rng, objects)
 				delete(objects, id)
 				report(&core.ObjectUpdate{ID: id, Remove: true, T: now}, nil)
 			default:
 				// Move an object to a fresh uniform point: with multiple
 				// tiles, a large fraction of these are cross-shard
 				// migrations.
-				var id core.ObjectID
-				for id = range objects {
-					break
-				}
+				id := pickObject(rng, objects)
 				u := core.ObjectUpdate{ID: id, Kind: objects[id], Loc: randPoint(), Vel: randVel(), T: now}
 				if objects[id] == core.Predictive && rng.Float64() < 0.3 {
 					u.Waypoints = randWaypoints(rng, u.Loc, now)
@@ -219,10 +214,7 @@ func runDifferential(t *testing.T, seed int64, rows, cols, steps int) {
 
 		// Occasionally exercise the protocol surface identically on both.
 		if rng.Float64() < 0.2 && len(queryKinds) > 0 {
-			var id core.QueryID
-			for id = range queryKinds {
-				break
-			}
+			id := pickQuery(rng, queryKinds)
 			if a, b := single.Commit(id), sharded.Commit(id); a != b {
 				t.Fatalf("seed %d step %d: Commit(%d) single=%v sharded=%v", seed, step, id, a, b)
 			}
@@ -233,10 +225,7 @@ func runDifferential(t *testing.T, seed int64, rows, cols, steps int) {
 			}
 		}
 		if rng.Float64() < 0.1 && len(queryKinds) > 0 {
-			var id core.QueryID
-			for id = range queryKinds {
-				break
-			}
+			id := pickQuery(rng, queryKinds)
 			ra, _ := single.Recover(id)
 			rb, _ := sharded.Recover(id)
 			if len(ra) != len(rb) {
@@ -251,15 +240,43 @@ func runDifferential(t *testing.T, seed int64, rows, cols, steps int) {
 	}
 }
 
+// pickObject picks a uniformly random object, deterministically given
+// the rng state: the choice must not lean on map iteration order, or
+// the workload a seed denotes changes from run to run and failures
+// cannot be reproduced.
+func pickObject(rng *rand.Rand, objects map[core.ObjectID]core.ObjectKind) core.ObjectID {
+	ids := make([]core.ObjectID, 0, len(objects))
+	for id := range objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[rng.Intn(len(ids))]
+}
+
+// pickQuery is pickObject for queries.
+func pickQuery(rng *rand.Rand, kinds map[core.QueryID]core.QueryKind) core.QueryID {
+	ids := make([]core.QueryID, 0, len(kinds))
+	for id := range kinds {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[rng.Intn(len(ids))]
+}
+
 // pickUntouched picks a random query not yet updated this step; 0 if
 // none qualifies (QueryID 0 is never issued).
 func pickUntouched(rng *rand.Rand, kinds map[core.QueryID]core.QueryKind, touched map[core.QueryID]struct{}) core.QueryID {
+	var ids []core.QueryID
 	for id := range kinds {
 		if _, dup := touched[id]; !dup {
-			return id
+			ids = append(ids, id)
 		}
 	}
-	return 0
+	if len(ids) == 0 {
+		return 0
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[rng.Intn(len(ids))]
 }
 
 func randShardQueryUpdate(rng *rand.Rand, id core.QueryID, kind core.QueryKind, now float64,

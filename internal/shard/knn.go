@@ -55,7 +55,14 @@ func (e *Engine) rankedCandidates(qi *queryInfo) []cand {
 // settleKNNQueries runs the global top-k fixpoint for every kNN query
 // whose answer may have changed this step.
 func (e *Engine) settleKNNQueries(m *mergeState, now float64) {
+	dirty := make([]core.QueryID, 0, len(m.knnDirty))
 	for qid := range m.knnDirty {
+		dirty = append(dirty, qid)
+	}
+	// Query order, not map order: settling replicates queries into tiles
+	// and sub-steps them, so the settle sequence must be replay-stable.
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	for _, qid := range dirty {
 		qi, ok := e.qrys[qid]
 		if !ok || qi.kind != core.KNN {
 			continue // removed or re-registered as another kind
@@ -114,14 +121,21 @@ func (e *Engine) settleKNN(m *mergeState, qi *queryInfo, now float64) {
 	for i := 0; i < n; i++ {
 		newAns[cands[i].id] = struct{}{}
 	}
+	// Diff in object order (not map order): emissions append to the
+	// merged update stream, which must be replay-stable.
+	var drop []core.ObjectID
 	for o := range qi.answer {
 		if _, still := newAns[o]; !still {
-			e.emit(m, qi.id, o, false)
+			drop = append(drop, o)
 		}
 	}
-	for o := range newAns {
-		if _, had := qi.answer[o]; !had {
-			e.emit(m, qi.id, o, true)
+	sort.Slice(drop, func(i, j int) bool { return drop[i] < drop[j] })
+	for _, o := range drop {
+		e.emit(m, qi.id, o, false)
+	}
+	for i := 0; i < n; i++ {
+		if _, had := qi.answer[cands[i].id]; !had {
+			e.emit(m, qi.id, cands[i].id, true)
 		}
 	}
 	qi.answer = newAns

@@ -39,14 +39,23 @@ type mergeState struct {
 	removedQrys map[core.QueryID]*queryInfo
 	removedObjs map[core.ObjectID]struct{}
 
+	// resetQrys are queries whose merge state restarted from empty this
+	// step (a kind change, or a removal followed by a re-registration
+	// under the same ID). Tile streams may still carry phase-1 negatives
+	// emitted by the old replicas before the teardown reached them;
+	// those refer to the old incarnation's membership and must not fold
+	// into the fresh counts (see absorb).
+	resetQrys map[core.QueryID]struct{}
+
 	out []core.Update
 }
 
 // Step routes every buffered report to its tile(s), runs all tile
 // engines in parallel at time now, and merges their update streams into
 // the exact global incremental answer stream. See core.Engine.Step for
-// the contract; the returned slice is freshly allocated and its order
-// is unspecified.
+// the contract; the returned slice is freshly allocated and in the
+// canonical order of core.SortUpdates, so the sharded engine's stream is
+// bit-identical to the single-space engine's for the same reports.
 func (e *Engine) Step(now float64) []core.Update {
 	e.now = now
 	e.stats.Steps++
@@ -55,6 +64,7 @@ func (e *Engine) Step(now float64) []core.Update {
 		knnDirty:    make(map[core.QueryID]struct{}),
 		removedQrys: make(map[core.QueryID]*queryInfo),
 		removedObjs: make(map[core.ObjectID]struct{}),
+		resetQrys:   make(map[core.QueryID]struct{}),
 	}
 
 	e.routeObjects(m)
@@ -68,6 +78,7 @@ func (e *Engine) Step(now float64) []core.Update {
 
 	e.objBuf = e.objBuf[:0]
 	e.qryBuf = e.qryBuf[:0]
+	core.SortUpdates(m.out)
 	return m.out
 }
 
@@ -176,8 +187,10 @@ func (e *Engine) applyQueryUpdate(m *mergeState, u core.QueryUpdate) {
 		}
 		e.qrys[u.ID] = qi
 		// A fresh registration auto-commits its (empty) answer, as core
-		// does.
+		// does. If the same ID was removed earlier in this batch, old
+		// replicas may still stream stale negatives: mark the reset.
 		qi.committed = make(map[core.ObjectID]struct{})
+		m.resetQrys[u.ID] = struct{}{}
 	case qi.kind != u.Kind:
 		// Kind change: core tears the query down silently (no negative
 		// updates) and starts fresh, committing the empty answer. The
@@ -190,6 +203,7 @@ func (e *Engine) applyQueryUpdate(m *mergeState, u core.QueryUpdate) {
 		qi.radius = 0
 		qi.kind = u.Kind
 		qi.committed = make(map[core.ObjectID]struct{})
+		m.resetQrys[u.ID] = struct{}{}
 	default:
 		// Hearing from a query's client proves it consumed the stream:
 		// auto-commit. The snapshot mirrors core's phase ordering — the
@@ -273,6 +287,18 @@ func (e *Engine) absorb(m *mergeState, batch []core.Update) {
 				e.addCandidate(u.Object, qi.id)
 			}
 		} else {
+			if _, reset := m.resetQrys[u.Query]; reset {
+				// The query restarted from empty this step (kind change
+				// or same-ID re-registration). A fresh replica can only
+				// accrete members in its registration step, so every
+				// negative in this step's streams was emitted by an old
+				// replica about the old incarnation's membership —
+				// e.g. the phase-1 retraction of a cross-tile mover.
+				// Folding it in would cancel a genuine new-incarnation
+				// positive from a tile absorbed earlier; which tile is
+				// absorbed first must never decide the merged answer.
+				continue
+			}
 			switch c := qi.count[u.Object]; {
 			case c > 1:
 				qi.count[u.Object] = c - 1
