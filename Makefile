@@ -51,6 +51,15 @@ bench:
 bench-full:
 	$(GO) run ./cmd/cqp-bench -exp all | tee bench_results.txt
 
+# The core hot-path benchmarks: the grid/engine microbenchmarks with
+# allocation reporting, then the steady-state Step sweep, which appends
+# a labelled run to BENCH_core.json (the perf-regression trajectory; see
+# EXPERIMENTS.md). Override LABEL to tag the run.
+LABEL ?= dev
+bench-core:
+	$(GO) test -bench=. -benchmem ./internal/grid/ ./internal/core/ | tee -a bench_results.txt
+	$(GO) run ./cmd/cqp-bench -exp core -label "$(LABEL)" | tee -a bench_results.txt
+
 # Run every example once.
 examples:
 	$(GO) run ./examples/quickstart

@@ -18,14 +18,20 @@ import (
 	"cqp/internal/bench"
 )
 
-// benchScale keeps the testing.B workloads laptop-sized.
+// benchScale keeps the testing.B workloads laptop-sized. Under -short
+// (the CI bench-smoke job) it shrinks further to a compile-and-run
+// guard: every harness executes, none dominates the job's wall clock.
 func benchScale() bench.Fig5Config {
-	return bench.Fig5Config{
+	cfg := bench.Fig5Config{
 		Objects: 4000,
 		Queries: 4000,
 		Ticks:   3,
 		Seed:    1,
-	}.WithDefaults()
+	}
+	if testing.Short() {
+		cfg.Objects, cfg.Queries, cfg.Ticks = 500, 500, 1
+	}
+	return cfg.WithDefaults()
 }
 
 // BenchmarkFig5aAnswerSize reproduces Figure 5(a): the per-evaluation
@@ -36,6 +42,7 @@ func BenchmarkFig5aAnswerSize(b *testing.B) {
 		b.Run(fmt.Sprintf("rate=%.0f%%", rate*100), func(b *testing.B) {
 			cfg := benchScale()
 			cfg.Rate = rate
+			b.ReportAllocs()
 			var r bench.Fig5Result
 			for i := 0; i < b.N; i++ {
 				r = bench.RunFig5Point(cfg)
@@ -54,6 +61,7 @@ func BenchmarkFig5bAnswerSize(b *testing.B) {
 		b.Run(fmt.Sprintf("side=%.3f", side), func(b *testing.B) {
 			cfg := benchScale()
 			cfg.QuerySide = side
+			b.ReportAllocs()
 			var r bench.Fig5Result
 			for i := 0; i < b.N; i++ {
 				r = bench.RunFig5Point(cfg)
@@ -73,6 +81,7 @@ func BenchmarkAblationShared(b *testing.B) {
 		b.Run(fmt.Sprintf("queries=%d", q), func(b *testing.B) {
 			cfg := benchScale()
 			cfg.Queries = q
+			b.ReportAllocs()
 			var r bench.StrategyResult
 			for i := 0; i < b.N; i++ {
 				r = bench.RunStrategyComparison(cfg, false)
@@ -88,6 +97,7 @@ func BenchmarkAblationShared(b *testing.B) {
 // the Q-index baseline on stationary queries.
 func BenchmarkAblationQIndex(b *testing.B) {
 	cfg := benchScale()
+	b.ReportAllocs()
 	var r bench.StrategyResult
 	for i := 0; i < b.N; i++ {
 		r = bench.RunStrategyComparison(cfg, true)
@@ -104,6 +114,7 @@ func BenchmarkAblationGridSize(b *testing.B) {
 		b.Run(fmt.Sprintf("grid=%dx%d", n, n), func(b *testing.B) {
 			cfg := benchScale()
 			cfg.GridN = n
+			b.ReportAllocs()
 			var r bench.Fig5Result
 			for i := 0; i < b.N; i++ {
 				r = bench.RunFig5Point(cfg)
@@ -119,6 +130,7 @@ func BenchmarkAblationGridSize(b *testing.B) {
 func BenchmarkAblationRecovery(b *testing.B) {
 	cfg := benchScale()
 	cfg.Queries = 1000
+	b.ReportAllocs()
 	var rs []bench.RecoveryResult
 	for i := 0; i < b.N; i++ {
 		rs = bench.RunRecovery(cfg, []int{1, 10, 50})
@@ -134,6 +146,7 @@ func BenchmarkAblationRecovery(b *testing.B) {
 // re-evaluation.
 func BenchmarkAblationPredictive(b *testing.B) {
 	cfg := benchScale()
+	b.ReportAllocs()
 	var r bench.PredictiveResult
 	for i := 0; i < b.N; i++ {
 		r = bench.RunPredictiveComparison(cfg)
@@ -147,6 +160,7 @@ func BenchmarkAblationPredictive(b *testing.B) {
 // against one evaluation per report.
 func BenchmarkAblationBulk(b *testing.B) {
 	cfg := benchScale()
+	b.ReportAllocs()
 	var rs []bench.BulkResult
 	for i := 0; i < b.N; i++ {
 		rs = bench.RunBulk(cfg, []int{1000})
@@ -163,6 +177,7 @@ func BenchmarkAblationBulk(b *testing.B) {
 func BenchmarkAblationParallel(b *testing.B) {
 	cfg := benchScale()
 	cfg.Rate = 1.0
+	b.ReportAllocs()
 	var times []float64
 	for i := 0; i < b.N; i++ {
 		times = bench.RunParallelSweep(cfg, []int{1, 4})

@@ -14,6 +14,8 @@
 //	predictive predictive queries: shared grid vs. TPR-tree
 //	parallel   gather-phase parallelism sweep
 //	shard      spatial shard count sweep (writes BENCH_shard.json)
+//	core       single-engine steady-state Step cost sweep (appends a
+//	           labelled run to BENCH_core.json; see -label)
 //	all        everything above
 //
 // Examples:
@@ -30,13 +32,15 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cqp/internal/bench"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig5a|fig5b|shared|qindex|gridsize|recovery|bulk|predictive|parallel|shard|all")
+		exp        = flag.String("exp", "all", "experiment: fig5a|fig5b|shared|qindex|gridsize|recovery|bulk|predictive|parallel|shard|core|all")
+		label      = flag.String("label", "", "run label recorded in BENCH_core.json for -exp core")
 		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shard")
 		objects    = flag.Int("objects", 20000, "moving object population")
 		queries    = flag.Int("queries", 20000, "moving query population")
@@ -71,9 +75,10 @@ func main() {
 	run("predictive", func() { predictive(base) })
 	run("parallel", func() { parallelExp(base) })
 	run("shard", func() { shardExp(base, *shards) })
+	run("core", func() { coreExp(base, *label) })
 
 	switch *exp {
-	case "fig5a", "fig5b", "shared", "qindex", "gridsize", "recovery", "bulk", "predictive", "parallel", "shard", "all":
+	case "fig5a", "fig5b", "shared", "qindex", "gridsize", "recovery", "bulk", "predictive", "parallel", "shard", "core", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "cqp-bench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -220,6 +225,46 @@ func shardExp(base bench.Fig5Config, list string) {
 		os.Exit(1)
 	}
 	fmt.Println("\nwrote BENCH_shard.json")
+	fmt.Println()
+}
+
+// coreExp runs the single-engine core sweep and appends the run to
+// BENCH_core.json, the perf-regression trajectory of the unsharded hot
+// path (one Step == one op; ns/op, B/op, allocs/op as a testing.B
+// benchmark would report them).
+func coreExp(base bench.Fig5Config, label string) {
+	fmt.Println("=== Core engine: steady-state Step cost (30% update rate) ===")
+	points := bench.RunCoreSweep(base)
+	fmt.Printf("%8s %10s %10s %14s %14s %14s %14s\n",
+		"point", "objects", "queries", "ms/step", "KB/step", "allocs/step", "updates/step")
+	for _, p := range points {
+		fmt.Printf("%8s %10d %10d %14.1f %14.0f %14.0f %14.0f\n",
+			p.Name, p.Objects, p.Queries, p.NsPerStep/1e6, p.BytesPerStep/1024,
+			p.AllocsPerStep, p.UpdatesPerStep)
+	}
+
+	run := bench.CoreRun{
+		Label:  label,
+		When:   time.Now().UTC().Format("2006-01-02"),
+		Points: points,
+	}
+	var runs []bench.CoreRun
+	if data, err := os.ReadFile("BENCH_core.json"); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			fmt.Fprintf(os.Stderr, "cqp-bench: parsing existing BENCH_core.json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runs = append(runs, run)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_core.json", append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqp-bench: writing BENCH_core.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nwrote BENCH_core.json")
 	fmt.Println()
 }
 

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"runtime"
+	"time"
+
+	"cqp/internal/core"
+	"cqp/internal/gen"
+	"cqp/internal/geo"
+	"cqp/internal/roadnet"
+)
+
+// CorePoint is one measured configuration of the single-engine core
+// benchmark: steady-state Step cost on the road-network workload,
+// reported in the units a testing.B benchmark would print (ns/op, B/op,
+// allocs/op, with one Step as the op).
+type CorePoint struct {
+	Name           string  `json:"name"`
+	Objects        int     `json:"objects"`
+	Queries        int     `json:"queries"`
+	GridN          int     `json:"grid_n"`
+	Ticks          int     `json:"ticks"`
+	Seed           int64   `json:"seed"`
+	NsPerStep      float64 `json:"ns_per_step"`
+	BytesPerStep   float64 `json:"bytes_per_step"`
+	AllocsPerStep  float64 `json:"allocs_per_step"`
+	UpdatesPerStep float64 `json:"updates_per_step"`
+}
+
+// CoreRun is one appended entry of BENCH_core.json: a labelled sweep over
+// the small/medium/paper-scale points on identical workload parameters,
+// so before/after runs of the same sweep are directly comparable.
+type CoreRun struct {
+	Label  string      `json:"label"`
+	When   string      `json:"when,omitempty"`
+	Points []CorePoint `json:"points"`
+}
+
+// CoreSweepSizes are the populations of the core benchmark sweep: two
+// laptop-scale points plus the 20K x 20K scale the shard experiment
+// (BENCH_shard.json) uses, so the single-engine trajectory and the
+// shard-scaling trajectory share an anchor point.
+var CoreSweepSizes = []struct {
+	Name    string
+	Objects int
+	Queries int
+}{
+	{"small", 2000, 2000},
+	{"medium", 8000, 8000},
+	{"paper", 20000, 20000},
+}
+
+// RunCoreSweep measures every core sweep point with the base config's
+// tick count, rate, and seed. Only the population varies per point; all
+// other parameters come from cfg so runs recorded under different labels
+// stay comparable.
+func RunCoreSweep(cfg Fig5Config) []CorePoint {
+	cfg = cfg.WithDefaults()
+	out := make([]CorePoint, 0, len(CoreSweepSizes))
+	for _, s := range CoreSweepSizes {
+		c := cfg
+		c.Objects = s.Objects
+		c.Queries = s.Queries
+		out = append(out, runCorePoint(s.Name, c))
+	}
+	return out
+}
+
+// runCorePoint measures one population on the Figure-5 road workload:
+// bootstrap, warm up, then time cfg.Ticks Steps, counting heap bytes and
+// mallocs around each measured Step only (the workload generator's own
+// allocations are excluded). The runtime counters are monotonic, so a GC
+// during a Step does not skew them.
+func runCorePoint(name string, cfg Fig5Config) CorePoint {
+	net := roadnet.Generate(roadnet.Config{Seed: cfg.Seed})
+	world := gen.MustNewWorld(gen.Config{Net: net, NumObjects: cfg.Objects, Seed: cfg.Seed})
+	wl := gen.NewWorkload(world, cfg.Queries, cfg.QuerySide, cfg.Seed)
+	scatter(wl)
+
+	engine := core.MustNewEngine(core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: cfg.GridN})
+	wl.Bootstrap(engine)
+	engine.Step(world.Now())
+	for i := 0; i < cfg.Warmup; i++ {
+		wl.Tick(engine, cfg.DT, cfg.Rate, cfg.QueryRate)
+		engine.Step(world.Now())
+	}
+
+	var (
+		ns      int64
+		bytes   uint64
+		mallocs uint64
+		updates int
+		before  runtime.MemStats
+		after   runtime.MemStats
+	)
+	for i := 0; i < cfg.Ticks; i++ {
+		wl.Tick(engine, cfg.DT, cfg.Rate, cfg.QueryRate)
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		updates += len(engine.Step(world.Now()))
+		ns += time.Since(start).Nanoseconds()
+		runtime.ReadMemStats(&after)
+		bytes += after.TotalAlloc - before.TotalAlloc
+		mallocs += after.Mallocs - before.Mallocs
+	}
+	n := float64(cfg.Ticks)
+	return CorePoint{
+		Name:           name,
+		Objects:        cfg.Objects,
+		Queries:        cfg.Queries,
+		GridN:          cfg.GridN,
+		Ticks:          cfg.Ticks,
+		Seed:           cfg.Seed,
+		NsPerStep:      float64(ns) / n,
+		BytesPerStep:   float64(bytes) / n,
+		AllocsPerStep:  float64(mallocs) / n,
+		UpdatesPerStep: float64(updates) / n,
+	}
+}

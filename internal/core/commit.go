@@ -1,6 +1,6 @@
 package core
 
-import "sort"
+import "slices"
 
 // Commit records that the client of query q has provably received the
 // update stream so far: the current answer becomes the committed answer.
@@ -18,11 +18,17 @@ func (e *Engine) Commit(q QueryID) bool {
 }
 
 func (e *Engine) commit(qs *queryState) {
-	committed := make(map[ObjectID]struct{}, len(qs.answer))
-	for oid := range qs.answer {
-		committed[oid] = struct{}{}
+	// Reuse the previous committed map: moving queries auto-commit on
+	// every report, so allocating a fresh snapshot per report dominated
+	// the query-move path's allocation profile.
+	if qs.committed == nil {
+		qs.committed = make(map[ObjectID]struct{}, len(qs.answer))
+	} else {
+		clear(qs.committed)
 	}
-	qs.committed = committed
+	for oid := range qs.answer {
+		qs.committed[oid] = struct{}{}
+	}
 }
 
 // Recover computes the updates an out-of-sync client needs after a
@@ -53,14 +59,27 @@ func (e *Engine) Recover(q QueryID) ([]Update, bool) {
 			out = append(out, Update{Query: q, Object: oid, Positive: true})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Positive != out[j].Positive {
-			return !out[i].Positive // negatives first, as the client prunes
-		}
-		return out[i].Object < out[j].Object
-	})
+	slices.SortFunc(out, compareRecovery)
 	e.commit(qs)
 	return out, true
+}
+
+// compareRecovery orders a recovery diff: negatives first (the client
+// prunes before it grows), then ascending ObjectID.
+func compareRecovery(a, b Update) int {
+	if a.Positive != b.Positive {
+		if !a.Positive {
+			return -1
+		}
+		return 1
+	}
+	if a.Object < b.Object {
+		return -1
+	}
+	if a.Object > b.Object {
+		return 1
+	}
+	return 0
 }
 
 // CommittedAnswer returns the last committed answer of q in ascending
@@ -75,6 +94,6 @@ func (e *Engine) CommittedAnswer(q QueryID) ([]ObjectID, bool) {
 	for oid := range qs.committed {
 		out = append(out, oid)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, true
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"cqp/internal/geo"
@@ -114,6 +114,34 @@ type Engine struct {
 	dirtyKNN map[QueryID]struct{}
 
 	stats Stats
+
+	// Step scratch, reused across evaluations so a steady-state Step is
+	// allocation-stable: every buffer below reaches its working size
+	// within a few Steps and is then only resliced. None of this state
+	// carries semantics between Steps — each buffer is reset (length
+	// zero or cleared) before use.
+	movedBuf []movedObj     // phase-1 changed-object list
+	gathers  []*movedGather // per-worker gather scratch; [0] serves the serial path
+	dirtyBuf []QueryID      // sorted dirty-kNN drain
+	qidBuf   []QueryID      // removeObject's sorted QList drain
+	dropBuf  []*objectState // range/predictive membership-drop collection
+	diffBuf  []geo.Rect     // region-difference pieces
+	knnBuf   []grid.Neighbor
+	knnNew   map[ObjectID]struct{} // recomputeKNN's next answer
+	knnDrop  []ObjectID
+	knnAdd   []ObjectID
+	prevEmit int // previous Step's emission count: pre-size hint for out
+
+	// Pre-bound grid-visit callbacks for the serial query-update phase
+	// (a fresh closure per moved query escapes to the heap; with tens of
+	// thousands of query moves per Step that was a dominant allocation
+	// source). curQS/curOut carry the query being applied; both phases
+	// run strictly serially, so one slot suffices.
+	curQS        *queryState
+	curOut       *[]Update
+	rangeVisitCB func(uint64, geo.Point) bool
+	predCellCB   func(int) bool
+	predRegionCB func(uint64, geo.Rect) bool
 }
 
 // NewEngine constructs an engine over the given space.
@@ -122,13 +150,36 @@ func NewEngine(opt Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{
+	e := &Engine{
 		opt:      o,
 		g:        grid.New(o.Bounds, o.GridN),
 		objs:     make(map[ObjectID]*objectState),
 		qrys:     make(map[QueryID]*queryState),
 		dirtyKNN: make(map[QueryID]struct{}),
-	}, nil
+		knnNew:   make(map[ObjectID]struct{}),
+	}
+	e.rangeVisitCB = func(k uint64, _ geo.Point) bool {
+		e.stats.CandidateChecks++
+		e.setMember(e.curQS, e.objs[keyObject(k)], true, e.curOut)
+		return true
+	}
+	e.predRegionCB = func(k uint64, _ geo.Rect) bool {
+		if keyIsQuery(k) {
+			return true
+		}
+		os := e.objs[keyObject(k)]
+		e.stats.CandidateChecks++
+		if e.predictiveMatch(e.curQS, os) {
+			e.setMember(e.curQS, os, true, e.curOut)
+		}
+		return true
+	}
+	e.predCellCB = func(ci int) bool {
+		e.stats.RegionEvalCells++
+		e.g.VisitRegionsInCell(ci, e.predRegionCB)
+		return true
+	}
+	return e, nil
 }
 
 // MustNewEngine is NewEngine that panics on configuration errors, for use
@@ -191,7 +242,7 @@ func (e *Engine) Answer(q QueryID) ([]ObjectID, bool) {
 	for id := range qs.answer {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, true
 }
 
@@ -206,16 +257,14 @@ func (e *Engine) Answer(q QueryID) ([]ObjectID, bool) {
 func (e *Engine) Step(now float64) []Update {
 	e.now = now
 	e.stats.Steps++
-	var out []Update
+	// Freshly allocated per the API contract, but pre-sized from the
+	// previous Step's emission count: steady-state workloads emit
+	// similar volumes step over step, so append rarely reallocates.
+	out := make([]Update, 0, e.prevEmit)
 
 	// Phase 1: apply object reports to the grid and the object table,
 	// recording which objects changed for the join phase.
-	type movedObj struct {
-		os     *objectState
-		isNew  bool
-		oldLoc geo.Point
-	}
-	moved := make([]movedObj, 0, len(e.objBuf))
+	moved := e.movedBuf[:0]
 	for _, u := range e.objBuf {
 		e.stats.ObjectReports++
 		if u.Remove {
@@ -286,13 +335,13 @@ func (e *Engine) Step(now float64) []Update {
 	}
 	workers := e.opt.Parallelism
 	if workers <= 1 || len(live) < 2*workers {
-		var g movedGather
+		g := e.gatherScratch(1)
 		for _, m := range live {
-			e.gatherMovedObject(m.os, &g)
+			e.gatherMovedObject(m.os, g[0])
 		}
-		e.applyGather(&g, &out)
+		e.applyGather(g[0], &out)
 	} else {
-		gathers := make([]movedGather, workers)
+		gathers := e.gatherScratch(workers)
 		var wg sync.WaitGroup
 		chunk := (len(live) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
@@ -310,11 +359,11 @@ func (e *Engine) Step(now float64) []Update {
 				for _, m := range part {
 					e.gatherMovedObject(m.os, g)
 				}
-			}(&gathers[w], live[lo:hi])
+			}(gathers[w], live[lo:hi])
 		}
 		wg.Wait()
-		for i := range gathers {
-			e.applyGather(&gathers[i], &out)
+		for _, g := range gathers {
+			e.applyGather(g, &out)
 		}
 	}
 
@@ -322,23 +371,44 @@ func (e *Engine) Step(now float64) []Update {
 	// emit the membership diff, in query order so the grid's region
 	// maintenance and the recompute stats are replay-stable.
 	if len(e.dirtyKNN) > 0 {
-		dirty := make([]QueryID, 0, len(e.dirtyKNN))
+		dirty := e.dirtyBuf[:0]
 		for qid := range e.dirtyKNN {
 			dirty = append(dirty, qid)
 		}
-		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+		slices.Sort(dirty)
 		clear(e.dirtyKNN)
 		for _, qid := range dirty {
 			if qs, ok := e.qrys[qid]; ok {
 				e.recomputeKNN(qs, &out)
 			}
 		}
+		e.dirtyBuf = dirty
 	}
 
 	e.objBuf = e.objBuf[:0]
 	e.qryBuf = e.qryBuf[:0]
+	e.movedBuf = moved
+	e.prevEmit = len(out)
 	SortUpdates(out)
 	return out
+}
+
+// gatherScratch returns n reset movedGather scratch slots, growing the
+// engine's pool as needed. The backing buffers and pre-bound grid-visit
+// callbacks inside each slot are retained across Steps, which is what
+// keeps the gather phase allocation-free at steady state. Slots are
+// pointers because the callbacks close over their slot.
+func (e *Engine) gatherScratch(n int) []*movedGather {
+	for len(e.gathers) < n {
+		e.gathers = append(e.gathers, newMovedGather(e))
+	}
+	g := e.gathers[:n]
+	for _, s := range g {
+		s.props = s.props[:0]
+		s.dirty = s.dirty[:0]
+		s.checks = 0
+	}
+	return g
 }
 
 // setMember is the single authority over answer membership. Every
@@ -369,11 +439,12 @@ func (e *Engine) removeObject(id ObjectID, out *[]Update) {
 	if !ok {
 		return
 	}
-	qids := make([]QueryID, 0, len(os.queries))
+	qids := e.qidBuf[:0]
 	for qid := range os.queries {
 		qids = append(qids, qid)
 	}
-	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	slices.Sort(qids)
+	e.qidBuf = qids
 	for _, qid := range qids {
 		qs := e.qrys[qid]
 		if qs.kind == KNN {
@@ -472,6 +543,14 @@ func (e *Engine) applyQueryUpdate(u QueryUpdate, out *[]Update) {
 	}
 }
 
+// movedObj records one object changed in phase 1 of a Step, queued for
+// the phase-3 join.
+type movedObj struct {
+	os     *objectState
+	isNew  bool
+	oldLoc geo.Point
+}
+
 // objectProposal is one membership decision produced by the read-only
 // gather phase of the object-driven join and applied serially afterwards.
 type objectProposal struct {
@@ -483,10 +562,72 @@ type objectProposal struct {
 // movedGather accumulates the outcome of gathering one or more moved
 // objects: membership proposals, kNN queries to mark dirty, and the
 // candidate-check count. Each worker of a parallel Step owns one.
+//
+// The grid-visit callbacks are bound once at construction and read the
+// current object from the os field: a fresh closure per moved object
+// escapes to the heap, which at 100K moves/step was the single largest
+// allocation source in the gather phase.
 type movedGather struct {
+	e      *Engine
 	props  []objectProposal
 	dirty  []QueryID
 	checks uint64
+
+	os            *objectState                // object currently being gathered
+	regionsAtCB   func(uint64, geo.Rect) bool // candidate probe at os.loc
+	sweptCellCB   func(int) bool              // predictive swept-box cell walk
+	sweptRegionCB func(uint64, geo.Rect) bool // predictive candidate probe
+}
+
+// newMovedGather builds a gather slot with its callbacks pre-bound.
+func newMovedGather(e *Engine) *movedGather {
+	g := &movedGather{e: e}
+	g.regionsAtCB = func(k uint64, _ geo.Rect) bool {
+		if !keyIsQuery(k) {
+			return true
+		}
+		os := g.os
+		qs := e.qrys[keyQuery(k)]
+		g.checks++
+		switch qs.kind {
+		case Range:
+			if qs.region.Contains(os.loc) {
+				g.props = append(g.props, objectProposal{qs, os, true})
+			}
+		case KNN:
+			// Inside the current circle (or the query is still starved):
+			// the exact answer may change. (Answers and radii are stable
+			// throughout the gather phase: they only change in the apply
+			// and kNN-recompute phases.)
+			if len(qs.answer) < qs.k || qs.focal.Dist(os.loc) <= qs.radius {
+				g.dirty = append(g.dirty, qs.id)
+			}
+		case PredictiveRange:
+			if os.kind == Predictive && e.predictiveMatch(qs, os) {
+				g.props = append(g.props, objectProposal{qs, os, true})
+			}
+		}
+		return true
+	}
+	g.sweptRegionCB = func(k uint64, _ geo.Rect) bool {
+		if !keyIsQuery(k) {
+			return true
+		}
+		qs := e.qrys[keyQuery(k)]
+		if qs.kind != PredictiveRange {
+			return true
+		}
+		g.checks++
+		if e.predictiveMatch(qs, g.os) {
+			g.props = append(g.props, objectProposal{qs, g.os, true})
+		}
+		return true
+	}
+	g.sweptCellCB = func(ci int) bool {
+		e.g.VisitRegionsInCell(ci, g.sweptRegionCB)
+		return true
+	}
+	return g
 }
 
 // gatherMovedObject is the object side of the spatial join, restructured
@@ -517,53 +658,13 @@ func (e *Engine) gatherMovedObject(os *objectState, g *movedGather) {
 	}
 
 	// Candidate queries registered in the cell of the new location.
-	e.g.VisitRegionsAt(os.loc, func(k uint64, _ geo.Rect) bool {
-		if !keyIsQuery(k) {
-			return true
-		}
-		qs := e.qrys[keyQuery(k)]
-		g.checks++
-		switch qs.kind {
-		case Range:
-			if qs.region.Contains(os.loc) {
-				g.props = append(g.props, objectProposal{qs, os, true})
-			}
-		case KNN:
-			// Inside the current circle (or the query is still starved):
-			// the exact answer may change. (Answers and radii are stable
-			// throughout the gather phase: they only change in the apply
-			// and kNN-recompute phases.)
-			if len(qs.answer) < qs.k || qs.focal.Dist(os.loc) <= qs.radius {
-				g.dirty = append(g.dirty, qs.id)
-			}
-		case PredictiveRange:
-			if os.kind == Predictive && e.predictiveMatch(qs, os) {
-				g.props = append(g.props, objectProposal{qs, os, true})
-			}
-		}
-		return true
-	})
+	g.os = os
+	e.g.VisitRegionsAt(os.loc, g.regionsAtCB)
 
 	// A predictive object additionally joins against predictive queries
 	// wherever its trajectory box reaches, not only at its current point.
 	if os.kind == Predictive && os.sweptValid {
-		e.g.VisitCells(os.swept, func(ci int) bool {
-			e.g.VisitRegionsInCell(ci, func(k uint64, _ geo.Rect) bool {
-				if !keyIsQuery(k) {
-					return true
-				}
-				qs := e.qrys[keyQuery(k)]
-				if qs.kind != PredictiveRange {
-					return true
-				}
-				g.checks++
-				if e.predictiveMatch(qs, os) {
-					g.props = append(g.props, objectProposal{qs, os, true})
-				}
-				return true
-			})
-			return true
-		})
+		e.g.VisitCells(os.swept, g.sweptCellCB)
 	}
 }
 

@@ -1,10 +1,14 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"cqp/internal/geo"
 )
+
+// notQueryKey filters a grid search down to object entries. Package-level
+// so passing it as a callback never allocates a closure.
+func notQueryKey(k uint64) bool { return !keyIsQuery(k) }
 
 // recomputeKNN performs an exact k-nearest-neighbor search for a dirty
 // kNN query, emits the diff against the stored answer, and re-registers
@@ -16,14 +20,18 @@ import (
 // changes are detected cheaply (a member moved, or a non-member intruded
 // into the circle) and trigger this exact re-search; the emitted updates
 // are only the diff, e.g. (Q, −p2) (Q, +p1) when p1 displaces p2.
+//
+// The neighbor list, the next-answer set, and the drop/add diff all live
+// in engine scratch reused across recomputes, so steady-state kNN upkeep
+// does not allocate.
 func (e *Engine) recomputeKNN(qs *queryState, out *[]Update) {
 	e.stats.KNNRecomputes++
 
-	neighbors := e.g.KNearest(qs.focal, qs.k, func(k uint64) bool {
-		return !keyIsQuery(k)
-	})
+	neighbors := e.g.KNearestAppend(e.knnBuf, qs.focal, qs.k, notQueryKey)
+	e.knnBuf = neighbors
 
-	newAnswer := make(map[ObjectID]struct{}, len(neighbors))
+	clear(e.knnNew)
+	newAnswer := e.knnNew
 	radius := 0.0
 	for _, n := range neighbors {
 		newAnswer[keyObject(n.ID)] = struct{}{}
@@ -34,7 +42,7 @@ func (e *Engine) recomputeKNN(qs *queryState, out *[]Update) {
 
 	// Emit the diff in object order (collect first: setMember mutates
 	// qs.answer; sort so the update stream never inherits map order).
-	var drop, add []ObjectID
+	drop, add := e.knnDrop[:0], e.knnAdd[:0]
 	for oid := range qs.answer {
 		if _, keep := newAnswer[oid]; !keep {
 			drop = append(drop, oid)
@@ -45,14 +53,15 @@ func (e *Engine) recomputeKNN(qs *queryState, out *[]Update) {
 			add = append(add, oid)
 		}
 	}
-	sort.Slice(drop, func(i, j int) bool { return drop[i] < drop[j] })
-	sort.Slice(add, func(i, j int) bool { return add[i] < add[j] })
+	slices.Sort(drop)
+	slices.Sort(add)
 	for _, oid := range drop {
 		e.setMember(qs, e.objs[oid], false, out)
 	}
 	for _, oid := range add {
 		e.setMember(qs, e.objs[oid], true, out)
 	}
+	e.knnDrop, e.knnAdd = drop, add
 
 	// Region maintenance: while the query is starved (fewer than k objects
 	// exist) any insertion anywhere can extend the answer, so the query

@@ -67,8 +67,8 @@ func (e *Engine) applyPredictiveUpdate(qs *queryState, newRegion geo.Rect, t1, t
 	qs.t1, qs.t2 = t1, t2
 
 	// Negatives: members failing the predicate under the new region or
-	// window.
-	var drop []*objectState
+	// window (drop is engine scratch; see applyRangeUpdate).
+	drop := e.dropBuf[:0]
 	for oid := range qs.answer {
 		os := e.objs[oid]
 		e.stats.CandidateChecks++
@@ -79,24 +79,13 @@ func (e *Engine) applyPredictiveUpdate(qs *queryState, newRegion geo.Rect, t1, t
 	for _, os := range drop {
 		e.setMember(qs, os, false, out)
 	}
+	e.dropBuf = drop
 
 	// Positives: predictive objects whose trajectory boxes are registered
 	// in the cells the new region overlaps.
-	e.g.VisitCells(newRegion, func(ci int) bool {
-		e.stats.RegionEvalCells++
-		e.g.VisitRegionsInCell(ci, func(k uint64, _ geo.Rect) bool {
-			if keyIsQuery(k) {
-				return true
-			}
-			os := e.objs[keyObject(k)]
-			e.stats.CandidateChecks++
-			if e.predictiveMatch(qs, os) {
-				e.setMember(qs, os, true, out)
-			}
-			return true
-		})
-		return true
-	})
+	e.curQS, e.curOut = qs, out
+	e.g.VisitCells(newRegion, e.predCellCB)
+	e.curQS, e.curOut = nil, nil
 
 	if wasRegistered {
 		e.g.MoveRegion(qkey(qs.id), oldRegion, newRegion)

@@ -17,8 +17,10 @@ func (e *Engine) applyRangeUpdate(qs *queryState, newRegion geo.Rect, out *[]Upd
 
 	// Negatives: members whose (current) location fell out of the region.
 	// The member set is exactly the objects in A_old, so testing members
-	// against A_new is the A_old − A_new evaluation.
-	var drop []*objectState
+	// against A_new is the A_old − A_new evaluation. (drop is engine
+	// scratch: setMember mutates qs.answer, so members are collected
+	// before retraction, without allocating per update.)
+	drop := e.dropBuf[:0]
 	for oid := range qs.answer {
 		os := e.objs[oid]
 		e.stats.CandidateChecks++
@@ -29,22 +31,23 @@ func (e *Engine) applyRangeUpdate(qs *queryState, newRegion geo.Rect, out *[]Upd
 	for _, os := range drop {
 		e.setMember(qs, os, false, out)
 	}
+	e.dropBuf = drop
 
 	// Positives: evaluate only the newly covered area.
 	var diff []geo.Rect
 	if wasRegistered {
-		diff = newRegion.Difference(oldRegion, nil)
+		diff = newRegion.Difference(oldRegion, e.diffBuf)
+		e.diffBuf = diff
 	} else {
-		diff = []geo.Rect{newRegion}
+		diff = append(e.diffBuf[:0], newRegion)
+		e.diffBuf = diff
 	}
+	e.curQS, e.curOut = qs, out
 	for _, piece := range diff {
 		e.stats.RegionEvalCells += uint64(e.g.CountCells(piece))
-		e.g.VisitObjectsIn(piece, func(k uint64, _ geo.Point) bool {
-			e.stats.CandidateChecks++
-			e.setMember(qs, e.objs[keyObject(k)], true, out)
-			return true
-		})
+		e.g.VisitObjectsIn(piece, e.rangeVisitCB)
 	}
+	e.curQS, e.curOut = nil, nil
 
 	// Re-register the region in the shared grid.
 	if wasRegistered {

@@ -31,8 +31,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"cqp/internal/geo"
 )
@@ -117,11 +118,11 @@ type Update struct {
 // across runs despite Go's randomized map iteration and goroutine
 // scheduling in the parallel gather.
 func SortUpdates(out []Update) {
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Query != out[j].Query {
-			return out[i].Query < out[j].Query
+	slices.SortStableFunc(out, func(a, b Update) int {
+		if c := cmp.Compare(a.Query, b.Query); c != 0 {
+			return c
 		}
-		return out[i].Object < out[j].Object
+		return cmp.Compare(a.Object, b.Object)
 	})
 }
 

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // EvalFromScratch computes the ground-truth answer of query q by brute
@@ -31,11 +31,20 @@ func (e *Engine) EvalFromScratch(q QueryID) ([]ObjectID, bool) {
 		for oid, os := range e.objs {
 			cands = append(cands, cand{oid, qs.focal.Dist(os.loc)})
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].d != cands[j].d {
-				return cands[i].d < cands[j].d
+		slices.SortFunc(cands, func(a, b cand) int {
+			if a.d != b.d {
+				if a.d < b.d {
+					return -1
+				}
+				return 1
 			}
-			return cands[i].id < cands[j].id
+			if a.id < b.id {
+				return -1
+			}
+			if a.id > b.id {
+				return 1
+			}
+			return 0
 		})
 		n := qs.k
 		if len(cands) < n {
@@ -51,7 +60,7 @@ func (e *Engine) EvalFromScratch(q QueryID) ([]ObjectID, bool) {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, true
 }
 
@@ -121,8 +130,8 @@ func knnEquivalent(e *Engine, qs *queryState, got, want []ObjectID) error {
 		gd[i] = qs.focal.Dist(e.objs[got[i]].loc)
 		wd[i] = qs.focal.Dist(e.objs[want[i]].loc)
 	}
-	sort.Float64s(gd)
-	sort.Float64s(wd)
+	slices.Sort(gd)
+	slices.Sort(wd)
 	for i := range gd {
 		if diff := gd[i] - wd[i]; diff > 1e-9 || diff < -1e-9 {
 			return fmt.Errorf("distance[%d] %v, oracle %v", i, gd[i], wd[i])

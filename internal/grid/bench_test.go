@@ -22,6 +22,7 @@ func benchGrid(n, objects, regions int, seed int64) *Grid {
 func BenchmarkGridMoveObject(b *testing.B) {
 	g := benchGrid(64, 100000, 0, 1)
 	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := uint64(rng.Intn(100000))
@@ -33,6 +34,7 @@ func BenchmarkGridMoveObject(b *testing.B) {
 func BenchmarkGridMoveRegionSameCells(b *testing.B) {
 	g := benchGrid(64, 0, 10000, 1)
 	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		id := uint64(1<<32 + rng.Intn(10000))
@@ -46,6 +48,7 @@ func BenchmarkGridMoveRegionSameCells(b *testing.B) {
 func BenchmarkGridVisitObjectsIn(b *testing.B) {
 	g := benchGrid(64, 100000, 0, 1)
 	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
 	b.ResetTimer()
 	count := 0
 	for i := 0; i < b.N; i++ {
@@ -58,6 +61,7 @@ func BenchmarkGridVisitObjectsIn(b *testing.B) {
 func BenchmarkGridKNearest(b *testing.B) {
 	g := benchGrid(64, 100000, 0, 1)
 	rng := rand.New(rand.NewSource(4))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.KNearest(geo.Pt(rng.Float64(), rng.Float64()), 10, nil)

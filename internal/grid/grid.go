@@ -4,6 +4,18 @@
 // location, while queries (and the swept regions of predictive objects)
 // are clipped to every cell their region overlaps.
 //
+// Storage layout. Each cell holds its entries in packed slabs — flat,
+// contiguous slices of object and region entries — rather than per-cell
+// hash maps. Iteration (the join's inner loop) walks contiguous memory;
+// removal swaps the last entry into the vacated slot ("swap-remove"), so
+// the slabs never hold holes; and a single open-addressed (key, cell) →
+// slot index (idxTable) locates any entry in O(1) for Move/Remove. The
+// swap-remove invariant: slabs are always dense, and the index always
+// agrees with every entry's current slot. A consequence worth relying on:
+// visit order is deterministic — insertion order, perturbed only by
+// swap-removes — where the old map-backed cells iterated in Go's
+// randomized map order.
+//
 // The grid stores opaque uint64 identifiers; the engine layers object and
 // query semantics on top. All methods are single-threaded; the engine
 // serializes access (the paper's server processes buffered updates in
@@ -25,14 +37,30 @@ type Grid struct {
 	cellH  float64
 	cells  []cell
 
+	objIdx idxTable // (key, cell) → slot in cells[cell].objs
+	regIdx idxTable // (key, cell) → slot in cells[cell].regs
+
 	// stats
 	objects int
 	regions int
 }
 
+// objEntry is one point entry (an object location) in a cell's slab.
+type objEntry struct {
+	key uint64
+	p   geo.Point
+}
+
+// regEntry is one clipped region entry (a query, or a predictive
+// object's swept trajectory box) in a cell's slab.
+type regEntry struct {
+	key  uint64
+	clip geo.Rect
+}
+
 type cell struct {
-	objects map[uint64]geo.Point // point entries (object locations)
-	regions map[uint64]geo.Rect  // clipped region entries (queries, trajectories)
+	objs []objEntry
+	regs []regEntry
 }
 
 // New creates a grid with n×n cells over bounds. It panics if n < 1 or
@@ -123,29 +151,45 @@ func (g *Grid) cellRange(r geo.Rect) (x1, y1, x2, y2 int, ok bool) {
 	return x1, y1, x2, y2, true
 }
 
-// InsertObject stores a point entry for id at p.
+// InsertObject stores a point entry for id at p. A duplicate insert into
+// the same cell refreshes the stored location in place.
 func (g *Grid) InsertObject(id uint64, p geo.Point) {
-	ci := g.CellIndex(p)
+	ci := int32(g.CellIndex(p))
 	c := &g.cells[ci]
-	if c.objects == nil {
-		c.objects = make(map[uint64]geo.Point)
+	if slot, ok := g.objIdx.get(id, ci); ok {
+		c.objs[slot].p = p
+		return
 	}
-	if _, dup := c.objects[id]; !dup {
-		g.objects++
-	}
-	c.objects[id] = p
+	c.objs = append(c.objs, objEntry{key: id, p: p})
+	g.objIdx.put(id, ci, int32(len(c.objs)-1))
+	g.objects++
 }
 
 // RemoveObject deletes the point entry for id previously stored at p. It
 // reports whether the entry existed.
 func (g *Grid) RemoveObject(id uint64, p geo.Point) bool {
-	c := &g.cells[g.CellIndex(p)]
-	if _, ok := c.objects[id]; !ok {
+	ci := int32(g.CellIndex(p))
+	slot, ok := g.objIdx.get(id, ci)
+	if !ok {
 		return false
 	}
-	delete(c.objects, id)
+	g.removeObjAt(ci, slot)
+	g.objIdx.del(id, ci)
 	g.objects--
 	return true
+}
+
+// removeObjAt swap-removes the entry at slot from cell ci's object slab,
+// re-pointing the index of the entry that filled the hole.
+func (g *Grid) removeObjAt(ci, slot int32) {
+	c := &g.cells[ci]
+	last := int32(len(c.objs) - 1)
+	if slot != last {
+		moved := c.objs[last]
+		c.objs[slot] = moved
+		g.objIdx.put(moved.key, ci, slot)
+	}
+	c.objs = c.objs[:last]
 }
 
 // MoveObject relocates id from old to new, returning the old and new cell
@@ -155,9 +199,9 @@ func (g *Grid) MoveObject(id uint64, old, new geo.Point) (oldCell, newCell int) 
 	oldCell = g.CellIndex(old)
 	newCell = g.CellIndex(new)
 	if oldCell == newCell {
-		c := &g.cells[oldCell]
-		if _, ok := c.objects[id]; ok {
-			c.objects[id] = new
+		ci := int32(oldCell)
+		if slot, ok := g.objIdx.get(id, ci); ok {
+			g.cells[ci].objs[slot].p = new
 		} else {
 			g.InsertObject(id, new)
 		}
@@ -171,7 +215,8 @@ func (g *Grid) MoveObject(id uint64, old, new geo.Point) (oldCell, newCell int) 
 // InsertRegion registers a region entry (a query, or the swept bounding
 // box of a predictive object's trajectory) in every cell it overlaps,
 // storing the clipped region per cell as in the paper's query entry
-// (QID, region∩cell).
+// (QID, region∩cell). Re-inserting an id refreshes its clip in cells it
+// already occupies.
 func (g *Grid) InsertRegion(id uint64, r geo.Rect) {
 	x1, y1, x2, y2, ok := g.cellRange(r)
 	if !ok {
@@ -179,16 +224,16 @@ func (g *Grid) InsertRegion(id uint64, r geo.Rect) {
 	}
 	for cy := y1; cy <= y2; cy++ {
 		for cx := x1; cx <= x2; cx++ {
-			ci := cy*g.n + cx
+			ci := int32(cy*g.n + cx)
+			clip, _ := r.Intersect(g.CellRect(int(ci)))
 			c := &g.cells[ci]
-			if c.regions == nil {
-				c.regions = make(map[uint64]geo.Rect)
+			if slot, ok := g.regIdx.get(id, ci); ok {
+				c.regs[slot].clip = clip
+				continue
 			}
-			clip, _ := r.Intersect(g.CellRect(ci))
-			if _, dup := c.regions[id]; !dup {
-				g.regions++
-			}
-			c.regions[id] = clip
+			c.regs = append(c.regs, regEntry{key: id, clip: clip})
+			g.regIdx.put(id, ci, int32(len(c.regs)-1))
+			g.regions++
 		}
 	}
 }
@@ -201,11 +246,21 @@ func (g *Grid) RemoveRegion(id uint64, r geo.Rect) {
 	}
 	for cy := y1; cy <= y2; cy++ {
 		for cx := x1; cx <= x2; cx++ {
-			c := &g.cells[cy*g.n+cx]
-			if _, exists := c.regions[id]; exists {
-				delete(c.regions, id)
-				g.regions--
+			ci := int32(cy*g.n + cx)
+			slot, ok := g.regIdx.get(id, ci)
+			if !ok {
+				continue
 			}
+			c := &g.cells[ci]
+			last := int32(len(c.regs) - 1)
+			if slot != last {
+				moved := c.regs[last]
+				c.regs[slot] = moved
+				g.regIdx.put(moved.key, ci, slot)
+			}
+			c.regs = c.regs[:last]
+			g.regIdx.del(id, ci)
+			g.regions--
 		}
 	}
 }
@@ -253,24 +308,32 @@ func (g *Grid) VisitCells(r geo.Rect, fn func(ci int) bool) {
 
 // VisitObjectsIn calls fn for every point entry lying inside r (an exact
 // containment filter over the overlapping cells), stopping early if fn
-// returns false.
+// returns false. Entries must not be inserted or removed during the
+// visit.
 func (g *Grid) VisitObjectsIn(r geo.Rect, fn func(id uint64, p geo.Point) bool) {
-	g.VisitCells(r, func(ci int) bool {
-		for id, p := range g.cells[ci].objects {
-			if r.Contains(p) {
-				if !fn(id, p) {
-					return false
+	x1, y1, x2, y2, ok := g.cellRange(r)
+	if !ok {
+		return
+	}
+	for cy := y1; cy <= y2; cy++ {
+		for cx := x1; cx <= x2; cx++ {
+			objs := g.cells[cy*g.n+cx].objs
+			for i := range objs {
+				if r.Contains(objs[i].p) {
+					if !fn(objs[i].key, objs[i].p) {
+						return
+					}
 				}
 			}
 		}
-		return true
-	})
+	}
 }
 
 // VisitObjectsInCell calls fn for every point entry stored in cell ci.
 func (g *Grid) VisitObjectsInCell(ci int, fn func(id uint64, p geo.Point) bool) {
-	for id, p := range g.cells[ci].objects {
-		if !fn(id, p) {
+	objs := g.cells[ci].objs
+	for i := range objs {
+		if !fn(objs[i].key, objs[i].p) {
 			return
 		}
 	}
@@ -279,8 +342,9 @@ func (g *Grid) VisitObjectsInCell(ci int, fn func(id uint64, p geo.Point) bool) 
 // VisitRegionsInCell calls fn for every region entry registered in cell
 // ci, passing the clipped region.
 func (g *Grid) VisitRegionsInCell(ci int, fn func(id uint64, clipped geo.Rect) bool) {
-	for id, r := range g.cells[ci].regions {
-		if !fn(id, r) {
+	regs := g.cells[ci].regs
+	for i := range regs {
+		if !fn(regs[i].key, regs[i].clip) {
 			return
 		}
 	}
@@ -308,44 +372,52 @@ type Neighbor struct {
 }
 
 // KNearest returns the k point entries nearest to focal in ascending
-// distance order, using an expanding ring of cells with the standard
-// best-first pruning bound: the search stops once the k-th candidate is
-// closer than any unvisited ring. Fewer than k results are returned when
-// the grid holds fewer objects. The filter, when non-nil, excludes entries
-// for which it returns false.
+// distance order. See KNearestAppend.
 func (g *Grid) KNearest(focal geo.Point, k int, filter func(id uint64) bool) []Neighbor {
-	if k <= 0 {
-		return nil
-	}
-	h := &nnHeap{} // max-heap of current best k
-	fcx, fcy := g.cellCoords(focal)
+	return g.KNearestAppend(nil, focal, k, filter)
+}
 
-	consider := func(id uint64, p geo.Point) {
-		if filter != nil && !filter(id) {
-			return
-		}
-		d := focal.Dist(p)
-		if h.Len() < k {
-			h.push(Neighbor{id, p, d})
-		} else if d < h.peek().Dist {
-			h.pop()
-			h.push(Neighbor{id, p, d})
-		}
+// KNearestAppend is KNearest writing its result into dst (overwritten
+// from length zero, grown as needed), so steady-state callers can reuse
+// one buffer across searches. It finds the k point entries nearest to
+// focal in ascending distance order, using an expanding ring of cells
+// with the standard best-first pruning bound: the search stops once the
+// k-th candidate is closer than any unvisited ring. Fewer than k results
+// are returned when the grid holds fewer objects. The filter, when
+// non-nil, excludes entries for which it returns false.
+func (g *Grid) KNearestAppend(dst []Neighbor, focal geo.Point, k int, filter func(id uint64) bool) []Neighbor {
+	if k <= 0 {
+		return dst[:0]
 	}
+	// dst doubles as the max-heap of the current best k: the root (index
+	// 0) is the farthest candidate retained.
+	heap := dst[:0]
+	fcx, fcy := g.cellCoords(focal)
 
 	for ring := 0; ring < g.n; ring++ {
 		// Prune: every cell at this ring is at least ringDist away.
-		if h.Len() == k {
+		if len(heap) == k {
 			ringDist := float64(ring-1) * math.Min(g.cellW, g.cellH)
-			if ring > 0 && ringDist > h.peek().Dist {
+			if ring > 0 && ringDist > heap[0].Dist {
 				break
 			}
 		}
 		visited := false
 		forRing(fcx, fcy, ring, g.n, func(cx, cy int) {
 			visited = true
-			for id, p := range g.cells[cy*g.n+cx].objects {
-				consider(id, p)
+			objs := g.cells[cy*g.n+cx].objs
+			for i := range objs {
+				e := &objs[i]
+				if filter != nil && !filter(e.key) {
+					continue
+				}
+				d := focal.Dist(e.p)
+				if len(heap) < k {
+					heap = nnPush(heap, Neighbor{e.key, e.p, d})
+				} else if d < heap[0].Dist {
+					heap, _ = nnPop(heap)
+					heap = nnPush(heap, Neighbor{e.key, e.p, d})
+				}
 			}
 		})
 		if !visited && ring > maxRing(fcx, fcy, g.n) {
@@ -353,11 +425,13 @@ func (g *Grid) KNearest(focal geo.Point, k int, filter func(id uint64) bool) []N
 		}
 	}
 
-	out := make([]Neighbor, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = h.pop()
+	// Unwind the heap in place: repeatedly pop the farthest into the slot
+	// it vacates, yielding ascending distance order.
+	for n := len(heap); n > 1; n-- {
+		rest, top := nnPop(heap[:n])
+		heap[len(rest)] = top
 	}
-	return out
+	return heap
 }
 
 // maxRing returns the largest ring radius around (cx,cy) that still
@@ -411,47 +485,43 @@ func forRing(cx, cy, ring, n int, fn func(x, y int)) {
 	}
 }
 
-// nnHeap is a max-heap of Neighbors keyed on distance; the root is the
-// farthest of the current best k.
-type nnHeap struct {
-	ns []Neighbor
-}
-
-func (h *nnHeap) Len() int       { return len(h.ns) }
-func (h *nnHeap) peek() Neighbor { return h.ns[0] }
-func (h *nnHeap) push(n Neighbor) {
-	h.ns = append(h.ns, n)
-	i := len(h.ns) - 1
+// nnPush appends n to the max-heap (keyed on distance) stored in hs.
+func nnPush(hs []Neighbor, n Neighbor) []Neighbor {
+	hs = append(hs, n)
+	i := len(hs) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.ns[parent].Dist >= h.ns[i].Dist {
+		if hs[parent].Dist >= hs[i].Dist {
 			break
 		}
-		h.ns[parent], h.ns[i] = h.ns[i], h.ns[parent]
+		hs[parent], hs[i] = hs[i], hs[parent]
 		i = parent
 	}
+	return hs
 }
 
-func (h *nnHeap) pop() Neighbor {
-	top := h.ns[0]
-	last := len(h.ns) - 1
-	h.ns[0] = h.ns[last]
-	h.ns = h.ns[:last]
+// nnPop removes and returns the farthest neighbor (the root) from the
+// max-heap stored in hs.
+func nnPop(hs []Neighbor) ([]Neighbor, Neighbor) {
+	top := hs[0]
+	last := len(hs) - 1
+	hs[0] = hs[last]
+	hs = hs[:last]
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < len(h.ns) && h.ns[l].Dist > h.ns[largest].Dist {
+		if l < len(hs) && hs[l].Dist > hs[largest].Dist {
 			largest = l
 		}
-		if r < len(h.ns) && h.ns[r].Dist > h.ns[largest].Dist {
+		if r < len(hs) && hs[r].Dist > hs[largest].Dist {
 			largest = r
 		}
 		if largest == i {
 			break
 		}
-		h.ns[i], h.ns[largest] = h.ns[largest], h.ns[i]
+		hs[i], hs[largest] = hs[largest], hs[i]
 		i = largest
 	}
-	return top
+	return hs, top
 }

@@ -1,0 +1,149 @@
+package grid
+
+// idxTable maps a (key, cell) pair to the slot of its entry inside that
+// cell's packed entry slice. It is the O(1) locator over the flat
+// slab-backed cells: every cell-scoped lookup, move, and removal resolves
+// through it instead of scanning or hashing per cell.
+//
+// The table is open-addressed with linear probing over a power-of-two
+// slot array. Deletion uses backward-shift compaction (no tombstones), so
+// probe sequences never degrade under the heavy insert/delete churn of a
+// moving-object workload. A slot value of -1 marks an empty slot; live
+// slot indexes are always >= 0.
+type idxTable struct {
+	slots []idxSlot
+	n     int // live entries
+}
+
+type idxSlot struct {
+	key  uint64
+	cell int32
+	slot int32 // -1: empty
+}
+
+const idxMinCap = 16
+
+// idxHash mixes the composite key with a splitmix64-style finisher. The
+// hash is a pure function of its inputs: grid behavior must stay
+// deterministic across runs (see the determinism analyzer), so no
+// per-process seed is folded in.
+func idxHash(key uint64, cell int32) uint64 {
+	x := key ^ uint64(uint32(cell))*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// get returns the slot stored for (key, cell).
+func (t *idxTable) get(key uint64, cell int32) (int32, bool) {
+	if t.n == 0 {
+		return 0, false
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := idxHash(key, cell) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.slot < 0 {
+			return 0, false
+		}
+		if s.key == key && s.cell == cell {
+			return s.slot, true
+		}
+	}
+}
+
+// put inserts or overwrites the slot stored for (key, cell).
+func (t *idxTable) put(key uint64, cell int32, slot int32) {
+	if len(t.slots) == 0 || (t.n+1)*4 > len(t.slots)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := idxHash(key, cell) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.slot < 0 {
+			*s = idxSlot{key: key, cell: cell, slot: slot}
+			t.n++
+			return
+		}
+		if s.key == key && s.cell == cell {
+			s.slot = slot
+			return
+		}
+	}
+}
+
+// del removes the entry for (key, cell), reporting whether it existed.
+// The cluster following the vacated slot is compacted by the standard
+// backward-shift walk: every displaced entry that cannot reach its home
+// slot without passing the hole is moved into it.
+func (t *idxTable) del(key uint64, cell int32) bool {
+	if t.n == 0 {
+		return false
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := idxHash(key, cell) & mask
+	for {
+		s := &t.slots[i]
+		if s.slot < 0 {
+			return false
+		}
+		if s.key == key && s.cell == cell {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := t.slots[j]
+		if s.slot < 0 {
+			break
+		}
+		k := idxHash(s.key, s.cell) & mask
+		// If the home slot k lies cyclically in (i, j], the entry at j is
+		// still reachable from its home after the hole at i is emptied;
+		// leave it in place.
+		var reachable bool
+		if i <= j {
+			reachable = i < k && k <= j
+		} else {
+			reachable = i < k || k <= j
+		}
+		if reachable {
+			continue
+		}
+		t.slots[i] = s
+		i = j
+	}
+	t.slots[i].slot = -1
+	t.n--
+	return true
+}
+
+// grow doubles the table (or allocates the initial one) and re-inserts
+// every live entry.
+func (t *idxTable) grow() {
+	capacity := idxMinCap
+	if len(t.slots) > 0 {
+		capacity = len(t.slots) * 2
+	}
+	old := t.slots
+	t.slots = make([]idxSlot, capacity)
+	for i := range t.slots {
+		t.slots[i].slot = -1
+	}
+	mask := uint64(capacity - 1)
+	for _, s := range old {
+		if s.slot < 0 {
+			continue
+		}
+		for i := idxHash(s.key, s.cell) & mask; ; i = (i + 1) & mask {
+			if t.slots[i].slot < 0 {
+				t.slots[i] = s
+				break
+			}
+		}
+	}
+}

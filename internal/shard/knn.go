@@ -1,7 +1,7 @@
 package shard
 
 import (
-	"sort"
+	"slices"
 
 	"cqp/internal/core"
 )
@@ -43,13 +43,25 @@ func (e *Engine) rankedCandidates(qi *queryInfo) []cand {
 		}
 		cands = append(cands, cand{id: o, dist: info.loc.Dist(qi.focal)})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist < cands[j].dist
-		}
-		return cands[i].id < cands[j].id
-	})
+	slices.SortFunc(cands, compareCand)
 	return cands
+}
+
+// compareCand orders merge candidates by (distance to focal, ObjectID).
+func compareCand(a, b cand) int {
+	if a.dist != b.dist {
+		if a.dist < b.dist {
+			return -1
+		}
+		return 1
+	}
+	if a.id < b.id {
+		return -1
+	}
+	if a.id > b.id {
+		return 1
+	}
+	return 0
 }
 
 // settleKNNQueries runs the global top-k fixpoint for every kNN query
@@ -61,7 +73,7 @@ func (e *Engine) settleKNNQueries(m *mergeState, now float64) {
 	}
 	// Query order, not map order: settling replicates queries into tiles
 	// and sub-steps them, so the settle sequence must be replay-stable.
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	slices.Sort(dirty)
 	for _, qid := range dirty {
 		qi, ok := e.qrys[qid]
 		if !ok || qi.kind != core.KNN {
@@ -129,7 +141,7 @@ func (e *Engine) settleKNN(m *mergeState, qi *queryInfo, now float64) {
 			drop = append(drop, o)
 		}
 	}
-	sort.Slice(drop, func(i, j int) bool { return drop[i] < drop[j] })
+	slices.Sort(drop)
 	for _, o := range drop {
 		e.emit(m, qi.id, o, false)
 	}

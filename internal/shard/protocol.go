@@ -1,7 +1,7 @@
 package shard
 
 import (
-	"sort"
+	"slices"
 
 	"cqp/internal/core"
 	"cqp/internal/geo"
@@ -30,7 +30,7 @@ func (e *Engine) answerIDs(qi *queryInfo) []core.ObjectID {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -94,7 +94,7 @@ func (e *Engine) CommittedAnswer(q core.QueryID) ([]core.ObjectID, bool) {
 	for o := range qi.committed {
 		out = append(out, o)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out, true
 }
 
@@ -147,14 +147,29 @@ func (e *Engine) Recover(q core.QueryID) ([]core.Update, bool) {
 			out = append(out, core.Update{Query: q, Object: o, Positive: true})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Positive != out[j].Positive {
-			return !out[i].Positive // negatives first, as the client prunes
-		}
-		return out[i].Object < out[j].Object
-	})
+	// Negatives first (the client prunes before it grows), then ascending
+	// ObjectID — the same order as core.Engine.Recover.
+	slices.SortFunc(out, compareRecovery)
 	qi.committed = answer
 	return out, true
+}
+
+// compareRecovery orders a recovery diff: negatives first, then ascending
+// ObjectID — identical to the core engine's recovery order.
+func compareRecovery(a, b core.Update) int {
+	if a.Positive != b.Positive {
+		if !a.Positive {
+			return -1
+		}
+		return 1
+	}
+	if a.Object < b.Object {
+		return -1
+	}
+	if a.Object > b.Object {
+		return 1
+	}
+	return 0
 }
 
 // Stats returns the router's activity counters. Step, report, and
