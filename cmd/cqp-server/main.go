@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,8 +36,16 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 15*time.Second, "server→client heartbeat period (0 = off)")
 		outbox    = flag.Int("outbox", 256, "per-session outbound queue depth; full = shed the client")
 		maxFrame  = flag.Uint("max-frame", 1<<20, "largest accepted inbound frame in bytes")
+
+		metricsAddr = flag.String("metrics", "", "serve a JSON metrics snapshot and pprof on this address (e.g. :6060; empty = off)")
+		metricsLog  = flag.Duration("metrics-log", 0, "log a metrics snapshot this often (0 = off; implies metrics collection)")
 	)
 	flag.Parse()
+
+	var reg *cqp.MetricsRegistry
+	if *metricsAddr != "" || *metricsLog > 0 {
+		reg = cqp.NewMetricsRegistry()
+	}
 
 	srv, err := cqp.Listen(*addr, cqp.ServerConfig{
 		Engine: cqp.Options{
@@ -52,6 +61,7 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		OutboxSize:        *outbox,
 		MaxFrame:          uint32(*maxFrame),
+		Metrics:           reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cqp-server:", err)
@@ -62,11 +72,24 @@ func main() {
 	if *repoDir != "" {
 		log.Printf("repository: %s", *repoDir)
 	}
+	stopMetrics := make(chan struct{})
+	if *metricsAddr != "" {
+		go func() {
+			log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, cqp.MetricsHandler(reg)); err != nil {
+				log.Printf("metrics: %v", err)
+			}
+		}()
+	}
+	if *metricsLog > 0 {
+		go cqp.MetricsLogLoop(reg, *metricsLog, log.Printf, stopMetrics)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Println("shutting down")
+	close(stopMetrics)
 	if err := srv.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}

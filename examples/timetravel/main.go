@@ -15,6 +15,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"cqp"
@@ -22,13 +23,13 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "timetravel:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(w io.Writer) error {
 	dir, err := os.MkdirTemp("", "cqp-timetravel-*")
 	if err != nil {
 		return err
@@ -46,7 +47,7 @@ func run() error {
 		Bounds: cqp.R(0, 0, 1, 1), GridN: 32, PredictiveHorizon: 4000,
 	})
 	plaza := cqp.RectAt(cqp.Pt(0.5, 0.5), 0.08)
-	fmt.Printf("the plaza: %v; fleet of %d vehicles\n\n", plaza, world.NumObjects())
+	fmt.Fprintf(w, "the plaza: %v; fleet of %d vehicles\n\n", plaza, world.NumObjects())
 
 	// Drive the fleet for 600 seconds, reporting (and archiving) every 60.
 	for tick := 0; tick <= 10; tick++ {
@@ -72,13 +73,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("PAST    vehicles reported inside the plaza during [100,300]: %v\n", past)
+	fmt.Fprintf(w, "PAST    vehicles reported inside the plaza during [100,300]: %v\n", past)
 	if len(past) > 0 {
 		traj, err := repo.Trajectory(past[0], 0, now)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("        vehicle %d left %d archived positions; first %v at t=%.0f, last %v at t=%.0f\n",
+		fmt.Fprintf(w, "        vehicle %d left %d archived positions; first %v at t=%.0f, last %v at t=%.0f\n",
 			past[0], len(traj), traj[0].Loc, traj[0].T, traj[len(traj)-1].Loc, traj[len(traj)-1].T)
 	}
 
@@ -86,7 +87,7 @@ func run() error {
 	engine.ReportQuery(cqp.QueryUpdate{ID: 1, Kind: cqp.Range, Region: plaza, T: now})
 	engine.Step(now)
 	present, _ := engine.Answer(1)
-	fmt.Printf("PRESENT vehicles inside the plaza now (t=%.0f): %v\n", now, present)
+	fmt.Fprintf(w, "PRESENT vehicles inside the plaza now (t=%.0f): %v\n", now, present)
 
 	// FUTURE: who is predicted to cross the plaza in the next half hour?
 	engine.ReportQuery(cqp.QueryUpdate{
@@ -95,9 +96,9 @@ func run() error {
 	})
 	engine.Step(now)
 	future, _ := engine.Answer(2)
-	fmt.Printf("FUTURE  vehicles predicted to cross the plaza within 30 min: %v\n", future)
+	fmt.Fprintf(w, "FUTURE  vehicles predicted to cross the plaza within 30 min: %v\n", future)
 
-	fmt.Printf("\narchive: %d bytes of location history, indexed by a %d-entry B+tree\n",
+	fmt.Fprintf(w, "\narchive: %d bytes of location history, indexed by a %d-entry B+tree\n",
 		repo.NumArchivedBytes(), 11*world.NumObjects())
 	return nil
 }

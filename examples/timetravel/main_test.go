@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example in-process: it must complete without
+// error and print all three temporal sections.
+func TestRun(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"PAST", "PRESENT", "FUTURE", "archive:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -14,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"cqp"
 )
@@ -28,11 +30,14 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	run(os.Stdout, *objects, *queries, *ticks, *rate, *querySide, *seed)
+}
 
-	fmt.Printf("building city (lattice 32x32) and %d vehicles...\n", *objects)
-	net := cqp.GenerateRoadNetwork(cqp.RoadNetworkConfig{Seed: *seed})
-	world := cqp.MustNewWorld(cqp.WorldConfig{Net: net, NumObjects: *objects, Seed: *seed})
-	wl := cqp.NewWorkload(world, *queries, *querySide, *seed)
+func run(w io.Writer, objects, queries, ticks int, rate, querySide float64, seed int64) {
+	fmt.Fprintf(w, "building city (lattice 32x32) and %d vehicles...\n", objects)
+	net := cqp.GenerateRoadNetwork(cqp.RoadNetworkConfig{Seed: seed})
+	world := cqp.MustNewWorld(cqp.WorldConfig{Net: net, NumObjects: objects, Seed: seed})
+	wl := cqp.NewWorkload(world, queries, querySide, seed)
 
 	engine := cqp.MustNewEngine(cqp.Options{Bounds: cqp.R(0, 0, 1, 1), GridN: 64})
 	wl.Bootstrap(engine)
@@ -43,16 +48,16 @@ func main() {
 	// tuple is (qid, oid) = 16 bytes.
 	const updateBytes, tupleBytes = 17, 16
 
-	fmt.Printf("\n%6s %10s %12s %14s %14s %8s\n",
+	fmt.Fprintf(w, "\n%6s %10s %12s %14s %14s %8s\n",
 		"tick", "reports", "updates", "incr. KB", "complete KB", "ratio")
-	for tick := 1; tick <= *ticks; tick++ {
-		objReports, qryReports := wl.Tick(engine, 5, *rate, *rate)
+	for tick := 1; tick <= ticks; tick++ {
+		objReports, qryReports := wl.Tick(engine, 5, rate, rate)
 		updates := engine.Step(world.Now())
 
 		// The complete answer the naive server would send: every query's
 		// whole answer, every period.
 		completeTuples := 0
-		for j := 0; j < *queries; j++ {
+		for j := 0; j < queries; j++ {
 			ans, _ := engine.Answer(cqp.QueryID(j + 1))
 			completeTuples += len(ans)
 		}
@@ -62,13 +67,13 @@ func main() {
 		if compKB > 0 {
 			ratio = incKB / compKB
 		}
-		fmt.Printf("%6d %10d %12d %14.1f %14.1f %7.1f%%\n",
+		fmt.Fprintf(w, "%6d %10d %12d %14.1f %14.1f %7.1f%%\n",
 			tick, objReports+qryReports, len(updates), incKB, compKB, 100*ratio)
 	}
 
 	st := engine.Stats()
-	fmt.Printf("\ntotals: +%d/−%d updates over %d steps; %d kNN recomputes; %d candidate checks\n",
+	fmt.Fprintf(w, "\ntotals: +%d/−%d updates over %d steps; %d kNN recomputes; %d candidate checks\n",
 		st.PositiveUpdates, st.NegativeUpdates, st.Steps, st.KNNRecomputes, st.CandidateChecks)
-	fmt.Println("\nThe incremental stream is a small fraction of the complete answers —")
-	fmt.Println("the bandwidth saving the paper reports as ~10% in Figure 5.")
+	fmt.Fprintln(w, "\nThe incremental stream is a small fraction of the complete answers —")
+	fmt.Fprintln(w, "the bandwidth saving the paper reports as ~10% in Figure 5.")
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example in-process with a small population:
+// it must print the per-tick table and the closing totals line.
+func TestRun(t *testing.T) {
+	var out strings.Builder
+	run(&out, 300, 60, 3, 0.3, 0.01, 1)
+	s := out.String()
+	for _, want := range []string{"complete KB", "totals:", "Figure 5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Three evaluation rows follow the header.
+	if got := strings.Count(s, "%"); got == 0 {
+		t.Error("no ratio column rendered")
+	}
+}

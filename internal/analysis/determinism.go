@@ -86,6 +86,14 @@ func runDeterminism(pass *Pass) error {
 				}
 			case "crypto/rand":
 				pass.Reportf(sel.Pos(), "use of crypto/rand.%s in deterministic package %s: ambient entropy breaks replay", obj.Name(), pass.Pkg.Path())
+			case "cqp/internal/obs":
+				// The observability layer's wall clock would reopen the
+				// loophole the injected obs.Clock exists to close: metrics
+				// may time spans only through a clock handed in by the
+				// server/cmd layer (or a test fake).
+				if obj.Name() == "WallClock" {
+					pass.Reportf(sel.Pos(), "call to obs.WallClock in deterministic package %s: receive an obs.Clock by injection instead of reading the wall clock", pass.Pkg.Path())
+				}
 			}
 			return true
 		})

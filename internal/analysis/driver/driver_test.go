@@ -1,0 +1,127 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cqp/internal/analysis"
+)
+
+const (
+	modPath = "cqp"
+	modDir  = "../../.."
+)
+
+// TestLoaderLoadsModulePackage exercises the go/types-based loader on a
+// real module package: files parse with comments, the package
+// typechecks, and the Uses map is populated (the analyzers depend on
+// it).
+func TestLoaderLoadsModulePackage(t *testing.T) {
+	l := NewLoader(modPath, modDir)
+	pkg, err := l.Load("cqp/internal/geo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Pkg.Name() != "geo" {
+		t.Errorf("package name = %q, want geo", pkg.Pkg.Name())
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Error("types.Info.Uses is empty: analyzers would see nothing")
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("test file %s loaded: lint scope is shipped code only", name)
+		}
+	}
+
+	// The loader caches module-internal imports: loading a package that
+	// imports geo must reuse the typechecked package object.
+	cached, err := l.ImportFrom("cqp/internal/geo", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != pkg.Pkg {
+		t.Error("ImportFrom did not return the cached package")
+	}
+}
+
+// TestRunCleanPackage runs the full production suite over deterministic
+// packages that must be lint-clean — the same invariant make lint
+// enforces, reachable here without the cqp-lint binary.
+func TestRunCleanPackage(t *testing.T) {
+	cfg := &Config{ModulePath: modPath, ModuleDir: modDir}
+	findings, err := cfg.Run([]string{"./internal/geo", "./internal/obs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestRunRejectsForeignPattern: patterns outside the module are
+// configuration errors, not silently empty runs.
+func TestRunRejectsForeignPattern(t *testing.T) {
+	cfg := &Config{ModulePath: modPath, ModuleDir: modDir}
+	if _, err := cfg.Run([]string{"github.com/elsewhere/pkg"}); err == nil {
+		t.Fatal("foreign pattern did not error")
+	}
+}
+
+// TestLintAllowFiltering pins the suppression contract on a synthetic
+// package: an annotated violation with a reason is dropped, a bare
+// annotation without a reason suppresses nothing, and an unannotated
+// violation always surfaces.
+func TestLintAllowFiltering(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+import "time"
+
+func bare() int64 {
+	//lint:allow determinism
+	return time.Now().Unix()
+}
+
+func justified() int64 {
+	//lint:allow determinism this test fixture documents the suppression syntax
+	return time.Now().Unix()
+}
+
+func naked() int64 {
+	return time.Now().Unix()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(modPath, modDir)
+	pkg, err := l.LoadDir(dir, "fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{
+		ModulePath: modPath,
+		ModuleDir:  modDir,
+		Analyzers:  []*analysis.Analyzer{analysis.Determinism},
+		Scope:      map[string]map[string]bool{}, // run everywhere
+	}
+	findings, err := cfg.LintPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("findings = %v, want exactly the bare-annotation and naked violations", findings)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "determinism" {
+			t.Errorf("unexpected analyzer %q in %s", f.Analyzer, f)
+		}
+	}
+}

@@ -72,9 +72,17 @@ func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Pac
 }
 
 // Load typechecks the module package at the given import path with a
-// full types.Info for analysis.
+// full types.Info for analysis. The result seeds the import cache, so a
+// package both analyzed and imported by a later analysis target is
+// typechecked once and shares one *types.Package identity.
 func (l *Loader) Load(path string) (*Package, error) {
-	return l.LoadDir(l.dirOf(path), path)
+	p, err := l.LoadDir(l.dirOf(path), path)
+	if err == nil {
+		if _, ok := l.cache[path]; !ok {
+			l.cache[path] = p.Pkg
+		}
+	}
+	return p, err
 }
 
 // LoadDir typechecks the package in dir under the given import path.

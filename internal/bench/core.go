@@ -7,6 +7,7 @@ import (
 	"cqp/internal/core"
 	"cqp/internal/gen"
 	"cqp/internal/geo"
+	"cqp/internal/obs"
 	"cqp/internal/roadnet"
 )
 
@@ -25,6 +26,12 @@ type CorePoint struct {
 	BytesPerStep   float64 `json:"bytes_per_step"`
 	AllocsPerStep  float64 `json:"allocs_per_step"`
 	UpdatesPerStep float64 `json:"updates_per_step"`
+
+	// Metrics is the final flattened snapshot of the point's metrics
+	// registry (the engine runs fully instrumented, clock included), so
+	// each BENCH record carries the observability view of its own run:
+	// counter totals plus histogram count/sum pairs.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // CoreRun is one appended entry of BENCH_core.json: a labelled sweep over
@@ -77,7 +84,14 @@ func runCorePoint(name string, cfg Fig5Config) CorePoint {
 	wl := gen.NewWorkload(world, cfg.Queries, cfg.QuerySide, cfg.Seed)
 	scatter(wl)
 
-	engine := core.MustNewEngine(core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: cfg.GridN})
+	// Benchmarks run fully instrumented — registry and clock both on —
+	// so the reported costs are the costs of the observable engine, and
+	// the final snapshot rides along in the JSON record.
+	reg := obs.NewRegistry()
+	engine := core.MustNewEngine(core.Options{
+		Bounds: geo.R(0, 0, 1, 1), GridN: cfg.GridN,
+		Metrics: reg, Clock: obs.WallClock,
+	})
 	wl.Bootstrap(engine)
 	engine.Step(world.Now())
 	for i := 0; i < cfg.Warmup; i++ {
@@ -90,6 +104,7 @@ func runCorePoint(name string, cfg Fig5Config) CorePoint {
 		bytes   uint64
 		mallocs uint64
 		updates int
+		buf     []core.Update
 		before  runtime.MemStats
 		after   runtime.MemStats
 	)
@@ -97,7 +112,10 @@ func runCorePoint(name string, cfg Fig5Config) CorePoint {
 		wl.Tick(engine, cfg.DT, cfg.Rate, cfg.QueryRate)
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		updates += len(engine.Step(world.Now()))
+		// StepAppend into a reused buffer: the measured tick excludes
+		// the per-call output allocation Step's contract imposes.
+		buf = engine.StepAppend(buf[:0], world.Now())
+		updates += len(buf)
 		ns += time.Since(start).Nanoseconds()
 		runtime.ReadMemStats(&after)
 		bytes += after.TotalAlloc - before.TotalAlloc
@@ -115,5 +133,6 @@ func runCorePoint(name string, cfg Fig5Config) CorePoint {
 		BytesPerStep:   float64(bytes) / n,
 		AllocsPerStep:  float64(mallocs) / n,
 		UpdatesPerStep: float64(updates) / n,
+		Metrics:        reg.Flatten(),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"cqp/internal/core"
 	"cqp/internal/gen"
 	"cqp/internal/geo"
+	"cqp/internal/obs"
 	"cqp/internal/roadnet"
 	"cqp/internal/shard"
 )
@@ -20,6 +21,11 @@ type ShardResult struct {
 	Updates float64 `json:"updates"` // avg updates emitted per tick
 	Objects int     `json:"objects"` // workload population
 	Queries int     `json:"queries"` // workload population
+
+	// Metrics is the final flattened snapshot of the point's metrics
+	// registry: engine counters aggregated across tiles plus the
+	// router's shard.* merge and skew metrics.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // RunShardSweep measures the average Step time across shard counts on
@@ -35,7 +41,11 @@ func RunShardSweep(cfg Fig5Config, counts []int) []ShardResult {
 		wl := gen.NewWorkload(world, cfg.Queries, cfg.QuerySide, cfg.Seed)
 		scatter(wl)
 
-		copt := core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: cfg.GridN}
+		reg := obs.NewRegistry()
+		copt := core.Options{
+			Bounds: geo.R(0, 0, 1, 1), GridN: cfg.GridN,
+			Metrics: reg, Clock: obs.WallClock,
+		}
 		var (
 			proc core.Processor
 			rows = 1
@@ -57,10 +67,12 @@ func RunShardSweep(cfg Fig5Config, counts []int) []ShardResult {
 		proc.Step(world.Now())
 
 		total, updates := 0.0, 0
+		var buf []core.Update
 		for tick := 0; tick < cfg.Ticks; tick++ {
 			wl.Tick(proc, cfg.DT, cfg.Rate, cfg.QueryRate)
 			start := time.Now()
-			updates += len(proc.Step(world.Now()))
+			buf = proc.StepAppend(buf[:0], world.Now())
+			updates += len(buf)
 			total += msSince(start)
 		}
 		out = append(out, ShardResult{
@@ -71,6 +83,7 @@ func RunShardSweep(cfg Fig5Config, counts []int) []ShardResult {
 			Updates: float64(updates) / float64(cfg.Ticks),
 			Objects: cfg.Objects,
 			Queries: cfg.Queries,
+			Metrics: reg.Flatten(),
 		})
 	}
 	return out

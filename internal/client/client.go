@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"cqp/internal/core"
+	"cqp/internal/obs"
 	"cqp/internal/wire"
 )
 
@@ -133,6 +134,10 @@ type Options struct {
 	// longer counts as disconnected. Zero disables the deadline. When
 	// set it should comfortably exceed the server's heartbeat interval.
 	ReadTimeout time.Duration
+
+	// Metrics, when non-nil, registers the client's frame and
+	// reconnection counters in the given registry.
+	Metrics *obs.Registry
 }
 
 // ErrClosed is returned by operations on a Close()d client.
@@ -151,6 +156,7 @@ type Client struct {
 	addr string
 	opts Options
 	dial func(addr string) (net.Conn, error)
+	m    *clientMetrics
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -183,6 +189,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		addr:     addr,
 		opts:     opts,
 		dial:     dial,
+		m:        newClientMetrics(opts.Metrics),
 		conn:     conn,
 		w:        wire.NewWriter(conn),
 		queries:  make(map[core.QueryID]*queryView),
@@ -223,7 +230,11 @@ func (c *Client) ReportObject(u core.ObjectUpdate) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	//lint:allow locksend c.mu is what serializes callers on the shared wire.Writer; the conn carries a write deadline, so a stalled server errors the write rather than wedging the client
-	return c.w.Write(wire.ObjectReport{Update: u})
+	err := c.w.Write(wire.ObjectReport{Update: u})
+	if err == nil {
+		c.m.framesOut.Inc()
+	}
+	return err
 }
 
 // RegisterQuery registers (or moves) a continuous query and subscribes
@@ -247,7 +258,11 @@ func (c *Client) RegisterQuery(u core.QueryUpdate) error {
 	v.def = u
 	v.snapshot = copySet(v.answer)
 	//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
-	return c.w.Write(wire.QueryReport{Update: u})
+	err := c.w.Write(wire.QueryReport{Update: u})
+	if err == nil {
+		c.m.framesOut.Inc()
+	}
+	return err
 }
 
 // RemoveQuery deregisters a query.
@@ -256,7 +271,11 @@ func (c *Client) RemoveQuery(id core.QueryID) error {
 	defer c.mu.Unlock()
 	delete(c.queries, id)
 	//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
-	return c.w.Write(wire.QueryReport{Update: core.QueryUpdate{ID: id, Remove: true}})
+	err := c.w.Write(wire.QueryReport{Update: core.QueryUpdate{ID: id, Remove: true}})
+	if err == nil {
+		c.m.framesOut.Inc()
+	}
+	return err
 }
 
 // Commit acknowledges the stream of query q: the current answer becomes
@@ -273,7 +292,11 @@ func (c *Client) Commit(q core.QueryID) error {
 	}
 	v.snapshot = copySet(v.answer)
 	//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
-	return c.w.Write(wire.Commit{Query: q, Checksum: checksumSet(v.answer)})
+	err := c.w.Write(wire.Commit{Query: q, Checksum: checksumSet(v.answer)})
+	if err == nil {
+		c.m.framesOut.Inc()
+	}
+	return err
 }
 
 // Answer returns the current answer of q in ascending order, or ok=false
@@ -299,7 +322,11 @@ func (c *Client) RequestStats() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
-	return c.w.Write(wire.StatsRequest{})
+	err := c.w.Write(wire.StatsRequest{})
+	if err == nil {
+		c.m.framesOut.Inc()
+	}
+	return err
 }
 
 // Drop severs the connection without closing the client, simulating the
@@ -349,8 +376,10 @@ func (c *Client) Reconnect(addr string) error {
 			c.mu.Unlock()
 			return fmt.Errorf("client: send wakeup: %w", err)
 		}
+		c.m.framesOut.Inc()
 	}
 	c.mu.Unlock()
+	c.m.reconnects.Inc()
 
 	c.wg.Wait() // ensure the old read loop has fully exited
 	c.wg.Add(1)
@@ -384,6 +413,7 @@ func (c *Client) reconnectLoop() {
 		}
 		lastErr = err
 	}
+	c.m.reconnectFailures.Inc()
 	c.events <- Event{Kind: EventReconnectFailed, Err: lastErr}
 }
 
@@ -406,6 +436,7 @@ func (c *Client) readLoop(conn net.Conn) {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
 				err = nil
 			}
+			c.m.disconnects.Inc()
 			if c.opts.AutoReconnect {
 				c.retryWG.Add(1)
 				go c.reconnectLoop()
@@ -413,6 +444,7 @@ func (c *Client) readLoop(conn net.Conn) {
 			c.events <- Event{Kind: EventDisconnected, Err: err}
 			return
 		}
+		c.m.framesIn.Inc()
 		c.apply(msg)
 	}
 }
@@ -454,7 +486,9 @@ func (c *Client) apply(msg wire.Message) {
 		// to the application. A write failure here is the read loop's
 		// problem to notice.
 		//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
-		c.w.Write(wire.Heartbeat{Time: m.Time}) //lint:allow erradrift echo failure surfaces as the read loop's next error; there is no caller to hand it to
+		if err := c.w.Write(wire.Heartbeat{Time: m.Time}); err == nil { //lint:allow erradrift echo failure surfaces as the read loop's next error; there is no caller to hand it to
+			c.m.framesOut.Inc()
+		}
 		c.mu.Unlock()
 		return
 	case wire.StatsResponse:
@@ -473,6 +507,7 @@ func (c *Client) apply(msg wire.Message) {
 }
 
 func (c *Client) applyUpdates(updates []core.Update) {
+	c.m.updatesApplied.Add(uint64(len(updates)))
 	for _, u := range updates {
 		v, ok := c.queries[u.Query]
 		if !ok {

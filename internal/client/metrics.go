@@ -1,0 +1,30 @@
+package client
+
+import "cqp/internal/obs"
+
+// clientMetrics are the subscriber library's instruments, resolved once
+// at DialOptions time (a nil Options.Metrics yields detached
+// instruments). Frame counters mirror the server's: in a healthy
+// session client.frames_out equals the server's frames_in and vice
+// versa, which the end-to-end pipeline test asserts.
+type clientMetrics struct {
+	framesIn  *obs.Counter
+	framesOut *obs.Counter
+
+	disconnects       *obs.Counter // read-loop terminations with the client still open
+	reconnects        *obs.Counter // successful Reconnect completions
+	reconnectFailures *obs.Counter // retry loops that exhausted MaxAttempts
+
+	updatesApplied *obs.Counter // incremental updates folded into answers
+}
+
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	return &clientMetrics{
+		framesIn:          reg.Counter("client.frames_in"),
+		framesOut:         reg.Counter("client.frames_out"),
+		disconnects:       reg.Counter("client.disconnects"),
+		reconnects:        reg.Counter("client.reconnects"),
+		reconnectFailures: reg.Counter("client.reconnect_failures"),
+		updatesApplied:    reg.Counter("client.updates.applied"),
+	}
+}

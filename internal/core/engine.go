@@ -7,6 +7,7 @@ import (
 
 	"cqp/internal/geo"
 	"cqp/internal/grid"
+	"cqp/internal/obs"
 )
 
 // Options configures an Engine.
@@ -30,6 +31,22 @@ type Options struct {
 	// default); results are identical either way, only update order within
 	// a batch differs.
 	Parallelism int
+
+	// Metrics, when non-nil, registers the engine's observability
+	// instruments (step counters, update counters, latency histograms,
+	// scratch high-water marks) in the given registry. Instruments are
+	// resolved once here at construction — the evaluation path performs
+	// only atomic updates and allocates nothing for them. Metrics never
+	// influence evaluation: the update stream is bit-identical with
+	// metrics on or off.
+	Metrics *obs.Registry
+
+	// Clock drives the step-latency histogram. The engine itself never
+	// reads the wall clock (the determinism analyzer forbids it): the
+	// server layer injects obs.WallClock, tests inject fakes, and a nil
+	// Clock disables latency timing while every other metric still
+	// functions.
+	Clock obs.Clock
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -114,6 +131,7 @@ type Engine struct {
 	dirtyKNN map[QueryID]struct{}
 
 	stats Stats
+	m     *engineMetrics
 
 	// Step scratch, reused across evaluations so a steady-state Step is
 	// allocation-stable: every buffer below reaches its working size
@@ -157,6 +175,7 @@ func NewEngine(opt Options) (*Engine, error) {
 		qrys:     make(map[QueryID]*queryState),
 		dirtyKNN: make(map[QueryID]struct{}),
 		knnNew:   make(map[ObjectID]struct{}),
+		m:        newEngineMetrics(o.Metrics, o.Clock),
 	}
 	e.rangeVisitCB = func(k uint64, _ geo.Point) bool {
 		e.stats.CandidateChecks++
@@ -255,12 +274,36 @@ func (e *Engine) Answer(q QueryID) ([]ObjectID, bool) {
 // This is the paper's periodic evaluation: the server buffers updates and
 // evaluates them every Δt seconds.
 func (e *Engine) Step(now float64) []Update {
-	e.now = now
-	e.stats.Steps++
 	// Freshly allocated per the API contract, but pre-sized from the
 	// previous Step's emission count: steady-state workloads emit
 	// similar volumes step over step, so append rarely reallocates.
-	out := make([]Update, 0, e.prevEmit)
+	return e.stepAppend(make([]Update, 0, e.prevEmit), now)
+}
+
+// StepAppend is Step writing into a caller-owned buffer: the step's
+// updates are appended to dst (which may be nil) and the extended slice
+// is returned, with only the appended region in canonical order.
+// Callers that drain the updates every tick — the shard workers, the
+// bench harness — reuse one buffer across Steps and make the evaluation
+// path allocation-free end to end, where Step's contractually fresh
+// slice would be the one unavoidable per-tick allocation left.
+func (e *Engine) StepAppend(dst []Update, now float64) []Update {
+	return e.stepAppend(dst, now)
+}
+
+// stepAppend is the shared Step body. It appends this step's updates to
+// out, sorts the appended region, and records the step's metrics.
+func (e *Engine) stepAppend(out []Update, now float64) []Update {
+	base := len(out)
+	begin := e.m.tracer.Begin()
+	prevPos := e.stats.PositiveUpdates
+	prevNeg := e.stats.NegativeUpdates
+	prevKNN := e.stats.KNNRecomputes
+	nObjReports := len(e.objBuf)
+	nQryReports := len(e.qryBuf)
+
+	e.now = now
+	e.stats.Steps++
 
 	// Phase 1: apply object reports to the grid and the object table,
 	// recording which objects changed for the join phase.
@@ -370,6 +413,7 @@ func (e *Engine) Step(now float64) []Update {
 	// Phase 4: recompute the answer of every dirty kNN query exactly and
 	// emit the membership diff, in query order so the grid's region
 	// maintenance and the recompute stats are replay-stable.
+	nDirty := 0
 	if len(e.dirtyKNN) > 0 {
 		dirty := e.dirtyBuf[:0]
 		for qid := range e.dirtyKNN {
@@ -377,6 +421,7 @@ func (e *Engine) Step(now float64) []Update {
 		}
 		slices.Sort(dirty)
 		clear(e.dirtyKNN)
+		nDirty = len(dirty)
 		for _, qid := range dirty {
 			if qs, ok := e.qrys[qid]; ok {
 				e.recomputeKNN(qs, &out)
@@ -388,8 +433,31 @@ func (e *Engine) Step(now float64) []Update {
 	e.objBuf = e.objBuf[:0]
 	e.qryBuf = e.qryBuf[:0]
 	e.movedBuf = moved
-	e.prevEmit = len(out)
-	SortUpdates(out)
+	emitted := len(out) - base
+	e.prevEmit = emitted
+	SortUpdates(out[base:])
+
+	// Metrics epilogue: pure atomic adds against pre-resolved
+	// instruments (detached ones when no registry was configured), so
+	// this block allocates nothing and never branches on "metrics on".
+	// Emission counters come from the Stats deltas so the two views
+	// cannot drift apart.
+	m := e.m
+	m.steps.Inc()
+	m.objectReports.Add(uint64(nObjReports))
+	m.queryReports.Add(uint64(nQryReports))
+	m.movedObjects.Add(uint64(len(live)))
+	m.dirtyKNN.Add(uint64(nDirty))
+	m.posUpdates.Add(e.stats.PositiveUpdates - prevPos)
+	m.negUpdates.Add(e.stats.NegativeUpdates - prevNeg)
+	m.knnRecomputes.Add(e.stats.KNNRecomputes - prevKNN)
+	m.movedHighWater.SetMax(int64(cap(e.movedBuf)))
+	m.gatherSlots.SetMax(int64(len(e.gathers)))
+	m.lastEmitted.Set(int64(emitted))
+	m.objects.Set(int64(len(e.objs)))
+	m.qrySet.Set(int64(len(e.qrys)))
+	m.stepUpdates.Observe(int64(emitted))
+	m.tracer.End(m.stepLatency, begin)
 	return out
 }
 

@@ -1,0 +1,61 @@
+package core
+
+import "cqp/internal/obs"
+
+// engineMetrics are the engine's pre-resolved observability
+// instruments. They are bound once in NewEngine — never looked up by
+// name on the evaluation path — so a metrics-enabled Step performs
+// only atomic adds and stays inside the steady-state allocation
+// budget (TestStepSteadyStateAllocsWithMetrics pins this).
+//
+// Metrics mirror (and never replace) the Stats counters: Stats is the
+// engine's own cumulative view, metrics are the externally scraped
+// one. When several engines share one registry — the sharded engine
+// resolves these same names once per tile — the counters aggregate
+// across all of them.
+type engineMetrics struct {
+	tracer *obs.Tracer
+
+	stepLatency *obs.Histogram // full Step duration (needs a Clock)
+	stepUpdates *obs.Histogram // updates emitted per Step
+
+	steps         *obs.Counter
+	objectReports *obs.Counter
+	queryReports  *obs.Counter
+	movedObjects  *obs.Counter // changed objects entering the join phase
+	dirtyKNN      *obs.Counter // kNN queries recomputed exactly
+	posUpdates    *obs.Counter
+	negUpdates    *obs.Counter
+	knnRecomputes *obs.Counter
+
+	// Scratch-slab high-water marks: the retained working-set sizes
+	// that make steady-state Steps allocation-stable. A mark that keeps
+	// climbing under a stable workload is a leak in scratch reuse.
+	movedHighWater  *obs.Gauge // cap of the phase-1 changed-object list
+	gatherSlots     *obs.Gauge // per-worker gather slots materialized
+	lastEmitted     *obs.Gauge // updates emitted by the last Step
+	objects, qrySet *obs.Gauge // registered population after the last Step
+}
+
+// newEngineMetrics resolves every instrument against reg (nil reg
+// yields detached instruments) and binds the injected clock.
+func newEngineMetrics(reg *obs.Registry, clock obs.Clock) *engineMetrics {
+	return &engineMetrics{
+		tracer:         obs.NewTracer(clock),
+		stepLatency:    reg.Histogram("engine.step_ns", obs.DurationBuckets),
+		stepUpdates:    reg.Histogram("engine.step_updates", obs.SizeBuckets),
+		steps:          reg.Counter("engine.steps"),
+		objectReports:  reg.Counter("engine.reports.objects"),
+		queryReports:   reg.Counter("engine.reports.queries"),
+		movedObjects:   reg.Counter("engine.moved_objects"),
+		dirtyKNN:       reg.Counter("engine.knn.dirty"),
+		posUpdates:     reg.Counter("engine.updates.positive"),
+		negUpdates:     reg.Counter("engine.updates.negative"),
+		knnRecomputes:  reg.Counter("engine.knn.recomputes"),
+		movedHighWater: reg.Gauge("engine.scratch.moved_cap"),
+		gatherSlots:    reg.Gauge("engine.scratch.gather_slots"),
+		lastEmitted:    reg.Gauge("engine.last_emitted"),
+		objects:        reg.Gauge("engine.objects"),
+		qrySet:         reg.Gauge("engine.queries"),
+	}
+}

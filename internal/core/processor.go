@@ -32,6 +32,12 @@ type Processor interface {
 	// Step processes every buffered report as one bulk evaluation at
 	// time now and returns the incremental answer updates.
 	Step(now float64) []Update
+	// StepAppend is Step writing into a caller-owned buffer: the step's
+	// updates are appended to dst (which may be nil) and the extended
+	// slice is returned, with only the appended region in canonical
+	// order. Per-tick callers reuse one buffer to keep evaluation
+	// allocation-free.
+	StepAppend(dst []Update, now float64) []Update
 	// Answer returns the current answer of q in ascending ObjectID
 	// order, or nil and false if q is unknown.
 	Answer(q QueryID) ([]ObjectID, bool)

@@ -1,0 +1,107 @@
+package obs
+
+import "sync/atomic"
+
+// DurationBuckets are the default bucket upper bounds for latency
+// histograms, in nanoseconds: a 1-3-10 ladder from 100µs to 10s. The
+// engines' Step latencies span this whole range between laptop tests
+// and paper-scale workloads.
+var DurationBuckets = []int64{
+	100_000,        // 100µs
+	300_000,        // 300µs
+	1_000_000,      // 1ms
+	3_000_000,      // 3ms
+	10_000_000,     // 10ms
+	30_000_000,     // 30ms
+	100_000_000,    // 100ms
+	300_000_000,    // 300ms
+	1_000_000_000,  // 1s
+	3_000_000_000,  // 3s
+	10_000_000_000, // 10s
+}
+
+// SizeBuckets are the default bucket upper bounds for count-shaped
+// histograms (updates per step, answer sizes): a 1-3-10 ladder from 1
+// to 1M.
+var SizeBuckets = []int64{
+	1, 3, 10, 30, 100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000,
+}
+
+// Histogram counts int64 observations into fixed buckets. Bounds are
+// inclusive upper limits in ascending order; one implicit overflow
+// bucket catches everything beyond the last bound. Observe is a bounds
+// scan plus three atomic adds — no allocation, no locks — so it is
+// safe on the engines' hot paths and under concurrent tile workers.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Uint64 // len(bounds)+1; last is overflow
+	n      atomic.Uint64
+	sum    atomic.Int64
+}
+
+// NewHistogram returns a detached histogram with the given bucket
+// bounds (which must be ascending; DurationBuckets and SizeBuckets are
+// ready-made ladders). Registered histograms come from
+// Registry.Histogram instead.
+func NewHistogram(bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket is one rendered histogram bucket: the count of observations
+// at or below LE that exceeded the previous bound. The overflow bucket
+// renders with LE == -1.
+type Bucket struct {
+	LE int64  `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// HistogramValue is the JSON rendering of a histogram: observation
+// count, value sum, and the non-empty buckets in bound order.
+type HistogramValue struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Value renders the histogram's current state. Empty buckets are
+// elided to keep snapshots compact.
+func (h *Histogram) Value() HistogramValue {
+	out := HistogramValue{Count: h.n.Load(), Sum: h.sum.Load()}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(-1) // overflow bucket
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		out.Buckets = append(out.Buckets, Bucket{LE: le, N: n})
+	}
+	return out
+}

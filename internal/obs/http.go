@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves a registry over HTTP: an expvar-style JSON snapshot
+// at /metrics (and at /, for curl convenience) plus the standard
+// net/http/pprof endpoints under /debug/pprof/. It is what
+// `cqp-server -metrics addr` mounts.
+//
+// The snapshot is marshaled fresh per request; metric reads are atomic
+// loads, so scraping never blocks evaluation.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	snapshot := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
+	}
+	mux.HandleFunc("/metrics", snapshot)
+	mux.HandleFunc("/{$}", snapshot)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// LogLoop writes a compact JSON snapshot of r through logf every
+// interval until stop is closed. cqp-server runs it as its periodic
+// snapshot logger (`-metrics-log`); it is exported so other binaries
+// and tests can reuse it.
+func LogLoop(r *Registry, interval time.Duration, logf func(format string, args ...any), stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			data, err := json.Marshal(r.Snapshot())
+			if err != nil {
+				logf("obs: snapshot: %v", err)
+				continue
+			}
+			logf("metrics %s", data)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package obs
+
+// Tracer times spans against an injected Clock and records their
+// durations into histograms. It is the only timing primitive the
+// deterministic packages use: an engine constructed without a clock
+// (the default, and what every replay-exactness test uses) traces
+// nothing and behaves identically, because tracing never feeds back
+// into evaluation.
+//
+// Usage is two calls around the span with no intermediate state
+// beyond an int64 on the caller's stack, so tracing is allocation-free:
+//
+//	begin := tracer.Begin()
+//	... the span ...
+//	tracer.End(stepLatency, begin)
+//
+// A nil *Tracer or a Tracer with a nil clock is inert.
+type Tracer struct {
+	clock Clock
+}
+
+// NewTracer returns a tracer over clock. A nil clock yields an inert
+// tracer.
+func NewTracer(clock Clock) *Tracer { return &Tracer{clock: clock} }
+
+// Enabled reports whether the tracer will record anything.
+func (t *Tracer) Enabled() bool { return t != nil && t.clock != nil }
+
+// Begin returns the span start timestamp, or 0 when inert.
+func (t *Tracer) Begin() int64 {
+	if t == nil || t.clock == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// End records the elapsed nanoseconds since begin into h. Inert
+// tracers record nothing.
+func (t *Tracer) End(h *Histogram, begin int64) {
+	if t == nil || t.clock == nil {
+		return
+	}
+	h.Observe(t.clock() - begin)
+}
+
+// Since returns the elapsed nanoseconds since begin without recording,
+// for callers that fold the duration into their own arithmetic (the
+// shard router's step-skew computation). Inert tracers return 0.
+func (t *Tracer) Since(begin int64) int64 {
+	if t == nil || t.clock == nil {
+		return 0
+	}
+	return t.clock() - begin
+}

@@ -1,0 +1,55 @@
+package server
+
+import "cqp/internal/obs"
+
+// serverMetrics are the session-layer instruments, resolved once at
+// Listen time against Config.Metrics (nil yields detached instruments,
+// so the handlers below never branch on "metrics enabled").
+//
+// The same registry is threaded into the processor (newProcessor wires
+// Config.Metrics and obs.WallClock into the engine options), so one
+// scrape of `cqp-server -metrics` returns engine, shard, and session
+// metrics together.
+type serverMetrics struct {
+	tracer *obs.Tracer
+
+	sessions *obs.Gauge   // live sessions
+	subs     *obs.Gauge   // query → session subscriptions
+	total    *obs.Counter // sessions ever accepted
+
+	framesIn  *obs.Counter
+	framesOut *obs.Counter
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
+
+	sheds       *obs.Counter   // sessions shed on outbox overflow
+	evaluations *obs.Counter   // bulk evaluation ticks
+	evalLatency *obs.Histogram // full evaluate-and-enqueue duration
+	streamed    *obs.Counter   // updates enqueued to subscribers
+	rtt         *obs.Histogram // heartbeat round trips
+
+	commits     *obs.Counter // committed client acknowledgments
+	recoveries  *obs.Counter // wakeups healed with an incremental diff
+	fullAnswers *obs.Counter // clients healed with a complete answer
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		tracer:      obs.NewTracer(obs.WallClock),
+		sessions:    reg.Gauge("server.sessions"),
+		subs:        reg.Gauge("server.subscriptions"),
+		total:       reg.Counter("server.sessions_total"),
+		framesIn:    reg.Counter("server.frames_in"),
+		framesOut:   reg.Counter("server.frames_out"),
+		bytesIn:     reg.Counter("server.bytes_in"),
+		bytesOut:    reg.Counter("server.bytes_out"),
+		sheds:       reg.Counter("server.sheds"),
+		evaluations: reg.Counter("server.evaluations"),
+		evalLatency: reg.Histogram("server.eval_ns", obs.DurationBuckets),
+		streamed:    reg.Counter("server.updates.streamed"),
+		rtt:         reg.Histogram("server.heartbeat_rtt_ns", obs.DurationBuckets),
+		commits:     reg.Counter("server.commits"),
+		recoveries:  reg.Counter("server.recoveries"),
+		fullAnswers: reg.Counter("server.full_answers"),
+	}
+}

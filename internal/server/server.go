@@ -39,6 +39,7 @@ import (
 
 	"cqp/internal/core"
 	"cqp/internal/geo"
+	"cqp/internal/obs"
 	"cqp/internal/repository"
 	"cqp/internal/shard"
 	"cqp/internal/wire"
@@ -106,6 +107,13 @@ type Config struct {
 
 	// MaxFrame caps inbound frame payloads. Defaults to DefaultMaxFrame.
 	MaxFrame uint32
+
+	// Metrics, when non-nil, registers the server's session metrics and
+	// is threaded into the processor as Engine.Metrics (with
+	// obs.WallClock as the engine clock unless Engine.Clock is already
+	// set), so one registry carries all three tiers. The caller owns the
+	// registry and typically serves it via obs.Handler.
+	Metrics *obs.Registry
 }
 
 // Server is a running location-aware server. Create with Listen, stop
@@ -117,6 +125,9 @@ type Server struct {
 	subs     map[core.QueryID]*session
 	sessions map[*session]struct{}
 	draining bool // set by Close: no further outbox enqueues
+
+	m      *serverMetrics
+	updBuf []core.Update // evaluateLocked's reusable StepAppend buffer
 
 	ln           net.Listener
 	logger       *log.Logger
@@ -218,6 +229,7 @@ func Listen(addr string, cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		engine:       engine,
+		m:            newServerMetrics(cfg.Metrics),
 		repo:         repo,
 		subs:         make(map[core.QueryID]*session),
 		sessions:     make(map[*session]struct{}),
@@ -293,8 +305,17 @@ func (s *Server) Close() error {
 }
 
 // newProcessor builds the query processor Config.Shards selects: the
-// single core.Engine, or the sharded engine with that many tiles.
+// single core.Engine, or the sharded engine with that many tiles. When
+// metrics are enabled the engine options inherit the registry, and the
+// wall clock is injected here — the deterministic engine packages never
+// read it themselves.
 func newProcessor(cfg Config) (core.Processor, error) {
+	if cfg.Metrics != nil {
+		cfg.Engine.Metrics = cfg.Metrics
+		if cfg.Engine.Clock == nil {
+			cfg.Engine.Clock = obs.WallClock
+		}
+	}
 	switch {
 	case cfg.Shards < 0:
 		return nil, fmt.Errorf("server: Config.Shards must be non-negative, got %d", cfg.Shards)
@@ -359,20 +380,30 @@ func (s *Server) Evaluate() int {
 }
 
 func (s *Server) evaluateLocked() int {
+	begin := s.m.tracer.Begin()
+	s.m.evaluations.Inc()
 	now := s.now()
-	updates := s.engine.Step(now)
+	// StepAppend into a server-owned buffer: the updates are regrouped
+	// into per-session batches below and never retained past this call,
+	// so the evaluation tick avoids Step's per-call slice allocation.
+	s.updBuf = s.engine.StepAppend(s.updBuf[:0], now)
+	updates := s.updBuf
 	if len(updates) == 0 {
+		s.m.tracer.End(s.m.evalLatency, begin)
 		return 0
 	}
 	// Group per destination session.
 	perSession := make(map[*session][]core.Update)
+	streamed := 0
 	for _, u := range updates {
 		sess, ok := s.subs[u.Query]
 		if !ok || sess.isDead() {
 			continue
 		}
 		perSession[sess] = append(perSession[sess], u)
+		streamed++
 	}
+	s.m.streamed.Add(uint64(streamed))
 	// Each batch preserves Step's canonical update order, so the stream
 	// any one client sees is reproducible; the enqueue order *across*
 	// sessions is not client-observable (each session only receives its
@@ -381,6 +412,7 @@ func (s *Server) evaluateLocked() int {
 		//lint:allow maporder per-session batch content is canonically ordered; cross-session enqueue order is not observable by any client
 		s.send(sess, wire.UpdateBatch{Time: now, Updates: batch})
 	}
+	s.m.tracer.End(s.m.evalLatency, begin)
 	return len(updates)
 }
 
@@ -396,6 +428,7 @@ func (s *Server) send(sess *session, m wire.Message) {
 	select {
 	case sess.outbox <- m:
 	default:
+		s.m.sheds.Inc()
 		s.logger.Printf("server: shedding slow client %v (outbox full)", sess.conn.RemoteAddr())
 		sess.markDead()
 	}
@@ -414,7 +447,10 @@ func (s *Server) sessionWriter(sess *session) {
 		}
 		if err := sess.w.Write(m); err != nil {
 			sess.markDead()
+			continue
 		}
+		s.m.framesOut.Inc()
+		s.m.bytesOut.Add(uint64(wire.EncodedSize(m)))
 	}
 	// Outbox closed and drained (graceful shutdown or session teardown):
 	// closing the connection unblocks the session's read loop.
@@ -458,6 +494,8 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	s.sessions[sess] = struct{}{}
 	s.mu.Unlock()
+	s.m.sessions.Add(1)
+	s.m.total.Inc()
 	go s.sessionWriter(sess)
 	defer func() {
 		s.mu.Lock()
@@ -465,6 +503,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		sess.markDead()
 		sess.closeOutbox()
 		s.mu.Unlock()
+		s.m.sessions.Add(-1)
 		<-sess.writerDone
 	}()
 	r := wire.NewReaderLimit(conn, s.maxFrame)
@@ -483,6 +522,8 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
+		s.m.framesIn.Inc()
+		s.m.bytesIn.Add(uint64(wire.EncodedSize(msg)))
 		s.handleMessage(sess, msg)
 	}
 }
@@ -508,13 +549,19 @@ func (s *Server) handleMessage(sess *session, msg wire.Message) {
 		} else {
 			s.subs[m.Update.ID] = sess
 		}
+		s.m.subs.Set(int64(len(s.subs)))
 	case wire.Commit:
 		s.handleCommit(sess, m)
 	case wire.Wakeup:
 		s.handleWakeup(sess, m)
 	case wire.Heartbeat:
 		// The client's echo; its arrival alone refreshed the read
-		// deadline.
+		// deadline. The echoed timestamp is the server clock at send
+		// time, so now−Time is the full round trip (client processing
+		// included). Clamp: an echo can race the clock reading.
+		if rtt := s.now() - m.Time; rtt > 0 {
+			s.m.rtt.Observe(int64(rtt * 1e9))
+		}
 	case wire.StatsRequest:
 		s.send(sess, wire.StatsResponse{
 			Stats:   s.engine.Stats(),
@@ -545,6 +592,7 @@ func (s *Server) handleCommit(sess *session, m wire.Commit) {
 		return
 	}
 	s.engine.Commit(m.Query)
+	s.m.commits.Inc()
 	s.persistCommit(m.Query)
 	s.send(sess, wire.CommitAck{Query: m.Query, Checksum: m.Checksum})
 }
@@ -554,6 +602,7 @@ func (s *Server) handleCommit(sess *session, m wire.Commit) {
 func (s *Server) handleWakeup(sess *session, m wire.Wakeup) {
 	q := m.Update.ID
 	s.subs[q] = sess
+	s.m.subs.Set(int64(len(s.subs)))
 
 	if _, known := s.engine.Answer(q); !known {
 		// Server restarted (or never saw the query): re-register from the
@@ -585,6 +634,7 @@ func (s *Server) handleWakeup(sess *session, m wire.Wakeup) {
 		return
 	}
 	diff, _ := s.engine.Recover(q)
+	s.m.recoveries.Inc()
 	s.persistCommit(q)
 	s.send(sess, wire.RecoveryDiff{Time: s.now(), Updates: diff})
 }
@@ -596,6 +646,7 @@ func (s *Server) sendFullAnswer(sess *session, q core.QueryID) {
 	if !ok {
 		answer = nil
 	}
+	s.m.fullAnswers.Inc()
 	s.engine.Commit(q)
 	s.persistCommit(q)
 	s.send(sess, wire.FullAnswer{Query: q, Time: s.now(), Objects: answer})

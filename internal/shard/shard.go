@@ -45,6 +45,7 @@ import (
 
 	"cqp/internal/core"
 	"cqp/internal/geo"
+	"cqp/internal/obs"
 )
 
 // Options configures a sharded engine.
@@ -105,11 +106,27 @@ type worker struct {
 	eng *core.Engine
 	cmd chan float64
 	res chan []core.Update
+
+	// buf is the worker-owned update buffer, reused across steps via
+	// StepAppend. Reuse is race-free: the router fully absorbs a batch
+	// (copying every update into the merge state) before it can step
+	// the same tile again, and the cmd/res channel pair orders the
+	// buffer handoff both ways.
+	buf []core.Update
+
+	// tracer and lastNs feed the router's step-skew histogram: the
+	// worker stamps each step's duration, the router reads it after the
+	// res receive (the channel provides the happens-before edge).
+	tracer *obs.Tracer
+	lastNs int64
 }
 
 func (w *worker) run() {
 	for now := range w.cmd {
-		w.res <- w.eng.Step(now)
+		begin := w.tracer.Begin()
+		w.buf = w.eng.StepAppend(w.buf[:0], now)
+		w.lastNs = w.tracer.Since(begin)
+		w.res <- w.buf
 	}
 }
 
@@ -183,6 +200,7 @@ type Engine struct {
 	qryBuf []core.QueryUpdate
 
 	stats core.Stats
+	m     *shardMetrics
 
 	closeOnce sync.Once
 }
@@ -207,14 +225,18 @@ func New(opt Options) (*Engine, error) {
 		objs:     make(map[core.ObjectID]*objInfo),
 		qrys:     make(map[core.QueryID]*queryInfo),
 		candKNN:  make(map[core.ObjectID]map[core.QueryID]struct{}),
+		m:        newShardMetrics(o.Core.Metrics, o.Core.Clock),
 	}
+	e.m.tiles.Set(int64(n))
 	for i := 0; i < n; i++ {
+		// Every tile engine resolves the same "engine.*" names against
+		// the shared registry, so engine metrics aggregate across tiles.
 		eng, err := core.NewEngine(o.Core)
 		if err != nil {
 			e.Close()
 			return nil, err
 		}
-		w := &worker{eng: eng, cmd: make(chan float64), res: make(chan []core.Update, 1)}
+		w := &worker{eng: eng, cmd: make(chan float64), res: make(chan []core.Update, 1), tracer: e.m.tracer}
 		e.workers[i] = w
 		go w.run()
 	}
@@ -354,9 +376,12 @@ func (e *Engine) knnCoverage(focal geo.Point, radius float64, dst map[int]struct
 }
 
 // stepTiles runs Step(now) on the given tiles in parallel and returns
-// their update batches in tile order.
+// their update batches in tile order. It is the kNN settle fixpoint's
+// sub-step broadcast, so each call also counts toward shard.knn.substeps.
 func (e *Engine) stepTiles(tiles []int, now float64) [][]core.Update {
+	e.m.knnSubsteps.Add(uint64(len(tiles)))
 	for _, t := range tiles {
+		e.m.queueDepth.Observe(int64(e.workers[t].eng.Pending()))
 		e.workers[t].cmd <- now
 	}
 	out := make([][]core.Update, 0, len(tiles))
@@ -366,14 +391,29 @@ func (e *Engine) stepTiles(tiles []int, now float64) [][]core.Update {
 	return out
 }
 
-// stepAll runs Step(now) on every tile in parallel.
+// stepAll runs Step(now) on every tile in parallel, recording each
+// tile's queue depth at broadcast time and the broadcast's step skew
+// (slowest minus fastest tile) when a clock is configured.
 func (e *Engine) stepAll(now float64) [][]core.Update {
 	for _, w := range e.workers {
+		e.m.queueDepth.Observe(int64(w.eng.Pending()))
 		w.cmd <- now
 	}
 	out := make([][]core.Update, 0, len(e.workers))
 	for _, w := range e.workers {
 		out = append(out, <-w.res)
+	}
+	if e.m.tracer.Enabled() && len(e.workers) > 1 {
+		lo, hi := e.workers[0].lastNs, e.workers[0].lastNs
+		for _, w := range e.workers[1:] {
+			if w.lastNs < lo {
+				lo = w.lastNs
+			}
+			if w.lastNs > hi {
+				hi = w.lastNs
+			}
+		}
+		e.m.stepSkew.Observe(hi - lo)
 	}
 	return out
 }

@@ -57,6 +57,18 @@ type mergeState struct {
 // canonical order of core.SortUpdates, so the sharded engine's stream is
 // bit-identical to the single-space engine's for the same reports.
 func (e *Engine) Step(now float64) []core.Update {
+	return e.stepAppend(nil, now)
+}
+
+// StepAppend is Step appending into a caller-owned buffer; see
+// core.Engine.StepAppend for the contract.
+func (e *Engine) StepAppend(dst []core.Update, now float64) []core.Update {
+	return e.stepAppend(dst, now)
+}
+
+func (e *Engine) stepAppend(out []core.Update, now float64) []core.Update {
+	base := len(out)
+	begin := e.m.tracer.Begin()
 	e.now = now
 	e.stats.Steps++
 	m := &mergeState{
@@ -65,6 +77,7 @@ func (e *Engine) Step(now float64) []core.Update {
 		removedQrys: make(map[core.QueryID]*queryInfo),
 		removedObjs: make(map[core.ObjectID]struct{}),
 		resetQrys:   make(map[core.QueryID]struct{}),
+		out:         out,
 	}
 
 	e.routeObjects(m)
@@ -78,7 +91,20 @@ func (e *Engine) Step(now float64) []core.Update {
 
 	e.objBuf = e.objBuf[:0]
 	e.qryBuf = e.qryBuf[:0]
-	core.SortUpdates(m.out)
+	core.SortUpdates(m.out[base:])
+
+	emitted := len(m.out) - base
+	e.m.steps.Inc()
+	e.m.mergedUpdates.Add(uint64(emitted))
+	e.m.lastEmitted.Set(int64(emitted))
+	maxObjs := 0
+	for _, c := range e.objCount {
+		if c > maxObjs {
+			maxObjs = c
+		}
+	}
+	e.m.tileObjectsMax.Set(int64(maxObjs))
+	e.m.tracer.End(e.m.stepLatency, begin)
 	return m.out
 }
 
@@ -114,6 +140,7 @@ func (e *Engine) routeObjects(m *mergeState) {
 		t := e.tileOf(u.Loc)
 		if info, ok := e.objs[u.ID]; ok {
 			if info.tile != t {
+				e.m.migrations.Inc()
 				e.workers[info.tile].eng.ReportObject(core.ObjectUpdate{ID: u.ID, Remove: true})
 				e.objCount[info.tile]--
 				e.objCount[t]++
@@ -380,6 +407,10 @@ func (e *Engine) emitSetTransitions(m *mergeState) {
 		nowIn := qi.count[key.o] > 0
 		if nowIn != m.prior[key] {
 			e.emit(m, key.q, key.o, nowIn)
+		} else {
+			// The transitions netted out — e.g. a cross-tile migration's
+			// −/+ pair inside one query: the merge deduplicated it.
+			e.m.netted.Inc()
 		}
 	}
 }

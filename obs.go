@@ -1,0 +1,40 @@
+package cqp
+
+import (
+	"net/http"
+	"time"
+
+	"cqp/internal/obs"
+)
+
+// Observability layer (internal/obs): an allocation-free metrics
+// registry plus clock-injected step tracing. Pass a registry through
+// Options.Metrics (engine tier), ServerConfig.Metrics (all tiers behind
+// a server), or ClientOptions.Metrics (subscriber library), then serve
+// it with MetricsHandler or snapshot it directly.
+type (
+	// MetricsRegistry names and holds counters, gauges, and histograms
+	// and renders deterministic snapshots.
+	MetricsRegistry = obs.Registry
+	// Clock is an injected monotonic nanosecond timestamp source; the
+	// deterministic engine packages never read the wall clock directly.
+	Clock = obs.Clock
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsHandler serves a registry over HTTP: a JSON snapshot at
+// /metrics plus net/http/pprof under /debug/pprof/. It is what
+// cqp-server's -metrics flag mounts.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
+
+// MetricsLogLoop periodically logs compact JSON snapshots of r through
+// logf until stop is closed.
+func MetricsLogLoop(r *MetricsRegistry, interval time.Duration, logf func(format string, args ...any), stop <-chan struct{}) {
+	obs.LogLoop(r, interval, logf, stop)
+}
+
+// WallClock is the process wall clock as a Clock, for wiring engine
+// latency histograms outside a server (the server injects it itself).
+func WallClock() int64 { return obs.WallClock() }

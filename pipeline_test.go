@@ -1,0 +1,262 @@
+package cqp_test
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"cqp"
+	"cqp/internal/obs"
+	"cqp/internal/trace"
+)
+
+// writePipelineTrace mirrors cmd/cqp-gen: tick 0 reports the full
+// population, later ticks re-report a seeded random fraction as the
+// world advances along the road network.
+func writePipelineTrace(t *testing.T, path string, objects, queries, ticks int, rate float64) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	tw := trace.NewWriter(bw)
+
+	const seed = 7
+	net := cqp.GenerateRoadNetwork(cqp.RoadNetworkConfig{Lattice: 8, Seed: seed})
+	world := cqp.MustNewWorld(cqp.WorldConfig{Net: net, NumObjects: objects, Seed: seed})
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	emitObject := func(tick, i int) {
+		loc, vel := world.Object(i)
+		if err := tw.WriteObject(tick, world.Now(), cqp.ObjectID(i+1), loc, vel); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emitQuery := func(tick, j int) {
+		loc, _ := world.Object(j % objects)
+		if err := tw.WriteQuery(tick, world.Now(), cqp.QueryID(j+1), cqp.RectAt(loc, 0.08)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < objects; i++ {
+		emitObject(0, i)
+	}
+	for j := 0; j < queries; j++ {
+		emitQuery(0, j)
+	}
+	for tick := 1; tick <= ticks; tick++ {
+		world.Advance(5)
+		for i := 0; i < objects; i++ {
+			if rng.Float64() < rate {
+				emitObject(tick, i)
+			}
+		}
+		for j := 0; j < queries; j++ {
+			if rng.Float64() < rate {
+				emitQuery(tick, j)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readPipelineTrace loads a trace back, grouped by tick so the replay
+// can evaluate at tick boundaries.
+func readPipelineTrace(t *testing.T, path string) [][]trace.Record {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var ticks [][]trace.Record
+	tr := trace.NewReader(f)
+	for {
+		rec, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for len(ticks) <= rec.Tick {
+			ticks = append(ticks, nil)
+		}
+		ticks[rec.Tick] = append(ticks[rec.Tick], rec)
+	}
+	return ticks
+}
+
+// TestPipelineTraceThroughServerMatchesDirect is the whole toolchain in
+// one test: a cqp-gen-equivalent trace written to disk, replayed
+// cqp-replay-style through a live TCP server into a client, with a
+// metrics registry watching every tier. The client's converged answers
+// must equal a direct core.Engine run of the same trace file, and the
+// server's counters must equal the traffic both endpoints observed.
+func TestPipelineTraceThroughServerMatchesDirect(t *testing.T) {
+	const (
+		objects = 60
+		queries = 10
+		ticks   = 8
+	)
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	writePipelineTrace(t, path, objects, queries, ticks, 0.4)
+	batches := readPipelineTrace(t, path)
+
+	// Reference: the same records straight into an embedded engine.
+	// Range answers depend only on the latest reports, not evaluation
+	// cadence, so the networked run must converge to exactly this.
+	direct := cqp.MustNewEngine(cqp.Options{Bounds: cqp.R(0, 0, 1, 1), GridN: 16})
+	for _, batch := range batches {
+		var now float64
+		for _, rec := range batch {
+			if rec.IsQuery {
+				direct.ReportQuery(rec.QueryUpdate())
+			} else {
+				direct.ReportObject(rec.ObjectUpdate())
+			}
+			now = rec.Time
+		}
+		direct.Step(now)
+	}
+
+	// The networked run: server with a registry on every tier.
+	reg := cqp.NewMetricsRegistry()
+	s, err := cqp.Listen("127.0.0.1:0", cqp.ServerConfig{
+		Engine:  cqp.Options{Bounds: cqp.R(0, 0, 1, 1), GridN: 16},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	creg := cqp.NewMetricsRegistry()
+	c, err := cqp.DialOptions(s.Addr().String(), cqp.ClientOptions{Metrics: creg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go func() { // drain events; answers accumulate inside the client
+		for range c.Events() {
+		}
+	}()
+
+	// Replay (cqp-replay with -speedup 0): feed each tick's records,
+	// evaluating at tick boundaries like a ticker-driven server would.
+	reports := 0
+	for _, batch := range batches {
+		for _, rec := range batch {
+			if rec.IsQuery {
+				err = c.RegisterQuery(rec.QueryUpdate())
+			} else {
+				err = c.ReportObject(rec.ObjectUpdate())
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports++
+		}
+		s.Evaluate()
+	}
+
+	// Converge: commit acts as a barrier (same TCP stream as the
+	// updates), so after a successful round-trip per query the client's
+	// answer equals the server's — which must equal the direct run's.
+	answersEqual := func(q cqp.QueryID) bool {
+		want, _ := direct.Answer(q)
+		got, ok := c.Answer(q)
+		if !ok || len(got) != len(want) {
+			return false
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for q := cqp.QueryID(1); q <= queries; q++ {
+		deadline := time.Now().Add(10 * time.Second)
+		for !answersEqual(q) {
+			if time.Now().After(deadline) {
+				want, _ := direct.Answer(q)
+				got, _ := c.Answer(q)
+				t.Fatalf("query %d never converged to the direct run:\nclient: %v\ndirect: %v", q, got, want)
+			}
+			c.Commit(q)
+			s.Evaluate()
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// The server's ledger must agree with what both endpoints saw.
+	counter := func(name string) uint64 { return reg.Counter(name).Value() }
+	if got := reg.Gauge("server.sessions").Value(); got != 1 {
+		t.Errorf("server.sessions = %d, want 1", got)
+	}
+	if got := counter("server.sessions_total"); got != 1 {
+		t.Errorf("server.sessions_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("server.subscriptions").Value(); got != queries {
+		t.Errorf("server.subscriptions = %d, want %d", got, queries)
+	}
+	// Every report and commit traveled one frame; the client also wrote
+	// the initial hello-free stream, so frames_in is exactly the
+	// client's successful writes. No heartbeats are configured, so the
+	// stream quiesces and the counts settle to equality.
+	waitCounters := func(name string, got func() uint64, want func() uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for got() != want() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: server=%d client=%d", name, got(), want())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitCounters("server.frames_in vs client.frames_out",
+		func() uint64 { return counter("server.frames_in") },
+		func() uint64 { return creg.Counter("client.frames_out").Value() })
+	waitCounters("server.frames_out vs client.frames_in",
+		func() uint64 { return counter("server.frames_out") },
+		func() uint64 { return creg.Counter("client.frames_in").Value() })
+	waitCounters("server.updates.streamed vs client.updates.applied",
+		func() uint64 { return counter("server.updates.streamed") },
+		func() uint64 { return creg.Counter("client.updates.applied").Value() })
+	if in := counter("server.frames_in"); in < uint64(reports) {
+		t.Errorf("server.frames_in = %d, want at least the %d replayed reports", in, reports)
+	}
+	if got, evals := counter("engine.steps"), counter("server.evaluations"); got != evals {
+		t.Errorf("engine.steps = %d but server.evaluations = %d: the engine should step once per evaluation", got, evals)
+	}
+	if counter("server.bytes_in") == 0 || counter("server.bytes_out") == 0 {
+		t.Error("byte counters did not record")
+	}
+
+	// And the registry snapshot holds all three tiers — what
+	// `cqp-server -metrics` serves. The server injects its wall clock
+	// into the engine when a registry is configured, so the step
+	// latency histogram must have filled too.
+	snap := reg.Snapshot()
+	for _, name := range []string{"engine.steps", "server.frames_in", "server.commits"} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("snapshot missing %s", name)
+		}
+	}
+	if got := reg.Histogram("engine.step_ns", obs.DurationBuckets).Count(); got == 0 {
+		t.Error("engine.step_ns is empty despite the server-injected clock")
+	}
+}
