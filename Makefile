@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos fuzz cover bench bench-full vet lint fmt examples clean
+.PHONY: all build test race chaos chaos-cluster fuzz cover bench bench-full vet lint fmt examples clean
 
 all: build vet lint test
 
@@ -20,6 +20,14 @@ race:
 # model & recovery").
 chaos:
 	$(GO) test -race -run TestChaosConvergence -count=1 -v ./internal/server/
+
+# The multi-process cluster's fault drills under the race detector:
+# differential bit-identity against the in-process engine, scripted
+# worker murders (including real SIGKILLed processes), and seeded
+# faultnet storms, all required to heal completely (see DESIGN.md,
+# "Cluster failure model").
+chaos-cluster:
+	$(GO) test -race -count=1 -run 'TestDifferential|TestChaos|TestExec' -v ./internal/cluster/
 
 # Short fuzz passes over the wire protocol: hostile input to the
 # decoder, then structured messages through the encode→decode→encode

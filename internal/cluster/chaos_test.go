@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"cqp/internal/faultnet"
+)
+
+// TestChaosWorkerKills murders live worker processes at scripted points
+// — including repeatedly killing the same slot — and requires the
+// merged stream to stay bit-identical to the in-process sharded
+// engine's through every death, fallback, respawn, and resync, and the
+// cluster to end fully healed (all workers up, no tiles in fallback).
+func TestChaosWorkerKills(t *testing.T) {
+	kills := map[int]int{5: 0, 6: 1, 12: 0, 13: 0, 25: 1, 26: 0}
+	runClusterDifferential(t, clusterDiffConfig{
+		seed: 3, rows: 2, cols: 2, workers: 2, steps: 40, settle: true,
+		disturb: func(step int, cl *Cluster) {
+			if slot, ok := kills[step]; ok {
+				cl.KillWorker(slot)
+			}
+		},
+	})
+}
+
+// TestChaosFaultStorms drives the cluster through deterministic
+// faultnet storms on every worker link — resets, partial writes, bit
+// corruption (caught by the cluster frames' trailing checksums), stalls
+// (caught by the heartbeat deadline), and a mixed storm — and requires
+// the merged stream to stay bit-identical throughout, then full healing
+// once the weather clears.
+func TestChaosFaultStorms(t *testing.T) {
+	scenarios := []struct {
+		name   string
+		faults faultnet.Faults
+	}{
+		{"reset", faultnet.Faults{Seed: 11, Grace: 20, PReset: 0.02}},
+		{"partial", faultnet.Faults{Seed: 12, Grace: 20, PPartialWrite: 0.02}},
+		{"corrupt", faultnet.Faults{Seed: 13, Grace: 20, PCorrupt: 0.02}},
+		{"stall", faultnet.Faults{Seed: 14, Grace: 20, PStall: 0.01}},
+		{"mixed", faultnet.Faults{
+			Seed: 15, Grace: 10,
+			PReset: 0.01, PCorrupt: 0.01, PStall: 0.005,
+			PDelay: 0.05, MaxDelay: time.Millisecond,
+		}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			in := faultnet.New(sc.faults)
+			in.Disable() // calm until the storm window opens
+			const stormStart, stormEnd = 8, 30
+			var last *Cluster
+			runClusterDifferential(t, clusterDiffConfig{
+				seed: 9, rows: 2, cols: 2, workers: 2, steps: 42, settle: true,
+				spawner: &PipeSpawner{WrapConn: func(c net.Conn) net.Conn { return in.Wrap(c) }},
+				disturb: func(step int, cl *Cluster) {
+					last = cl
+					switch step {
+					case stormStart:
+						in.Enable()
+					case stormEnd:
+						in.Disable()
+					}
+				},
+			})
+			if restarts := last.m.restarts.Value(); restarts == 0 {
+				t.Errorf("storm %q drew no blood: no worker restarts", sc.name)
+			} else {
+				t.Logf("storm %q: %d restarts, %d resyncs, %d stale epochs",
+					sc.name, restarts, last.m.resyncs.Value(), last.m.staleEpochs.Value())
+			}
+		})
+	}
+}
+
+// TestChaosMetrics runs a kill-and-heal pass and checks the cluster
+// instruments moved the way the story says: deaths counted as restarts,
+// recoveries as resyncs, and the fallback gauge back to zero.
+func TestChaosMetrics(t *testing.T) {
+	var sawFallback bool
+	var last *Cluster
+	runClusterDifferential(t, clusterDiffConfig{
+		seed: 5, rows: 2, cols: 2, workers: 2, steps: 30, settle: true,
+		disturb: func(step int, cl *Cluster) {
+			last = cl
+			if step == 10 {
+				cl.KillWorker(0)
+			}
+			if cl.TilesInFallback() > 0 {
+				sawFallback = true
+			}
+		},
+	})
+	if !sawFallback {
+		t.Fatal("kill at step 10 never put a tile in fallback")
+	}
+	if got := last.m.restarts.Value(); got == 0 {
+		t.Error("cluster.worker.restarts never incremented")
+	}
+	if got := last.m.resyncs.Value(); got == 0 {
+		t.Error("cluster.resyncs never incremented")
+	}
+	if got := last.m.fallback.Value(); got != 0 {
+		t.Errorf("cluster.tiles.fallback = %d after healing, want 0", got)
+	}
+	for w := 0; w < 2; w++ {
+		name := fmt.Sprintf("cluster.worker.%d.heartbeat_rtt_ns", w)
+		_ = name // the histogram is registry-backed only when a registry is configured
+	}
+}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+	"cqp/internal/shard"
+)
+
+// TestDifferentialClusterVsSharded is the cluster's central correctness
+// property: the coordinator with worker-process tiles must produce a
+// merged update stream BIT-IDENTICAL to the in-process sharded engine's
+// for the same workload — same updates in the same order every step —
+// plus identical answers, committed answers, and recovery diffs. The
+// workers here are in-process over net.Pipe, so the only difference
+// under test is the transport.
+func TestDifferentialClusterVsSharded(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		for _, cfg := range [][3]int{{2, 2, 2}, {1, 4, 3}, {2, 2, 1}} {
+			seed, cfg := seed, cfg
+			t.Run(fmt.Sprintf("seed=%d/grid=%dx%d/workers=%d", seed, cfg[0], cfg[1], cfg[2]), func(t *testing.T) {
+				runClusterDifferential(t, clusterDiffConfig{
+					seed: seed, rows: cfg[0], cols: cfg[1], workers: cfg[2], steps: 80,
+				})
+			})
+		}
+	}
+}
+
+type clusterDiffConfig struct {
+	seed    int64
+	rows    int
+	cols    int
+	workers int
+	steps   int
+
+	// spawner overrides the default fault-free PipeSpawner (the chaos
+	// suites install a fault-wrapped one).
+	spawner Spawner
+
+	// disturb, when set, runs before each step — the chaos suites kill
+	// workers and toggle fault scenarios here.
+	disturb func(step int, cl *Cluster)
+
+	// settle, when set, requires the cluster to fully return to remote
+	// operation after the scripted steps (all workers up, no tiles in
+	// fallback) while the stream stays bit-identical.
+	settle bool
+
+	// after, when set, runs once all steps (and settling) are done,
+	// while the cluster is still open — for post-run assertions that
+	// need live slot state.
+	after func(cl *Cluster)
+}
+
+func runClusterDifferential(t *testing.T, cfg clusterDiffConfig) {
+	t.Helper()
+	w := newWorkload(cfg.seed)
+	copt := core.Options{
+		Bounds:            geo.R(0, 0, 1, 1),
+		GridN:             1 + w.rng.Intn(12),
+		PredictiveHorizon: 50,
+	}
+	sopt := shard.Options{Core: copt, Rows: cfg.rows, Cols: cfg.cols, PadTiles: w.rng.Intn(2)}
+	ref, err := shard.New(sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	spawner := cfg.spawner
+	if spawner == nil {
+		spawner = &PipeSpawner{}
+	}
+	cl, err := New(Config{
+		Shard:             sopt,
+		Workers:           cfg.workers,
+		Spawner:           spawner,
+		HeartbeatInterval: 5 * time.Millisecond,
+		HeartbeatTimeout:  60 * time.Millisecond,
+		ResyncTimeout:     2 * time.Second,
+		Backoff:           Backoff{Initial: time.Millisecond, Max: 20 * time.Millisecond},
+		Seed:              cfg.seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if up := cl.NumWorkersUp(); up != cfg.workers {
+		t.Fatalf("after New: %d/%d workers up", up, cfg.workers)
+	}
+
+	stepBoth := func(step int) {
+		t.Helper()
+		now := w.step(func(ou *core.ObjectUpdate, qu *core.QueryUpdate) {
+			if ou != nil {
+				ref.ReportObject(*ou)
+				cl.ReportObject(*ou)
+			}
+			if qu != nil {
+				ref.ReportQuery(*qu)
+				cl.ReportQuery(*qu)
+			}
+		})
+		a := ref.Step(now)
+		b := cl.Step(now)
+		if !updatesEqual(a, b) {
+			t.Fatalf("seed %d step %d: merged streams diverge (fallback tiles: %d)\nsharded: %v\ncluster: %v",
+				cfg.seed, step, cl.TilesInFallback(), a, b)
+		}
+		for _, q := range w.queryIDs() {
+			ra, ok1 := ref.Answer(q)
+			ca, ok2 := cl.Answer(q)
+			if ok1 != ok2 || !idsEqualTest(ra, ca) {
+				t.Fatalf("seed %d step %d: query %d answers diverge\nsharded: %v (%v)\ncluster: %v (%v)",
+					cfg.seed, step, q, ra, ok1, ca, ok2)
+			}
+		}
+		// Exercise the protocol surface identically on both sides.
+		if len(w.queries) > 0 && w.rng.Float64() < 0.2 {
+			q := w.pickQuery()
+			if x, y := ref.Commit(q), cl.Commit(q); x != y {
+				t.Fatalf("seed %d step %d: Commit(%d) sharded=%v cluster=%v", cfg.seed, step, q, x, y)
+			}
+			rc, _ := ref.CommittedChecksum(q)
+			cc, _ := cl.CommittedChecksum(q)
+			if rc != cc {
+				t.Fatalf("seed %d step %d: committed checksums diverge for %d", cfg.seed, step, q)
+			}
+		}
+		if len(w.queries) > 0 && w.rng.Float64() < 0.1 {
+			q := w.pickQuery()
+			ra, _ := ref.Recover(q)
+			ca, _ := cl.Recover(q)
+			if !updatesEqual(ra, ca) {
+				t.Fatalf("seed %d step %d: Recover(%d) diverges\nsharded: %v\ncluster: %v", cfg.seed, step, q, ra, ca)
+			}
+		}
+	}
+
+	for step := 0; step < cfg.steps; step++ {
+		if cfg.disturb != nil {
+			cfg.disturb(step, cl)
+		}
+		stepBoth(step)
+	}
+
+	if cfg.settle {
+		deadline := time.Now().Add(15 * time.Second)
+		step := cfg.steps
+		for cl.TilesInFallback() > 0 || cl.NumWorkersUp() < cfg.workers {
+			if time.Now().After(deadline) {
+				t.Fatalf("cluster did not heal: %d tiles in fallback, %d/%d workers up",
+					cl.TilesInFallback(), cl.NumWorkersUp(), cfg.workers)
+			}
+			stepBoth(step)
+			step++
+			time.Sleep(2 * time.Millisecond)
+		}
+		// A healed cluster keeps the stream identical fully remote.
+		for i := 0; i < 10; i++ {
+			stepBoth(step)
+			step++
+		}
+	}
+
+	if cfg.after != nil {
+		cfg.after(cl)
+	}
+}

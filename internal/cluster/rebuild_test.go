@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// TestJournalRebuildReproducesEngine pins the property the whole
+// failure model rests on: a core.Engine is memoryless — its state is a
+// pure function of (latest report per object, latest definition per
+// query, last step time). An engine rebuilt from exactly that compacted
+// journal must, from then on, produce byte-identical update batches and
+// answers when driven in lockstep with the engine that lived through
+// the full history. If this test breaks, fallback rebuilds and resync
+// verification are unsound — fix the engine property, not this test.
+func TestJournalRebuildReproducesEngine(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		for _, rebuildAt := range []int{1, 13, 40} {
+			seed, rebuildAt := seed, rebuildAt
+			t.Run(fmt.Sprintf("seed=%d/rebuild=%d", seed, rebuildAt), func(t *testing.T) {
+				runJournalRebuild(t, seed, rebuildAt, 70)
+			})
+		}
+	}
+}
+
+func runJournalRebuild(t *testing.T, seed int64, rebuildAt, steps int) {
+	copt := core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: 8, PredictiveHorizon: 50}
+	live := core.MustNewEngine(copt)
+	var twin *core.Engine
+
+	jObjs := make(map[core.ObjectID]core.ObjectUpdate)
+	jQrys := make(map[core.QueryID]core.QueryUpdate)
+	w := newWorkload(seed)
+
+	for step := 0; step < steps; step++ {
+		var objs []core.ObjectUpdate
+		var qrys []core.QueryUpdate
+		now := w.step(func(ou *core.ObjectUpdate, qu *core.QueryUpdate) {
+			if ou != nil {
+				objs = append(objs, *ou)
+			}
+			if qu != nil {
+				qrys = append(qrys, *qu)
+			}
+		})
+
+		if step == rebuildAt {
+			twin = rebuildFromJournal(t, copt, jObjs, jQrys, now-1, step > 0)
+		}
+
+		for _, u := range objs {
+			live.ReportObject(u)
+			if twin != nil {
+				twin.ReportObject(u)
+			}
+		}
+		for _, u := range qrys {
+			live.ReportQuery(u)
+			if twin != nil {
+				twin.ReportQuery(u)
+			}
+		}
+		a := live.Step(now)
+		if twin != nil {
+			b := twin.Step(now)
+			if !updatesEqual(a, b) {
+				t.Fatalf("seed %d step %d: rebuilt engine batch diverges\nlive:    %v\nrebuilt: %v", seed, step, a, b)
+			}
+			for _, q := range w.queryIDs() {
+				la, ok1 := live.Answer(q)
+				ta, ok2 := twin.Answer(q)
+				if ok1 != ok2 || !idsEqualTest(la, ta) {
+					t.Fatalf("seed %d step %d: query %d answers diverge\nlive:    %v (%v)\nrebuilt: %v (%v)", seed, step, q, la, ok1, ta, ok2)
+				}
+			}
+		}
+
+		// Fold the journal exactly as clusterTile.fold does.
+		for _, u := range objs {
+			if u.Remove {
+				delete(jObjs, u.ID)
+			} else {
+				jObjs[u.ID] = u
+			}
+		}
+		for _, u := range qrys {
+			if u.Remove {
+				delete(jQrys, u.ID)
+			} else {
+				jQrys[u.ID] = u
+			}
+		}
+	}
+}
+
+// rebuildFromJournal is the worker/fallback rebuild procedure: replay
+// the compacted journal in ascending ID order, then one discarded step
+// at the last step time.
+func rebuildFromJournal(t *testing.T, opt core.Options, jObjs map[core.ObjectID]core.ObjectUpdate,
+	jQrys map[core.QueryID]core.QueryUpdate, lastStep float64, hasStep bool) *core.Engine {
+	t.Helper()
+	eng := core.MustNewEngine(opt)
+	oids := make([]core.ObjectID, 0, len(jObjs))
+	for id := range jObjs {
+		oids = append(oids, id)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, id := range oids {
+		eng.ReportObject(jObjs[id])
+	}
+	qids := make([]core.QueryID, 0, len(jQrys))
+	for id := range jQrys {
+		qids = append(qids, id)
+	}
+	sort.Slice(qids, func(i, j int) bool { return qids[i] < qids[j] })
+	for _, id := range qids {
+		eng.ReportQuery(jQrys[id])
+	}
+	if hasStep {
+		eng.StepAppend(nil, lastStep)
+	}
+	return eng
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"cqp/internal/wire"
+)
+
+// Process is one live worker backend: the coordinator-side connection
+// plus lifecycle handles. Kill must be idempotent and must eventually
+// cause ServeWorker on the other side to return; Wait blocks until the
+// backend has fully stopped.
+type Process interface {
+	Conn() net.Conn
+	Kill() error
+	Wait() error
+}
+
+// Spawner creates worker backends. The coordinator calls Spawn once per
+// (worker slot, incarnation); successive incarnations of a slot never
+// overlap — the previous process is killed and waited for first.
+type Spawner interface {
+	Spawn(worker int, incarnation uint64) (Process, error)
+	Close() error
+}
+
+// PipeSpawner runs workers in-process over net.Pipe — the deterministic
+// backend of the differential and chaos test suites. WrapConn, when
+// set, wraps the coordinator side of each pipe; the chaos tests install
+// a faultnet injector there.
+type PipeSpawner struct {
+	WrapConn func(net.Conn) net.Conn
+}
+
+func (s *PipeSpawner) Spawn(worker int, incarnation uint64) (Process, error) {
+	coord, work := net.Pipe()
+	c := net.Conn(coord)
+	if s.WrapConn != nil {
+		c = s.WrapConn(coord)
+	}
+	p := &pipeProcess{conn: c, raw: coord, worker: work, done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		ServeWorker(work)
+	}()
+	return p, nil
+}
+
+func (s *PipeSpawner) Close() error { return nil }
+
+type pipeProcess struct {
+	conn   net.Conn // possibly fault-wrapped coordinator side
+	raw    net.Conn // unwrapped coordinator side
+	worker net.Conn
+	done   chan struct{}
+}
+
+func (p *pipeProcess) Conn() net.Conn { return p.conn }
+
+// Kill closes both pipe ends: closing only the wrapped coordinator side
+// is not enough when a fault injector is holding the link stalled.
+func (p *pipeProcess) Kill() error {
+	p.worker.Close()
+	p.raw.Close()
+	p.conn.Close()
+	return nil
+}
+
+func (p *pipeProcess) Wait() error {
+	<-p.done
+	return nil
+}
+
+// Environment variables carrying a worker process its dial-back
+// coordinates. See RunWorkerFromEnv.
+const (
+	EnvWorkerAddr        = "CQP_CLUSTER_ADDR"
+	EnvWorkerSlot        = "CQP_CLUSTER_SLOT"
+	EnvWorkerIncarnation = "CQP_CLUSTER_INC"
+)
+
+// ExecSpawner launches real worker processes that dial back to a
+// loopback listener and identify themselves with a ClusterHello frame.
+// The spawned command is expected to call RunWorkerFromEnv early in
+// main — cmd/cqp-cluster re-executes its own binary this way, as do the
+// process-kill tests via the test binary.
+type ExecSpawner struct {
+	command []string
+	ln      net.Listener
+	stop    chan struct{}
+
+	mu      sync.Mutex
+	pending map[spawnKey]chan net.Conn
+}
+
+type spawnKey struct {
+	worker uint32
+	inc    uint64
+}
+
+// NewExecSpawner returns a spawner running command (argv; the worker
+// env vars are appended to the child environment).
+func NewExecSpawner(command []string) (*ExecSpawner, error) {
+	if len(command) == 0 {
+		return nil, fmt.Errorf("cluster: ExecSpawner needs a command")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial-back listener: %w", err)
+	}
+	s := &ExecSpawner{
+		command: command,
+		ln:      ln,
+		stop:    make(chan struct{}),
+		pending: make(map[spawnKey]chan net.Conn),
+	}
+	go s.accept()
+	return s, nil
+}
+
+func (s *ExecSpawner) accept() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.route(c)
+	}
+}
+
+// route reads the dial-back Hello and hands the connection to the Spawn
+// waiting for that (worker, incarnation); unclaimed or late dial-backs
+// are dropped.
+func (s *ExecSpawner) route(c net.Conn) {
+	c.SetReadDeadline(time.Now().Add(10 * time.Second))
+	m, err := wire.NewReader(c).Read()
+	hello, ok := m.(wire.ClusterHello)
+	if err != nil || !ok {
+		c.Close()
+		return
+	}
+	c.SetReadDeadline(time.Time{})
+	s.mu.Lock()
+	key := spawnKey{hello.Worker, hello.Incarnation}
+	ch := s.pending[key]
+	delete(s.pending, key)
+	s.mu.Unlock()
+	if ch == nil {
+		c.Close()
+		return
+	}
+	ch <- c // cap 1: never blocks
+}
+
+func (s *ExecSpawner) Spawn(worker int, incarnation uint64) (Process, error) {
+	key := spawnKey{uint32(worker), incarnation}
+	ch := make(chan net.Conn, 1)
+	s.mu.Lock()
+	s.pending[key] = ch
+	s.mu.Unlock()
+	unregister := func() {
+		s.mu.Lock()
+		delete(s.pending, key)
+		s.mu.Unlock()
+	}
+
+	cmd := exec.Command(s.command[0], s.command[1:]...)
+	cmd.Env = append(os.Environ(),
+		EnvWorkerAddr+"="+s.ln.Addr().String(),
+		EnvWorkerSlot+"="+strconv.Itoa(worker),
+		EnvWorkerIncarnation+"="+strconv.FormatUint(incarnation, 10),
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		unregister()
+		return nil, fmt.Errorf("cluster: start worker %d: %w", worker, err)
+	}
+	timer := time.NewTimer(10 * time.Second)
+	defer timer.Stop()
+	select {
+	case c := <-ch:
+		return &execProcess{cmd: cmd, conn: c}, nil
+	case <-timer.C:
+	case <-s.stop:
+	}
+	unregister()
+	cmd.Process.Kill()
+	cmd.Wait()
+	// The route goroutine may have claimed the pending entry right before
+	// unregister ran; reap the connection it delivered.
+	select {
+	case c := <-ch:
+		c.Close()
+	default:
+	}
+	return nil, fmt.Errorf("cluster: worker %d (incarnation %d) did not dial back", worker, incarnation)
+}
+
+func (s *ExecSpawner) Close() error {
+	close(s.stop)
+	return s.ln.Close()
+}
+
+type execProcess struct {
+	cmd  *exec.Cmd
+	conn net.Conn
+
+	waitOnce sync.Once
+	waitErr  error
+}
+
+func (p *execProcess) Conn() net.Conn { return p.conn }
+
+// Kill delivers SIGKILL: worker death in the cluster's failure model is
+// always abrupt, never cooperative.
+func (p *execProcess) Kill() error {
+	p.conn.Close()
+	return p.cmd.Process.Kill()
+}
+
+func (p *execProcess) Wait() error {
+	p.waitOnce.Do(func() { p.waitErr = p.cmd.Wait() })
+	return p.waitErr
+}
+
+// RunWorkerFromEnv turns the current process into a cluster worker when
+// the CQP_CLUSTER_* environment variables are present: it dials the
+// coordinator, identifies itself, and serves tiles until the connection
+// drops. It reports whether the variables were present (the caller's
+// main should return when they were). Binaries embedding a coordinator
+// call it first thing, before flag parsing.
+func RunWorkerFromEnv() (bool, error) {
+	addr := os.Getenv(EnvWorkerAddr)
+	if addr == "" {
+		return false, nil
+	}
+	slot, err := strconv.Atoi(os.Getenv(EnvWorkerSlot))
+	if err != nil {
+		return true, fmt.Errorf("cluster: bad %s: %w", EnvWorkerSlot, err)
+	}
+	inc, err := strconv.ParseUint(os.Getenv(EnvWorkerIncarnation), 10, 64)
+	if err != nil {
+		return true, fmt.Errorf("cluster: bad %s: %w", EnvWorkerIncarnation, err)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return true, fmt.Errorf("cluster: dial coordinator: %w", err)
+	}
+	if err := wire.NewWriter(c).Write(wire.ClusterHello{Worker: uint32(slot), Incarnation: inc}); err != nil {
+		c.Close()
+		return true, fmt.Errorf("cluster: hello: %w", err)
+	}
+	return true, ServeWorker(c)
+}

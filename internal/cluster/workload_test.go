@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// workload is a seeded random workload generator shared by the
+// differential, chaos, and process-kill suites: moving, predictive, and
+// waypoint objects, range/kNN/predictive queries, removals, kind
+// changes, and plenty of cross-tile movers. Every random choice derives
+// from the seed alone (query/object picks go through sorted ID lists),
+// so a seed denotes one exact report stream.
+type workload struct {
+	rng     *rand.Rand
+	now     float64
+	objects map[core.ObjectID]core.ObjectKind
+	queries map[core.QueryID]core.QueryKind
+	nextO   core.ObjectID
+	nextQ   core.QueryID
+}
+
+func newWorkload(seed int64) *workload {
+	return &workload{
+		rng:     rand.New(rand.NewSource(seed)),
+		objects: make(map[core.ObjectID]core.ObjectKind),
+		queries: make(map[core.QueryID]core.QueryKind),
+		nextO:   1,
+		nextQ:   1,
+	}
+}
+
+func (w *workload) randPoint() geo.Point { return geo.Pt(w.rng.Float64(), w.rng.Float64()) }
+
+func (w *workload) randVel() geo.Vector {
+	return geo.Vec(w.rng.Float64()*0.1-0.05, w.rng.Float64()*0.1-0.05)
+}
+
+func (w *workload) randWaypoints(now float64) []geo.TimedPoint {
+	n := 1 + w.rng.Intn(3)
+	out := make([]geo.TimedPoint, 0, n)
+	tm := now
+	for i := 0; i < n; i++ {
+		tm += 0.5 + w.rng.Float64()*3
+		out = append(out, geo.TimedPoint{P: w.randPoint(), T: tm})
+	}
+	return out
+}
+
+func (w *workload) pickObject() core.ObjectID {
+	ids := make([]core.ObjectID, 0, len(w.objects))
+	for id := range w.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[w.rng.Intn(len(ids))]
+}
+
+func (w *workload) pickQuery() core.QueryID {
+	ids := make([]core.QueryID, 0, len(w.queries))
+	for id := range w.queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids[w.rng.Intn(len(ids))]
+}
+
+func (w *workload) randQueryUpdate(id core.QueryID, kind core.QueryKind) core.QueryUpdate {
+	u := core.QueryUpdate{ID: id, Kind: kind, T: w.now}
+	switch kind {
+	case core.Range:
+		u.Region = geo.RectAt(w.randPoint(), 0.02+w.rng.Float64()*0.4)
+	case core.KNN:
+		u.Focal = w.randPoint()
+		u.K = 1 + w.rng.Intn(6)
+	case core.PredictiveRange:
+		u.Region = geo.RectAt(w.randPoint(), 0.02+w.rng.Float64()*0.4)
+		u.T1 = w.now + w.rng.Float64()*10
+		u.T2 = u.T1 + w.rng.Float64()*10
+	}
+	return u
+}
+
+// step advances time, emits one step's worth of reports through report,
+// and returns the step's evaluation timestamp.
+func (w *workload) step(report func(ou *core.ObjectUpdate, qu *core.QueryUpdate)) float64 {
+	w.now += 1
+	const (
+		maxObjects = 70
+		maxQueries = 20
+	)
+	for n := w.rng.Intn(12); n > 0; n-- {
+		switch {
+		case len(w.objects) == 0 || (len(w.objects) < maxObjects && w.rng.Float64() < 0.3):
+			kind := core.ObjectKind(w.rng.Intn(3))
+			id := w.nextO
+			w.nextO++
+			w.objects[id] = kind
+			u := core.ObjectUpdate{ID: id, Kind: kind, Loc: w.randPoint(), Vel: w.randVel(), T: w.now}
+			if kind == core.Predictive && w.rng.Float64() < 0.3 {
+				u.Waypoints = w.randWaypoints(w.now)
+			}
+			report(&u, nil)
+		case w.rng.Float64() < 0.08:
+			id := w.pickObject()
+			delete(w.objects, id)
+			report(&core.ObjectUpdate{ID: id, Remove: true, T: w.now}, nil)
+		default:
+			id := w.pickObject()
+			u := core.ObjectUpdate{ID: id, Kind: w.objects[id], Loc: w.randPoint(), Vel: w.randVel(), T: w.now}
+			if w.objects[id] == core.Predictive && w.rng.Float64() < 0.3 {
+				u.Waypoints = w.randWaypoints(w.now)
+			}
+			report(&u, nil)
+		}
+	}
+	for n := w.rng.Intn(4); n > 0; n-- {
+		switch {
+		case len(w.queries) == 0 || (len(w.queries) < maxQueries && w.rng.Float64() < 0.4):
+			kind := core.QueryKind(w.rng.Intn(3))
+			id := w.nextQ
+			w.nextQ++
+			w.queries[id] = kind
+			u := w.randQueryUpdate(id, kind)
+			report(nil, &u)
+		case w.rng.Float64() < 0.1:
+			id := w.pickQuery()
+			delete(w.queries, id)
+			report(nil, &core.QueryUpdate{ID: id, Remove: true, T: w.now})
+		default:
+			id := w.pickQuery()
+			kind := w.queries[id]
+			if w.rng.Float64() < 0.15 {
+				kind = core.QueryKind((int(kind) + 1 + w.rng.Intn(2)) % 3)
+				w.queries[id] = kind
+			}
+			u := w.randQueryUpdate(id, kind)
+			report(nil, &u)
+		}
+	}
+	return w.now
+}
+
+// queryIDs returns the live query IDs in ascending order.
+func (w *workload) queryIDs() []core.QueryID {
+	ids := make([]core.QueryID, 0, len(w.queries))
+	for id := range w.queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func updatesEqual(a, b []core.Update) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func idsEqualTest(a, b []core.ObjectID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -191,3 +191,85 @@ func (nopConn) RemoteAddr() net.Addr             { return nil }
 func (nopConn) SetDeadline(time.Time) error      { return nil }
 func (nopConn) SetReadDeadline(time.Time) error  { return nil }
 func (nopConn) SetWriteDeadline(time.Time) error { return nil }
+
+func TestStallBlocksUntilDisable(t *testing.T) {
+	in := New(Faults{Seed: 3, PStall: 1})
+	faulty, peer := pipePair(in)
+	defer peer.Close()
+	defer faulty.Close()
+
+	// The peer stands by to serve the write once it is released.
+	go io.Copy(io.Discard, peer)
+
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := faulty.Write([]byte("hello"))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+		// Still hanging: the stall holds with no timer of its own.
+	}
+	in.Disable()
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("write after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Disable did not release the stalled write")
+	}
+}
+
+func TestStallReleasedByClose(t *testing.T) {
+	in := New(Faults{Seed: 3, PStall: 1})
+	faulty, peer := pipePair(in)
+	defer peer.Close()
+
+	read := make(chan error, 1)
+	go func() {
+		_, err := faulty.Read(make([]byte, 8))
+		read <- err
+	}()
+	select {
+	case err := <-read:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	faulty.Close()
+	select {
+	case err := <-read:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("stalled read released by close: got %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the stalled read")
+	}
+}
+
+func TestStallDeterministicSchedule(t *testing.T) {
+	// Stalls are drawn from the same seeded streams as every other
+	// fault: the same seed yields the same stall positions.
+	run := func() []bool {
+		in := New(Faults{Seed: 11, PStall: 0.3})
+		c := in.Wrap(nopConn{}).(*conn)
+		var stalls []bool
+		for i := 0; i < 64; i++ {
+			stalls = append(stalls, c.wr.draw(in.faults, true).stall)
+		}
+		return stalls
+	}
+	a, b := run(), run()
+	any := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stall schedules diverge at op %d", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Fatal("PStall=0.3 over 64 ops drew no stall")
+	}
+}

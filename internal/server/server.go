@@ -67,6 +67,13 @@ type Config struct {
 	// shards evaluating in parallel. Negative values are rejected.
 	Shards int
 
+	// Processor, when non-nil, is used as the query processor instead of
+	// constructing one from Engine/Shards (which are then ignored). The
+	// server takes ownership: Close closes the processor if it implements
+	// io.Closer. cmd/cqp-cluster injects the multi-process cluster
+	// coordinator (internal/cluster) here.
+	Processor core.Processor
+
 	// Interval is the bulk-evaluation period Δt (the paper evaluates
 	// every 5 seconds; tests use milliseconds). Zero disables the
 	// automatic ticker; evaluation then happens only through Evaluate,
@@ -310,6 +317,9 @@ func (s *Server) Close() error {
 // wall clock is injected here — the deterministic engine packages never
 // read it themselves.
 func newProcessor(cfg Config) (core.Processor, error) {
+	if cfg.Processor != nil {
+		return cfg.Processor, nil
+	}
 	if cfg.Metrics != nil {
 		cfg.Engine.Metrics = cfg.Metrics
 		if cfg.Engine.Clock == nil {

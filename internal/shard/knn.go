@@ -97,11 +97,11 @@ func (e *Engine) settleKNN(m *mergeState, qi *queryInfo, now float64) {
 				rk = cands[qi.k-1].dist
 			}
 			var grow []int
-			for t := range e.workers {
+			for t := range e.tiles {
 				if _, covered := qi.coverage[t]; covered {
 					continue
 				}
-				if starved || e.tiles[t].MinDist(qi.focal) <= rk {
+				if starved || e.rects[t].MinDist(qi.focal) <= rk {
 					grow = append(grow, t)
 				}
 			}
@@ -114,7 +114,7 @@ func (e *Engine) settleKNN(m *mergeState, qi *queryInfo, now float64) {
 			}
 			for _, t := range grow {
 				qi.coverage[t] = struct{}{}
-				e.workers[t].eng.ReportQuery(def)
+				e.tiles[t].ReportQuery(def)
 			}
 			// Sub-step only the newly covered tiles, at the step's own
 			// timestamp: their engines register the replica and report

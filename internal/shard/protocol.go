@@ -179,8 +179,8 @@ func compareRecovery(a, b core.Update) int {
 // engines, exposing the actual evaluation work done across shards.
 func (e *Engine) Stats() core.Stats {
 	s := e.stats
-	for _, w := range e.workers {
-		ws := w.eng.Stats()
+	for _, t := range e.tiles {
+		ws := t.WorkStats()
 		s.KNNRecomputes += ws.KNNRecomputes
 		s.CandidateChecks += ws.CandidateChecks
 		s.RegionEvalCells += ws.RegionEvalCells

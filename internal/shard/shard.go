@@ -45,7 +45,6 @@ import (
 
 	"cqp/internal/core"
 	"cqp/internal/geo"
-	"cqp/internal/obs"
 )
 
 // Options configures a sharded engine.
@@ -97,39 +96,6 @@ func Split(n int) (rows, cols int) {
 	return r, n / r
 }
 
-// worker is one tile: its engine and the goroutine driving it. The
-// router owns the engine between steps (buffering reports is plain
-// method calls); during a step the worker goroutine owns it. The cmd
-// send and res receive establish the happens-before edges that make the
-// handoff race-free.
-type worker struct {
-	eng *core.Engine
-	cmd chan float64
-	res chan []core.Update
-
-	// buf is the worker-owned update buffer, reused across steps via
-	// StepAppend. Reuse is race-free: the router fully absorbs a batch
-	// (copying every update into the merge state) before it can step
-	// the same tile again, and the cmd/res channel pair orders the
-	// buffer handoff both ways.
-	buf []core.Update
-
-	// tracer and lastNs feed the router's step-skew histogram: the
-	// worker stamps each step's duration, the router reads it after the
-	// res receive (the channel provides the happens-before edge).
-	tracer *obs.Tracer
-	lastNs int64
-}
-
-func (w *worker) run() {
-	for now := range w.cmd {
-		begin := w.tracer.Begin()
-		w.buf = w.eng.StepAppend(w.buf[:0], now)
-		w.lastNs = w.tracer.Since(begin)
-		w.res <- w.buf
-	}
-}
-
 // objInfo is the router's record of one object: which tile owns it and
 // its last reported location (used for migration detection and for the
 // kNN merge distance computations).
@@ -178,11 +144,11 @@ type queryInfo struct {
 type Engine struct {
 	opt        Options
 	rows, cols int
-	tiles      []geo.Rect
+	rects      []geo.Rect
 	tileW      float64
 	tileH      float64
 
-	workers  []*worker
+	tiles    []Tile
 	objCount []int // objects owned per tile
 
 	now  float64
@@ -207,8 +173,19 @@ type Engine struct {
 
 var _ core.Processor = (*Engine)(nil)
 
-// New constructs a sharded engine over opt.Core.Bounds.
+// New constructs a sharded engine over opt.Core.Bounds with in-process
+// tiles.
 func New(opt Options) (*Engine, error) {
+	return NewWithTiles(opt, nil)
+}
+
+// NewWithTiles constructs a sharded engine whose tile transports come
+// from factory; a nil factory yields the in-process tiles New uses.
+// internal/cluster passes a factory binding tiles to worker processes:
+// the router's routing and merge logic is byte-for-byte the same either
+// way, which is what keeps the cluster's merged update stream
+// bit-identical to the in-process engine's.
+func NewWithTiles(opt Options, factory TileFactory) (*Engine, error) {
 	o, err := opt.withDefaults()
 	if err != nil {
 		return nil, err
@@ -219,8 +196,8 @@ func New(opt Options) (*Engine, error) {
 		opt:      o,
 		rows:     o.Rows,
 		cols:     o.Cols,
-		tiles:    make([]geo.Rect, n),
-		workers:  make([]*worker, n),
+		rects:    make([]geo.Rect, n),
+		tiles:    make([]Tile, n),
 		objCount: make([]int, n),
 		objs:     make(map[core.ObjectID]*objInfo),
 		qrys:     make(map[core.QueryID]*queryInfo),
@@ -228,29 +205,32 @@ func New(opt Options) (*Engine, error) {
 		m:        newShardMetrics(o.Core.Metrics, o.Core.Clock),
 	}
 	e.m.tiles.Set(int64(n))
-	for i := 0; i < n; i++ {
-		// Every tile engine resolves the same "engine.*" names against
-		// the shared registry, so engine metrics aggregate across tiles.
-		eng, err := core.NewEngine(o.Core)
-		if err != nil {
-			e.Close()
-			return nil, err
-		}
-		w := &worker{eng: eng, cmd: make(chan float64), res: make(chan []core.Update, 1), tracer: e.m.tracer}
-		e.workers[i] = w
-		go w.run()
-	}
 	e.tileW = b.Width() / float64(o.Cols)
 	e.tileH = b.Height() / float64(o.Rows)
 	for r := 0; r < o.Rows; r++ {
 		for c := 0; c < o.Cols; c++ {
-			e.tiles[r*o.Cols+c] = geo.Rect{
+			e.rects[r*o.Cols+c] = geo.Rect{
 				MinX: b.MinX + float64(c)*e.tileW,
 				MinY: b.MinY + float64(r)*e.tileH,
 				MaxX: b.MinX + float64(c+1)*e.tileW,
 				MaxY: b.MinY + float64(r+1)*e.tileH,
 			}
 		}
+	}
+	if factory == nil {
+		factory = func(int, core.Options) (Tile, error) {
+			// Every tile engine resolves the same "engine.*" names against
+			// the shared registry, so engine metrics aggregate across tiles.
+			return newLocalTile(o.Core, e.m.tracer)
+		}
+	}
+	for i := 0; i < n; i++ {
+		t, err := factory(i, o.Core)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.tiles[i] = t
 	}
 	return e, nil
 }
@@ -271,14 +251,14 @@ func MustNew(opt Options) *Engine {
 	return e
 }
 
-// Close stops every tile worker goroutine. The engine must not be used
+// Close stops every tile transport. The engine must not be used
 // afterwards. It is idempotent and safe on a partially constructed
 // engine.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() {
-		for _, w := range e.workers {
-			if w != nil {
-				close(w.cmd)
+		for _, t := range e.tiles {
+			if t != nil {
+				t.Close()
 			}
 		}
 	})
@@ -286,11 +266,11 @@ func (e *Engine) Close() error {
 }
 
 // NumTiles returns the number of tiles (shards).
-func (e *Engine) NumTiles() int { return len(e.workers) }
+func (e *Engine) NumTiles() int { return len(e.tiles) }
 
 // TileRect returns the spatial extent of tile i, for tests and
 // monitoring.
-func (e *Engine) TileRect(i int) geo.Rect { return e.tiles[i] }
+func (e *Engine) TileRect(i int) geo.Rect { return e.rects[i] }
 
 // tileCoords maps a point to tile grid coordinates, clamped so every
 // point — including out-of-bounds reports — is owned by a valid tile,
@@ -360,9 +340,9 @@ func (e *Engine) tilesOverlapping(r geo.Rect, dst map[int]struct{}) map[int]stru
 // allTiles adds every tile index to dst.
 func (e *Engine) allTiles(dst map[int]struct{}) map[int]struct{} {
 	if dst == nil {
-		dst = make(map[int]struct{}, len(e.workers))
+		dst = make(map[int]struct{}, len(e.tiles))
 	}
-	for i := range e.workers {
+	for i := range e.tiles {
 		dst[i] = struct{}{}
 	}
 	return dst
@@ -381,12 +361,12 @@ func (e *Engine) knnCoverage(focal geo.Point, radius float64, dst map[int]struct
 func (e *Engine) stepTiles(tiles []int, now float64) [][]core.Update {
 	e.m.knnSubsteps.Add(uint64(len(tiles)))
 	for _, t := range tiles {
-		e.m.queueDepth.Observe(int64(e.workers[t].eng.Pending()))
-		e.workers[t].cmd <- now
+		e.m.queueDepth.Observe(int64(e.tiles[t].Pending()))
+		e.tiles[t].StepBegin(now)
 	}
 	out := make([][]core.Update, 0, len(tiles))
 	for _, t := range tiles {
-		out = append(out, <-e.workers[t].res)
+		out = append(out, e.tiles[t].StepWait())
 	}
 	return out
 }
@@ -395,22 +375,23 @@ func (e *Engine) stepTiles(tiles []int, now float64) [][]core.Update {
 // tile's queue depth at broadcast time and the broadcast's step skew
 // (slowest minus fastest tile) when a clock is configured.
 func (e *Engine) stepAll(now float64) [][]core.Update {
-	for _, w := range e.workers {
-		e.m.queueDepth.Observe(int64(w.eng.Pending()))
-		w.cmd <- now
+	for _, t := range e.tiles {
+		e.m.queueDepth.Observe(int64(t.Pending()))
+		t.StepBegin(now)
 	}
-	out := make([][]core.Update, 0, len(e.workers))
-	for _, w := range e.workers {
-		out = append(out, <-w.res)
+	out := make([][]core.Update, 0, len(e.tiles))
+	for _, t := range e.tiles {
+		out = append(out, t.StepWait())
 	}
-	if e.m.tracer.Enabled() && len(e.workers) > 1 {
-		lo, hi := e.workers[0].lastNs, e.workers[0].lastNs
-		for _, w := range e.workers[1:] {
-			if w.lastNs < lo {
-				lo = w.lastNs
+	if e.m.tracer.Enabled() && len(e.tiles) > 1 {
+		lo, hi := e.tiles[0].StepNanos(), e.tiles[0].StepNanos()
+		for _, t := range e.tiles[1:] {
+			ns := t.StepNanos()
+			if ns < lo {
+				lo = ns
 			}
-			if w.lastNs > hi {
-				hi = w.lastNs
+			if ns > hi {
+				hi = ns
 			}
 		}
 		e.m.stepSkew.Observe(hi - lo)

@@ -121,7 +121,7 @@ func (e *Engine) routeObjects(m *mergeState) {
 			if !ok {
 				continue
 			}
-			e.workers[info.tile].eng.ReportObject(core.ObjectUpdate{ID: u.ID, Remove: true})
+			e.tiles[info.tile].ReportObject(core.ObjectUpdate{ID: u.ID, Remove: true})
 			e.objCount[info.tile]--
 			delete(e.objs, u.ID)
 			m.removedObjs[u.ID] = struct{}{}
@@ -141,7 +141,7 @@ func (e *Engine) routeObjects(m *mergeState) {
 		if info, ok := e.objs[u.ID]; ok {
 			if info.tile != t {
 				e.m.migrations.Inc()
-				e.workers[info.tile].eng.ReportObject(core.ObjectUpdate{ID: u.ID, Remove: true})
+				e.tiles[info.tile].ReportObject(core.ObjectUpdate{ID: u.ID, Remove: true})
 				e.objCount[info.tile]--
 				e.objCount[t]++
 				info.tile = t
@@ -151,7 +151,7 @@ func (e *Engine) routeObjects(m *mergeState) {
 			e.objs[u.ID] = &objInfo{tile: t, loc: u.Loc}
 			e.objCount[t]++
 		}
-		e.workers[t].eng.ReportObject(u)
+		e.tiles[t].ReportObject(u)
 		e.markCandidateQueries(m, u.ID)
 	}
 }
@@ -178,7 +178,7 @@ func (e *Engine) routeQueries(m *mergeState) {
 				continue
 			}
 			for t := range qi.coverage {
-				e.workers[t].eng.ReportQuery(core.QueryUpdate{ID: u.ID, Remove: true})
+				e.tiles[t].ReportQuery(core.QueryUpdate{ID: u.ID, Remove: true})
 			}
 			e.detachCandidates(qi)
 			delete(e.qrys, u.ID)
@@ -276,12 +276,12 @@ func (e *Engine) applyQueryUpdate(m *mergeState, u core.QueryUpdate) {
 			// The region moved off this tile: forward the update so the
 			// replica retracts its members with proper negatives, then
 			// remove the now-empty replica in the same tile step.
-			e.workers[t].eng.ReportQuery(u)
-			e.workers[t].eng.ReportQuery(core.QueryUpdate{ID: u.ID, Remove: true})
+			e.tiles[t].ReportQuery(u)
+			e.tiles[t].ReportQuery(core.QueryUpdate{ID: u.ID, Remove: true})
 		}
 	}
 	for t := range newCov {
-		e.workers[t].eng.ReportQuery(u)
+		e.tiles[t].ReportQuery(u)
 	}
 	qi.coverage = newCov
 }

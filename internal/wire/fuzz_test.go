@@ -15,10 +15,11 @@ import (
 // one encoding per message, which is what makes the server's update
 // streams reproducible and the out-of-sync checksum handshake sound.
 func FuzzRoundTrip(f *testing.F) {
-	for sel := byte(0); sel < 12; sel++ {
+	for sel := byte(0); sel < 18; sel++ {
 		f.Add(sel, uint64(1), uint64(2), 0.5, 1.5, -0.25, 42.0, false, uint(3))
 	}
 	f.Add(byte(1), uint64(9), uint64(8), -1.0, 2.0, 0.5, -3.0, true, uint(17))
+	f.Add(byte(14), uint64(7), uint64(3), 0.0, 1.0, 0.25, 9.0, true, uint(5))
 
 	f.Fuzz(func(t *testing.T, sel byte, a, b uint64, x, y, z, tm float64, flag bool, n uint) {
 		m := buildFuzzMessage(sel, a, b, x, y, z, tm, flag, n)
@@ -59,7 +60,7 @@ func buildFuzzMessage(sel byte, a, b uint64, x, y, z, tm float64, flag bool, n u
 		Region: geo.Rect{MinX: x, MinY: y, MaxX: x + z, MaxY: y + z},
 		Focal:  geo.Pt(y, x), K: int(b % 64), T1: tm, T2: tm + z, T: tm, Remove: flag,
 	}
-	switch sel % 12 {
+	switch sel % 18 {
 	case 0:
 		return ObjectReport{Update: core.ObjectUpdate{
 			ID: core.ObjectID(a), Kind: core.ObjectKind(n % 3),
@@ -88,7 +89,7 @@ func buildFuzzMessage(sel byte, a, b uint64, x, y, z, tm float64, flag bool, n u
 				Positive: flag != (i%2 == 0),
 			})
 		}
-		if sel%12 == 7 {
+		if sel%18 == 7 {
 			return UpdateBatch{Time: tm, Updates: us}
 		}
 		return RecoveryDiff{Time: tm, Updates: us}
@@ -100,6 +101,53 @@ func buildFuzzMessage(sel byte, a, b uint64, x, y, z, tm float64, flag bool, n u
 		return FullAnswer{Query: core.QueryID(a), Time: tm, Objects: ids}
 	case 10:
 		return Heartbeat{Time: tm}
+	case 12:
+		return ClusterHello{Worker: uint32(a), Incarnation: b}
+	case 13:
+		return ClusterAssign{
+			Tile: uint32(a), Epoch: b,
+			Bounds: geo.Rect{MinX: x, MinY: y, MaxX: x + z, MaxY: y + z},
+			GridN:  uint32(n%128) + 1, PredictiveHorizon: tm,
+		}
+	case 14, 15:
+		objs := make([]core.ObjectUpdate, 0, k)
+		for i := 0; i < k; i++ {
+			ou := core.ObjectUpdate{
+				ID: core.ObjectID(a + uint64(i)), Kind: core.ObjectKind(uint(i) % 3),
+				Loc: geo.Pt(x, y+float64(i)), Vel: geo.Vec(z, -z), T: tm, Remove: flag && i == 0,
+			}
+			if i%2 == 1 {
+				ou.Waypoints = wps
+			}
+			objs = append(objs, ou)
+		}
+		qrys := make([]core.QueryUpdate, 0, k)
+		for i := 0; i < k; i++ {
+			q := qu
+			q.ID = core.QueryID(b + uint64(i))
+			qrys = append(qrys, q)
+		}
+		if sel%18 == 14 {
+			return ClusterStep{Tile: uint32(n), Epoch: a, Time: tm, Objects: objs, Queries: qrys}
+		}
+		return ClusterResync{
+			Tile: uint32(n), Epoch: a, HasStep: flag, LastStep: tm,
+			Objects: objs, Queries: qrys,
+		}
+	case 16:
+		us := make([]core.Update, 0, k)
+		for i := 0; i < k; i++ {
+			us = append(us, core.Update{
+				Query: core.QueryID(a + uint64(i)), Object: core.ObjectID(b ^ uint64(i)),
+				Positive: flag == (i%2 == 0),
+			})
+		}
+		return ClusterStepResult{
+			Tile: uint32(n), Epoch: a, Time: tm, Updates: us,
+			KNNRecomputes: a % 97, CandidateChecks: b % 89, RegionEvalCells: (a + b) % 83,
+		}
+	case 17:
+		return ClusterResyncAck{Tile: uint32(a), Epoch: b, Checksum: a ^ b}
 	default:
 		if flag {
 			return StatsRequest{}
@@ -133,6 +181,27 @@ func FuzzDecode(f *testing.F) {
 		UpdateBatch{Time: 8, Updates: []core.Update{{Query: 1, Object: 2, Positive: true}}},
 		RecoveryDiff{Time: 9},
 		FullAnswer{Query: 10, Time: 11, Objects: []core.ObjectID{1, 2, 3}},
+		// Cluster control frames: the hostile variants below exercise the
+		// trailing payload checksum (a bit flip must fail the decode, not
+		// deliver a silently corrupted tile batch).
+		ClusterHello{Worker: 2, Incarnation: 3},
+		ClusterAssign{Tile: 1, Epoch: 4, Bounds: geo.R(0, 0, 2, 2), GridN: 16, PredictiveHorizon: 50},
+		ClusterStep{
+			Tile: 1, Epoch: 4, Time: 5,
+			Objects: []core.ObjectUpdate{{ID: 1, Kind: core.Moving, Loc: geo.Pt(0.5, 0.5), T: 5}},
+			Queries: []core.QueryUpdate{{ID: 2, Kind: core.Range, Region: geo.R(0, 0, 1, 1), T: 5}},
+		},
+		ClusterStepResult{
+			Tile: 1, Epoch: 4, Time: 5,
+			Updates:       []core.Update{{Query: 2, Object: 1, Positive: true}},
+			KNNRecomputes: 6, CandidateChecks: 7, RegionEvalCells: 8,
+		},
+		ClusterResync{
+			Tile: 1, Epoch: 5, HasStep: true, LastStep: 5,
+			Objects: []core.ObjectUpdate{{ID: 1, Kind: core.Moving, Loc: geo.Pt(0.5, 0.5), T: 5}},
+			Queries: []core.QueryUpdate{{ID: 2, Kind: core.Range, Region: geo.R(0, 0, 1, 1), T: 5}},
+		},
+		ClusterResyncAck{Tile: 1, Epoch: 5, Checksum: 0xdeadbeef},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

@@ -61,8 +61,38 @@ const (
 	MsgStatsResponse
 	// MsgHeartbeat (both directions): liveness probe. The server sends it
 	// periodically; the client echoes it so per-session read deadlines
-	// see traffic from live peers.
+	// see traffic from live peers. The cluster coordinator reuses it on
+	// worker links for deadline-based death detection.
 	MsgHeartbeat
+
+	// Cluster control frames (internal/cluster, coordinator ⇄ tile
+	// worker). Unlike the client protocol — where a corrupted answer is
+	// caught end-to-end by the commit/wakeup checksum handshake — a
+	// corrupted tile batch would silently poison the coordinator's merged
+	// stream, so every cluster payload carries a trailing FNV-1a checksum
+	// of its own bytes; a mismatch fails the decode, the link is torn
+	// down, and the tile is resynced from the coordinator's journal.
+
+	// MsgClusterHello (worker→coordinator): the worker process announces
+	// itself after dialing in.
+	MsgClusterHello
+	// MsgClusterAssign (coordinator→worker): host a tile engine with the
+	// given core options under the given epoch.
+	MsgClusterAssign
+	// MsgClusterStep (coordinator→worker): apply the carried reports to
+	// one tile and evaluate it at the carried time.
+	MsgClusterStep
+	// MsgClusterStepResult (worker→coordinator): one tile evaluation's
+	// incremental updates plus the engine's cumulative work counters.
+	MsgClusterStepResult
+	// MsgClusterResync (coordinator→worker): rebuild a tile engine from
+	// the carried compacted state (latest report per object, live query
+	// replicas) and re-establish its membership at LastStep.
+	MsgClusterResync
+	// MsgClusterResyncAck (worker→coordinator): the tile was rebuilt;
+	// Checksum folds the rebuilt replica answers so the coordinator can
+	// verify the worker's state before routing to it again.
+	MsgClusterResyncAck
 )
 
 // MaxPayload bounds a message payload; it accommodates a full answer over
@@ -79,6 +109,10 @@ const maxPrealloc = 64 << 10
 var (
 	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxPayload")
 	ErrUnknownType   = errors.New("wire: unknown message type")
+	// ErrClusterChecksum marks a cluster control frame whose payload
+	// checksum does not match: corruption in transit. The link carrying
+	// it cannot be trusted and must be torn down.
+	ErrClusterChecksum = errors.New("wire: cluster frame checksum mismatch")
 )
 
 // ObjectReport is the payload of MsgObjectReport.
@@ -141,6 +175,82 @@ type StatsResponse struct {
 	Uptime  float64 // server clock, seconds
 }
 
+// ClusterHello is the payload of MsgClusterHello: a freshly spawned (or
+// respawned) worker process announcing itself on its coordinator link.
+type ClusterHello struct {
+	Worker uint32 // worker slot, assigned by the coordinator at spawn
+	// Incarnation distinguishes successive processes in the same slot
+	// (restart observability; the per-tile Epoch is what gates frames).
+	Incarnation uint64
+}
+
+// ClusterAssign is the payload of MsgClusterAssign: the engine
+// parameters of one tile. Every tile engine spans the full global
+// bounds (see internal/shard); the semantic options must match the
+// coordinator's exactly or the merged stream would diverge.
+type ClusterAssign struct {
+	Tile  uint32
+	Epoch uint64 // current tile epoch; stamped on all subsequent frames
+
+	Bounds            geo.Rect
+	GridN             uint32
+	PredictiveHorizon float64
+}
+
+// ClusterStep is the payload of MsgClusterStep: the reports routed to
+// one tile this evaluation plus the evaluation timestamp — one frame
+// per tile per (sub-)step, so a step costs one round trip.
+type ClusterStep struct {
+	Tile    uint32
+	Epoch   uint64
+	Time    float64
+	Objects []core.ObjectUpdate
+	Queries []core.QueryUpdate
+}
+
+// ClusterStepResult is the payload of MsgClusterStepResult: one tile
+// evaluation's incremental updates. The work counters are the tile
+// engine's cumulative totals, letting the coordinator aggregate
+// cross-process Stats without extra round trips.
+type ClusterStepResult struct {
+	Tile    uint32
+	Epoch   uint64
+	Time    float64
+	Updates []core.Update
+
+	KNNRecomputes   uint64
+	CandidateChecks uint64
+	RegionEvalCells uint64
+}
+
+// ClusterResync is the payload of MsgClusterResync: the compacted
+// authoritative state of one tile — the latest report of every owned
+// object and the definition of every live query replica. The worker
+// rebuilds a fresh engine, replays the snapshot, evaluates it at
+// LastStep (discarding the resulting batch: the coordinator's merge
+// state already reflects those memberships), and acks with a state
+// checksum.
+type ClusterResync struct {
+	Tile  uint32
+	Epoch uint64
+	// HasStep is false when the tile has never been stepped; LastStep is
+	// then meaningless and the rebuild skips the re-establishing step.
+	HasStep  bool
+	LastStep float64
+	Objects  []core.ObjectUpdate
+	Queries  []core.QueryUpdate
+}
+
+// ClusterResyncAck is the payload of MsgClusterResyncAck. Checksum is
+// the fold of the rebuilt tile's replica answers (see
+// internal/cluster); the coordinator compares it against its own
+// fallback engine's fold before trusting the worker again.
+type ClusterResyncAck struct {
+	Tile     uint32
+	Epoch    uint64
+	Checksum uint64
+}
+
 // Message is any decodable protocol message.
 type Message interface{ msgType() MsgType }
 
@@ -154,6 +264,13 @@ func (CommitAck) msgType() MsgType     { return MsgCommitAck }
 func (StatsRequest) msgType() MsgType  { return MsgStatsRequest }
 func (StatsResponse) msgType() MsgType { return MsgStatsResponse }
 func (Heartbeat) msgType() MsgType     { return MsgHeartbeat }
+
+func (ClusterHello) msgType() MsgType      { return MsgClusterHello }
+func (ClusterAssign) msgType() MsgType     { return MsgClusterAssign }
+func (ClusterStep) msgType() MsgType       { return MsgClusterStep }
+func (ClusterStepResult) msgType() MsgType { return MsgClusterStepResult }
+func (ClusterResync) msgType() MsgType     { return MsgClusterResync }
+func (ClusterResyncAck) msgType() MsgType  { return MsgClusterResyncAck }
 
 // RecoveryDiff wraps an UpdateBatch under the MsgRecoveryDiff type.
 type RecoveryDiff UpdateBatch
@@ -347,21 +464,7 @@ func (d *decoder) finish() error {
 func appendMessage(b []byte, m Message) []byte {
 	switch m := m.(type) {
 	case ObjectReport:
-		u := m.Update
-		b = appendU64(b, uint64(u.ID))
-		b = append(b, byte(u.Kind))
-		b = appendF64(b, u.Loc.X)
-		b = appendF64(b, u.Loc.Y)
-		b = appendF64(b, u.Vel.DX)
-		b = appendF64(b, u.Vel.DY)
-		b = appendF64(b, u.T)
-		b = appendBool(b, u.Remove)
-		b = appendU32(b, uint32(len(u.Waypoints)))
-		for _, w := range u.Waypoints {
-			b = appendF64(b, w.P.X)
-			b = appendF64(b, w.P.Y)
-			b = appendF64(b, w.T)
-		}
+		b = appendObjectUpdate(b, m.Update)
 	case QueryReport:
 		b = appendQueryUpdate(b, m.Update)
 	case Commit:
@@ -399,10 +502,161 @@ func appendMessage(b []byte, m Message) []byte {
 		for _, id := range m.Objects {
 			b = appendU64(b, uint64(id))
 		}
+	case ClusterHello:
+		start := len(b)
+		b = appendU32(b, m.Worker)
+		b = appendU64(b, m.Incarnation)
+		b = appendClusterSum(b, start)
+	case ClusterAssign:
+		start := len(b)
+		b = appendU32(b, m.Tile)
+		b = appendU64(b, m.Epoch)
+		for _, v := range []float64{m.Bounds.MinX, m.Bounds.MinY, m.Bounds.MaxX, m.Bounds.MaxY} {
+			b = appendF64(b, v)
+		}
+		b = appendU32(b, m.GridN)
+		b = appendF64(b, m.PredictiveHorizon)
+		b = appendClusterSum(b, start)
+	case ClusterStep:
+		start := len(b)
+		b = appendU32(b, m.Tile)
+		b = appendU64(b, m.Epoch)
+		b = appendF64(b, m.Time)
+		b = appendReports(b, m.Objects, m.Queries)
+		b = appendClusterSum(b, start)
+	case ClusterStepResult:
+		start := len(b)
+		b = appendU32(b, m.Tile)
+		b = appendU64(b, m.Epoch)
+		b = appendF64(b, m.Time)
+		b = appendU32(b, uint32(len(m.Updates)))
+		for _, u := range m.Updates {
+			b = appendU64(b, uint64(u.Query))
+			b = appendU64(b, uint64(u.Object))
+			b = appendBool(b, u.Positive)
+		}
+		b = appendU64(b, m.KNNRecomputes)
+		b = appendU64(b, m.CandidateChecks)
+		b = appendU64(b, m.RegionEvalCells)
+		b = appendClusterSum(b, start)
+	case ClusterResync:
+		start := len(b)
+		b = appendU32(b, m.Tile)
+		b = appendU64(b, m.Epoch)
+		b = appendBool(b, m.HasStep)
+		b = appendF64(b, m.LastStep)
+		b = appendReports(b, m.Objects, m.Queries)
+		b = appendClusterSum(b, start)
+	case ClusterResyncAck:
+		start := len(b)
+		b = appendU32(b, m.Tile)
+		b = appendU64(b, m.Epoch)
+		b = appendU64(b, m.Checksum)
+		b = appendClusterSum(b, start)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
 	}
 	return b
+}
+
+// appendReports encodes an object-report list followed by a
+// query-report list (the shared tail of ClusterStep and ClusterResync).
+func appendReports(b []byte, objs []core.ObjectUpdate, qrys []core.QueryUpdate) []byte {
+	b = appendU32(b, uint32(len(objs)))
+	for _, u := range objs {
+		b = appendObjectUpdate(b, u)
+	}
+	b = appendU32(b, uint32(len(qrys)))
+	for _, u := range qrys {
+		b = appendQueryUpdate(b, u)
+	}
+	return b
+}
+
+// FNV-1a 64-bit, the cluster frames' payload integrity check. Inlined
+// rather than hash/fnv so encoding stays allocation-free.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1a(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// appendClusterSum seals a cluster payload with the FNV-1a checksum of
+// everything appended since start.
+func appendClusterSum(b []byte, start int) []byte {
+	return appendU64(b, fnv1a(b[start:]))
+}
+
+// verifyClusterSum checks and strips the trailing payload checksum of a
+// cluster frame before field decoding begins.
+func (d *decoder) verifyClusterSum() {
+	if d.err != nil {
+		return
+	}
+	if len(d.b) < 8 {
+		d.fail()
+		return
+	}
+	body, sum := d.b[:len(d.b)-8], binary.LittleEndian.Uint64(d.b[len(d.b)-8:])
+	if fnv1a(body) != sum {
+		d.err = ErrClusterChecksum
+		return
+	}
+	d.b = body
+}
+
+func appendObjectUpdate(b []byte, u core.ObjectUpdate) []byte {
+	b = appendU64(b, uint64(u.ID))
+	b = append(b, byte(u.Kind))
+	b = appendF64(b, u.Loc.X)
+	b = appendF64(b, u.Loc.Y)
+	b = appendF64(b, u.Vel.DX)
+	b = appendF64(b, u.Vel.DY)
+	b = appendF64(b, u.T)
+	b = appendBool(b, u.Remove)
+	b = appendU32(b, uint32(len(u.Waypoints)))
+	for _, w := range u.Waypoints {
+		b = appendF64(b, w.P.X)
+		b = appendF64(b, w.P.Y)
+		b = appendF64(b, w.T)
+	}
+	return b
+}
+
+// objectUpdateMin is the wire size of a waypoint-free object update;
+// list decoders use it to reject hostile counts before allocating.
+const objectUpdateMin = 8 + 1 + 4*8 + 8 + 1 + 4
+
+func decodeObjectUpdate(d *decoder) core.ObjectUpdate {
+	var u core.ObjectUpdate
+	u.ID = core.ObjectID(d.u64())
+	u.Kind = core.ObjectKind(d.u8())
+	u.Loc = geo.Pt(d.f64(), d.f64())
+	u.Vel = geo.Vec(d.f64(), d.f64())
+	u.T = d.f64()
+	u.Remove = d.bool()
+	n := int(d.u32())
+	if d.err == nil && n > len(d.b)/24 {
+		d.err = errors.New("wire: waypoint count exceeds payload")
+		return u
+	}
+	if d.err == nil && n > 0 {
+		u.Waypoints = make([]geo.TimedPoint, 0, n)
+		for i := 0; i < n; i++ {
+			u.Waypoints = append(u.Waypoints, geo.TimedPoint{
+				P: geo.Pt(d.f64(), d.f64()), T: d.f64(),
+			})
+		}
+	}
+	return u
 }
 
 func appendQueryUpdate(b []byte, u core.QueryUpdate) []byte {
@@ -449,25 +703,7 @@ func decodeMessage(t MsgType, payload []byte) (Message, error) {
 	d := &decoder{b: payload}
 	switch t {
 	case MsgObjectReport:
-		var m ObjectReport
-		m.Update.ID = core.ObjectID(d.u64())
-		m.Update.Kind = core.ObjectKind(d.u8())
-		m.Update.Loc = geo.Pt(d.f64(), d.f64())
-		m.Update.Vel = geo.Vec(d.f64(), d.f64())
-		m.Update.T = d.f64()
-		m.Update.Remove = d.bool()
-		n := int(d.u32())
-		if d.err == nil && n > len(d.b)/24 {
-			return nil, errors.New("wire: waypoint count exceeds payload")
-		}
-		if n > 0 {
-			m.Update.Waypoints = make([]geo.TimedPoint, 0, n)
-			for i := 0; i < n; i++ {
-				m.Update.Waypoints = append(m.Update.Waypoints, geo.TimedPoint{
-					P: geo.Pt(d.f64(), d.f64()), T: d.f64(),
-				})
-			}
-		}
+		m := ObjectReport{Update: decodeObjectUpdate(d)}
 		return m, d.finish()
 	case MsgQueryReport:
 		m := QueryReport{Update: decodeQueryUpdate(d)}
@@ -519,9 +755,100 @@ func decodeMessage(t MsgType, payload []byte) (Message, error) {
 			m.Objects = append(m.Objects, core.ObjectID(d.u64()))
 		}
 		return m, d.finish()
+	case MsgClusterHello:
+		d.verifyClusterSum()
+		m := ClusterHello{Worker: d.u32(), Incarnation: d.u64()}
+		return m, d.finish()
+	case MsgClusterAssign:
+		d.verifyClusterSum()
+		var m ClusterAssign
+		m.Tile = d.u32()
+		m.Epoch = d.u64()
+		m.Bounds = geo.Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
+		m.GridN = d.u32()
+		m.PredictiveHorizon = d.f64()
+		return m, d.finish()
+	case MsgClusterStep:
+		d.verifyClusterSum()
+		var m ClusterStep
+		m.Tile = d.u32()
+		m.Epoch = d.u64()
+		m.Time = d.f64()
+		m.Objects, m.Queries = decodeReports(d)
+		return m, d.finish()
+	case MsgClusterStepResult:
+		d.verifyClusterSum()
+		var m ClusterStepResult
+		m.Tile = d.u32()
+		m.Epoch = d.u64()
+		m.Time = d.f64()
+		n := int(d.u32())
+		if d.err == nil && n > len(d.b)/17 {
+			d.err = errors.New("wire: update count exceeds payload")
+			return m, d.finish()
+		}
+		if d.err == nil {
+			m.Updates = make([]core.Update, 0, n)
+			for i := 0; i < n; i++ {
+				m.Updates = append(m.Updates, core.Update{
+					Query:    core.QueryID(d.u64()),
+					Object:   core.ObjectID(d.u64()),
+					Positive: d.bool(),
+				})
+			}
+		}
+		m.KNNRecomputes = d.u64()
+		m.CandidateChecks = d.u64()
+		m.RegionEvalCells = d.u64()
+		return m, d.finish()
+	case MsgClusterResync:
+		d.verifyClusterSum()
+		var m ClusterResync
+		m.Tile = d.u32()
+		m.Epoch = d.u64()
+		m.HasStep = d.bool()
+		m.LastStep = d.f64()
+		m.Objects, m.Queries = decodeReports(d)
+		return m, d.finish()
+	case MsgClusterResyncAck:
+		d.verifyClusterSum()
+		m := ClusterResyncAck{Tile: d.u32(), Epoch: d.u64(), Checksum: d.u64()}
+		return m, d.finish()
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}
+}
+
+// decodeReports decodes the object/query report lists shared by
+// ClusterStep and ClusterResync, rejecting hostile counts before any
+// allocation.
+func decodeReports(d *decoder) ([]core.ObjectUpdate, []core.QueryUpdate) {
+	n := int(d.u32())
+	if d.err == nil && n > len(d.b)/objectUpdateMin {
+		d.err = errors.New("wire: object report count exceeds payload")
+		return nil, nil
+	}
+	var objs []core.ObjectUpdate
+	if d.err == nil && n > 0 {
+		objs = make([]core.ObjectUpdate, 0, n)
+		for i := 0; i < n; i++ {
+			objs = append(objs, decodeObjectUpdate(d))
+		}
+	}
+	const queryUpdateMin = 8 + 1 + 6*8 + 4 + 3*8 + 1
+	n = int(d.u32())
+	if d.err == nil && n > len(d.b)/queryUpdateMin {
+		d.err = errors.New("wire: query report count exceeds payload")
+		return objs, nil
+	}
+	var qrys []core.QueryUpdate
+	if d.err == nil && n > 0 {
+		qrys = make([]core.QueryUpdate, 0, n)
+		for i := 0; i < n; i++ {
+			qrys = append(qrys, decodeQueryUpdate(d))
+		}
+	}
+	return objs, qrys
 }
 
 func decodeUpdateBatch(d *decoder) (UpdateBatch, error) {
