@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos chaos-cluster fuzz cover bench bench-full vet lint fmt examples clean
+.PHONY: all build test race chaos chaos-cluster fuzz cover bench bench-full bench-shard vet lint fmt examples clean
 
 all: build vet lint test
 
@@ -67,6 +67,13 @@ bench:
 # The full experiment tables (see EXPERIMENTS.md).
 bench-full:
 	$(GO) run ./cmd/cqp-bench -exp all | tee bench_results.txt
+
+# The shard-scaling sweep: router microbenchmarks (static and
+# repartitioning), then the full step-latency-vs-shard-count table,
+# which rewrites BENCH_shard.json (see EXPERIMENTS.md).
+bench-shard:
+	$(GO) test -bench=BenchmarkShard -benchmem ./internal/shard/ | tee -a bench_results.txt
+	$(GO) run ./cmd/cqp-bench -exp shard | tee -a bench_results.txt
 
 # The core hot-path benchmarks: the grid/engine microbenchmarks with
 # allocation reporting, then the steady-state Step sweep, which appends

@@ -56,6 +56,9 @@ func main() {
 		workers  = flag.Int("workers", 2, "worker processes; tiles are pinned round-robin")
 		repoDir  = flag.String("repo", "", "repository directory for durable commits (empty = in-memory only)")
 
+		shardHalo   = flag.Float64("shard-halo", 0, "halo margin around each tile engine's region (0 = one grid cell)")
+		shardRepart = flag.Bool("shard-repartition", false, "split hot tiles and merge cold ones under load skew")
+
 		hbInterval = flag.Duration("worker-heartbeat", 100*time.Millisecond, "coordinator→worker heartbeat period")
 		hbTimeout  = flag.Duration("worker-timeout", time.Second, "heartbeat-echo age past which a worker is declared dead")
 		resyncTO   = flag.Duration("resync-timeout", 2*time.Second, "deadline for a recovered worker's verified resync")
@@ -85,7 +88,11 @@ func main() {
 		os.Exit(1)
 	}
 	cl, err := cluster.New(cluster.Config{
-		Shard:             shard.Options{Core: copt, Rows: *rows, Cols: *cols},
+		Shard: shard.Options{
+			Core: copt, Rows: *rows, Cols: *cols,
+			Halo:        *shardHalo,
+			Repartition: shard.RepartitionOptions{Enable: *shardRepart},
+		},
 		Workers:           *workers,
 		Spawner:           spawner,
 		HeartbeatInterval: *hbInterval,

@@ -29,7 +29,10 @@ func main() {
 		size     = flag.Float64("size", 1.0, "monitored space is the square [0,size)²")
 		horizon  = flag.Float64("horizon", 100, "predictive trajectory horizon (seconds)")
 		shards   = flag.Int("shards", 1, "spatial shards evaluating in parallel (1 = single engine)")
-		repoDir  = flag.String("repo", "", "repository directory for durable commits and location history (empty = in-memory only)")
+
+		shardHalo   = flag.Float64("shard-halo", 0, "halo margin around each tile engine's region (0 = one grid cell)")
+		shardRepart = flag.Bool("shard-repartition", false, "split hot tiles and merge cold ones under load skew (shards > 1)")
+		repoDir     = flag.String("repo", "", "repository directory for durable commits and location history (empty = in-memory only)")
 
 		readTO    = flag.Duration("read-timeout", 45*time.Second, "reap sessions silent for this long (0 = never)")
 		writeTO   = flag.Duration("write-timeout", 5*time.Second, "per-frame write deadline (<0 = none)")
@@ -54,6 +57,8 @@ func main() {
 			PredictiveHorizon: *horizon,
 		},
 		Shards:            *shards,
+		ShardHalo:         *shardHalo,
+		ShardRepartition:  cqp.ShardRepartitionOptions{Enable: *shardRepart},
 		Interval:          *interval,
 		RepositoryDir:     *repoDir,
 		ReadTimeout:       *readTO,

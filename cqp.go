@@ -87,8 +87,11 @@ type (
 	// behind the Processor interface.
 	ShardedEngine = shard.Engine
 	// ShardOptions configures a ShardedEngine (tile grid shape, kNN
-	// replication padding).
+	// replication padding, halo margin, repartition policy).
 	ShardOptions = shard.Options
+	// ShardRepartitionOptions tunes the sharded engine's load-aware
+	// tile split/merge policy.
+	ShardRepartitionOptions = shard.RepartitionOptions
 	// Options configures an Engine.
 	Options = core.Options
 	// Stats aggregates engine activity counters.

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+	"runtime"
 	"time"
 
 	"cqp/internal/core"
@@ -22,10 +24,29 @@ type ShardResult struct {
 	Objects int     `json:"objects"` // workload population
 	Queries int     `json:"queries"` // workload population
 
+	// GOMAXPROCS and NumCPU record the parallelism available to the
+	// run, and Hardware interprets them: on a single-CPU host the tile
+	// goroutines serialize, so any speedup over one shard comes from
+	// work reduction (tile-local grids, single-replica merge bypass),
+	// not parallel evaluation. Comparisons across BENCH_shard.json
+	// revisions are only meaningful at equal GOMAXPROCS.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Hardware   string `json:"hardware,omitempty"`
+
 	// Metrics is the final flattened snapshot of the point's metrics
 	// registry: engine counters aggregated across tiles plus the
 	// router's shard.* merge and skew metrics.
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// hardwareNote describes the execution environment of a sweep point.
+func hardwareNote() string {
+	note := fmt.Sprintf("go %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if runtime.GOMAXPROCS(0) == 1 {
+		note += "; GOMAXPROCS=1: tiles serialize, speedup is work reduction only"
+	}
+	return note
 }
 
 // RunShardSweep measures the average Step time across shard counts on
@@ -76,14 +97,17 @@ func RunShardSweep(cfg Fig5Config, counts []int) []ShardResult {
 			total += msSince(start)
 		}
 		out = append(out, ShardResult{
-			Shards:  n,
-			Rows:    rows,
-			Cols:    cols,
-			StepMS:  total / float64(cfg.Ticks),
-			Updates: float64(updates) / float64(cfg.Ticks),
-			Objects: cfg.Objects,
-			Queries: cfg.Queries,
-			Metrics: reg.Flatten(),
+			Shards:     n,
+			Rows:       rows,
+			Cols:       cols,
+			StepMS:     total / float64(cfg.Ticks),
+			Updates:    float64(updates) / float64(cfg.Ticks),
+			Objects:    cfg.Objects,
+			Queries:    cfg.Queries,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Hardware:   hardwareNote(),
+			Metrics:    reg.Flatten(),
 		})
 	}
 	return out

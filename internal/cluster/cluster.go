@@ -144,8 +144,14 @@ type Cluster struct {
 	cfg   Config
 	m     *clusterMetrics
 	slots []*workerSlot
-	tiles []*clusterTile
 	stop  chan struct{}
+
+	// tiles is indexed by tile id and grows when repartitioning attaches
+	// fresh tiles mid-run; retired ids keep their (now idle) transport.
+	// The demux goroutines read it concurrently with router-side growth,
+	// hence the lock.
+	tilesMu sync.RWMutex
+	tiles   []*clusterTile
 
 	closeOnce sync.Once
 }
@@ -186,7 +192,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	eng, err := shard.NewWithTiles(cfg.Shard, func(tile int, opt core.Options) (shard.Tile, error) {
 		t := newClusterTile(cl, tile, opt, cl.slots[tile%cfg.Workers])
+		cl.tilesMu.Lock()
+		for len(cl.tiles) <= tile {
+			cl.tiles = append(cl.tiles, nil)
+		}
 		cl.tiles[tile] = t
+		cl.tilesMu.Unlock()
 		return t, nil
 	})
 	if err != nil {
@@ -280,25 +291,41 @@ func (c *Cluster) sleep(d time.Duration) bool {
 	}
 }
 
+// tile returns the transport of tile id i, or nil for ids the
+// coordinator has never attached.
+func (c *Cluster) tile(i uint32) *clusterTile {
+	c.tilesMu.RLock()
+	defer c.tilesMu.RUnlock()
+	if int(i) >= len(c.tiles) {
+		return nil
+	}
+	return c.tiles[i]
+}
+
 // deliverResult routes a step result to its tile. The channel send
 // never blocks: a tile holds at most one outstanding step, so a full
 // buffer only ever means stale frames, which the epoch gate discards.
+// A result addressed to a retired tile lands in its idle transport's
+// buffer and is never read — tile ids are not reused, so it cannot be
+// misdelivered.
 func (c *Cluster) deliverResult(m wire.ClusterStepResult) {
-	if int(m.Tile) >= len(c.tiles) {
+	t := c.tile(m.Tile)
+	if t == nil {
 		return
 	}
 	select {
-	case c.tiles[m.Tile].resc <- m:
+	case t.resc <- m:
 	default:
 	}
 }
 
 func (c *Cluster) deliverAck(m wire.ClusterResyncAck) {
-	if int(m.Tile) >= len(c.tiles) {
+	t := c.tile(m.Tile)
+	if t == nil {
 		return
 	}
 	select {
-	case c.tiles[m.Tile].ackc <- m:
+	case t.ackc <- m:
 	default:
 	}
 }

@@ -45,6 +45,11 @@ type clusterDiffConfig struct {
 	// workers and toggle fault scenarios here.
 	disturb func(step int, cl *Cluster)
 
+	// disturbBoth, when set, runs before each step with both engines —
+	// the repartition suite queues identical splits and merges on the
+	// reference and the cluster so their partitions stay in lockstep.
+	disturbBoth func(step int, ref *shard.Engine, cl *Cluster)
+
 	// settle, when set, requires the cluster to fully return to remote
 	// operation after the scripted steps (all workers up, no tiles in
 	// fallback) while the stream stays bit-identical.
@@ -145,6 +150,9 @@ func runClusterDifferential(t *testing.T, cfg clusterDiffConfig) {
 	for step := 0; step < cfg.steps; step++ {
 		if cfg.disturb != nil {
 			cfg.disturb(step, cl)
+		}
+		if cfg.disturbBoth != nil {
+			cfg.disturbBoth(step, ref, cl)
 		}
 		stepBoth(step)
 	}

@@ -178,7 +178,18 @@ func (t *clusterTile) StepNanos() int64 { return t.lastNs }
 // faults.
 func (t *clusterTile) WorkStats() core.Stats { return t.work }
 
-func (t *clusterTile) Close() error { return nil }
+// Close retires the tile. When a repartition destroys a remote tile the
+// worker is told to free its engine; delivery is best-effort (a dead or
+// congested link just leaves the engine to be reaped with the process),
+// and tile ids are never reused, so no further frame can target it.
+func (t *clusterTile) Close() error {
+	if t.remote {
+		if st := t.slot.current(); st != nil && st.incarnation == t.remoteInc {
+			st.enqueue(wire.ClusterRetire{Tile: uint32(t.id), Epoch: t.epoch})
+		}
+	}
+	return nil
+}
 
 // fold absorbs the staged reports into the journal after a successful
 // step; last-write-wins per ID keeps the journal compact (its size is
@@ -231,6 +242,12 @@ func (t *clusterTile) establish() {
 		Bounds:            t.opt.Bounds,
 		GridN:             uint32(t.opt.GridN),
 		PredictiveHorizon: t.opt.PredictiveHorizon,
+		// Tile-local options: the worker's engine must be built over the
+		// same halo-expanded sub-rectangle as the fallback engine, or the
+		// resync state checksums could never match a repartitioned tile.
+		Region:   t.opt.Region,
+		MaxSpeed: t.opt.MaxSpeed,
+		Replica:  t.opt.Replica,
 	}
 	if t.fresh() {
 		if st.enqueue(assign) {

@@ -52,6 +52,9 @@ func ServeWorker(conn net.Conn) error {
 				Bounds:            m.Bounds,
 				GridN:             int(m.GridN),
 				PredictiveHorizon: m.PredictiveHorizon,
+				Region:            m.Region,
+				MaxSpeed:          m.MaxSpeed,
+				Replica:           m.Replica,
 			}
 			eng, err := core.NewEngine(opt)
 			if err != nil {
@@ -83,6 +86,11 @@ func ServeWorker(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
+		case wire.ClusterRetire:
+			// A repartition retired the tile; its state was re-homed onto
+			// born tiles coordinator-side. Stale epochs are fine: the id is
+			// never reused, so whatever engine sits in the slot is garbage.
+			delete(tiles, m.Tile)
 		case wire.ClusterResync:
 			t := tiles[m.Tile]
 			if t == nil || t.epoch != m.Epoch {

@@ -15,8 +15,31 @@ type Options struct {
 	// Bounds is the monitored space. Required (the zero Rect is rejected).
 	Bounds geo.Rect
 
+	// Region, when non-zero, restricts the engine's spatial index to a
+	// sub-rectangle of Bounds: the grid spans Region instead of the whole
+	// monitored space. Geometry outside Region is not rejected — it is
+	// clamped into the region's edge cells, exactly as out-of-Bounds
+	// geometry is clamped by a full-space engine — so answers depend only
+	// on the raw reported geometry, never on the index bounds. This is
+	// what lets internal/shard build one engine per tile over just that
+	// tile's rectangle (plus a halo margin) while keeping the merged
+	// stream identical to a single full-space engine's: an engine's answer
+	// over any object population is invariant under the choice of Region.
+	// Defaults to Bounds; must be a non-empty sub-rectangle of Bounds.
+	Region geo.Rect
+
 	// GridN is the per-axis cell count of the shared grid. Defaults to 64.
 	GridN int
+
+	// MaxSpeed, when positive, bounds the speed of predictive motion: a
+	// Predictive object report whose velocity magnitude — or any waypoint
+	// leg of its trajectory — exceeds MaxSpeed is rejected wholesale,
+	// keeping the prior state, exactly like a malformed trajectory. The
+	// bound is what allows a sharded router to route a predictive query
+	// only to the tiles its region could be reached from within the
+	// horizon (region expanded by MaxSpeed × PredictiveHorizon) instead
+	// of replicating it everywhere. 0 (the default) means unlimited.
+	MaxSpeed float64
 
 	// PredictiveHorizon is how far (in time units) ahead of its report a
 	// predictive object's trajectory is registered in the grid. Predictive
@@ -47,12 +70,34 @@ type Options struct {
 	// Clock disables latency timing while every other metric still
 	// functions.
 	Clock obs.Clock
+
+	// Replica marks the engine as an internal replica behind a router —
+	// a shard tile or a cluster worker engine. The router is the single
+	// source of truth for the client commit/recover protocol, so a
+	// replica skips the per-report committed-answer snapshot that a
+	// moving query's auto-commit would otherwise rebuild on every tick
+	// (the snapshot would never be consulted). Explicit Commit and
+	// Recover calls still work; only the implicit auto-commit is elided.
+	// The update stream is bit-identical with or without the flag.
+	Replica bool
 }
 
 func (o *Options) withDefaults() (Options, error) {
 	out := *o
 	if out.Bounds.Empty() {
 		return out, fmt.Errorf("core: Options.Bounds must be a non-empty rectangle, got %v", out.Bounds)
+	}
+	if out.Region == (geo.Rect{}) {
+		out.Region = out.Bounds
+	}
+	if out.Region.Empty() {
+		return out, fmt.Errorf("core: Options.Region must be a non-empty rectangle, got %v", out.Region)
+	}
+	if !out.Bounds.ContainsRect(out.Region) {
+		return out, fmt.Errorf("core: Options.Region %v must lie inside Bounds %v", out.Region, out.Bounds)
+	}
+	if out.MaxSpeed < 0 {
+		return out, fmt.Errorf("core: Options.MaxSpeed must be non-negative, got %v", out.MaxSpeed)
 	}
 	if out.GridN == 0 {
 		out.GridN = 64
@@ -70,6 +115,37 @@ func (o *Options) withDefaults() (Options, error) {
 		return out, fmt.Errorf("core: Options.Parallelism must be non-negative, got %d", out.Parallelism)
 	}
 	return out, nil
+}
+
+// Normalized returns the options with every default applied, validated
+// exactly as NewEngine validates them. Layers that derive engine
+// parameters — the shard router computing predictive routing bounds
+// from PredictiveHorizon, the cluster coordinator building worker
+// assignments — normalize once so their view never drifts from the
+// engines'.
+func (o Options) Normalized() (Options, error) { return o.withDefaults() }
+
+// ExceedsMaxSpeed reports whether an object update violates a predictive
+// speed cap: a Predictive report whose velocity magnitude, or any
+// waypoint leg, is faster than maxSpeed. A non-positive maxSpeed never
+// rejects. Exported because the shard router must mirror the engines'
+// acceptance decision exactly — a report rejected by a tile engine must
+// not move the router's ownership table either.
+func ExceedsMaxSpeed(u ObjectUpdate, maxSpeed float64) bool {
+	if maxSpeed <= 0 || u.Kind != Predictive || u.Remove {
+		return false
+	}
+	if len(u.Waypoints) > 0 {
+		prev := geo.TimedPoint{P: u.Loc, T: u.T}
+		for _, wp := range u.Waypoints {
+			if dt := wp.T - prev.T; dt > 0 && wp.P.Dist(prev.P) > maxSpeed*dt {
+				return true
+			}
+			prev = wp
+		}
+		return false
+	}
+	return u.Vel.Len() > maxSpeed
 }
 
 // objectState is the engine's record of one object: the paper's object
@@ -170,7 +246,7 @@ func NewEngine(opt Options) (*Engine, error) {
 	}
 	e := &Engine{
 		opt:      o,
-		g:        grid.New(o.Bounds, o.GridN),
+		g:        grid.New(o.Region, o.GridN),
 		objs:     make(map[ObjectID]*objectState),
 		qrys:     make(map[QueryID]*queryState),
 		dirtyKNN: make(map[QueryID]struct{}),
@@ -250,6 +326,10 @@ func (e *Engine) Stats() Stats { return e.stats }
 // Bounds returns the monitored space.
 func (e *Engine) Bounds() geo.Rect { return e.opt.Bounds }
 
+// Region returns the sub-rectangle of the monitored space this engine's
+// spatial index spans (Bounds unless Options.Region narrowed it).
+func (e *Engine) Region() geo.Rect { return e.opt.Region }
+
 // Answer returns the current answer of query q in ascending ObjectID
 // order, or nil and false if the query is unknown.
 func (e *Engine) Answer(q QueryID) ([]ObjectID, bool) {
@@ -319,6 +399,9 @@ func (e *Engine) stepAppend(out []Update, now float64) []Update {
 			if !tr.Valid() {
 				continue // reject malformed trajectories; keep prior state
 			}
+		}
+		if ExceedsMaxSpeed(u, e.opt.MaxSpeed) {
+			continue // reject over-speed predictive motion; keep prior state
 		}
 		os, exists := e.objs[u.ID]
 		if !exists {
@@ -595,8 +678,12 @@ func (e *Engine) applyQueryUpdate(u QueryUpdate, out *[]Update) {
 
 	// Receiving any report from a query's client proves the client is
 	// connected and has consumed the stream so far: auto-commit (paper
-	// §3.3, moving queries commit implicitly).
-	e.commit(qs)
+	// §3.3, moving queries commit implicitly). Replica engines skip the
+	// snapshot — their committed state is never consulted (see
+	// Options.Replica).
+	if !e.opt.Replica {
+		e.commit(qs)
+	}
 
 	qs.t = u.T
 	switch u.Kind {

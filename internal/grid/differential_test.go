@@ -62,7 +62,7 @@ func (g *modelGrid) cellRect(ci int) geo.Rect {
 }
 
 func (g *modelGrid) cellRange(r geo.Rect) (x1, y1, x2, y2 int, ok bool) {
-	if !r.Intersects(g.bounds) {
+	if !r.Valid() {
 		return 0, 0, 0, 0, false
 	}
 	x1, y1 = g.cellCoords(geo.Pt(r.MinX, r.MinY))

@@ -132,9 +132,18 @@ func (g *Grid) CellRect(ci int) geo.Rect {
 	}
 }
 
-// cellRange returns the inclusive cell-coordinate range overlapping r.
+// cellRange returns the inclusive cell-coordinate range covering r's
+// clamped image. A rect lying partly or wholly outside the bounds
+// clamps componentwise onto the boundary cells instead of vanishing —
+// the grid is a candidate generator over clamped geometry, and an
+// entry must land wherever a clamped counterpart could land, no matter
+// how far outside the indexed region the raw geometry sits. (Engines
+// built over a sub-Region of the monitored space depend on this:
+// a query region far outside a tile's Region still has to meet the
+// tile's boundary-clamped objects in the edge cells.) Only an invalid
+// rect registers nowhere.
 func (g *Grid) cellRange(r geo.Rect) (x1, y1, x2, y2 int, ok bool) {
-	if !r.Intersects(g.bounds) {
+	if !r.Valid() {
 		return 0, 0, 0, 0, false
 	}
 	x1, y1 = g.cellCoords(geo.Pt(r.MinX, r.MinY))
@@ -246,37 +255,55 @@ func (g *Grid) RemoveRegion(id uint64, r geo.Rect) {
 	}
 	for cy := y1; cy <= y2; cy++ {
 		for cx := x1; cx <= x2; cx++ {
-			ci := int32(cy*g.n + cx)
-			slot, ok := g.regIdx.get(id, ci)
-			if !ok {
-				continue
-			}
-			c := &g.cells[ci]
-			last := int32(len(c.regs) - 1)
-			if slot != last {
-				moved := c.regs[last]
-				c.regs[slot] = moved
-				g.regIdx.put(moved.key, ci, slot)
-			}
-			c.regs = c.regs[:last]
-			g.regIdx.del(id, ci)
-			g.regions--
+			g.removeRegionCell(id, int32(cy*g.n+cx))
 		}
 	}
 }
 
-// MoveRegion re-registers id from region old to region new. When both
-// regions overlap exactly the same cells — the common case for a query
-// that moved less than one cell width — the entries are refreshed in
-// place without delete/insert churn.
+// removeRegionCell deletes the region entry for id from one cell, if
+// present.
+func (g *Grid) removeRegionCell(id uint64, ci int32) {
+	slot, ok := g.regIdx.get(id, ci)
+	if !ok {
+		return
+	}
+	c := &g.cells[ci]
+	last := int32(len(c.regs) - 1)
+	if slot != last {
+		moved := c.regs[last]
+		c.regs[slot] = moved
+		g.regIdx.put(moved.key, ci, slot)
+	}
+	c.regs = c.regs[:last]
+	g.regIdx.del(id, ci)
+	g.regions--
+}
+
+// MoveRegion re-registers id from region old to region new. Only the
+// cells old covers and new does not are deleted; cells both cover are
+// refreshed in place. A query that moved a fraction of its own size
+// keeps most of its cells, so the delete/insert churn is confined to
+// its leading and trailing edges.
 func (g *Grid) MoveRegion(id uint64, old, new geo.Rect) {
 	ox1, oy1, ox2, oy2, ook := g.cellRange(old)
 	nx1, ny1, nx2, ny2, nok := g.cellRange(new)
-	if ook && nok && ox1 == nx1 && oy1 == ny1 && ox2 == nx2 && oy2 == ny2 {
-		g.InsertRegion(id, new) // same cells: overwrites every entry
+	if !ook || !nok {
+		if ook {
+			g.RemoveRegion(id, old)
+		}
+		if nok {
+			g.InsertRegion(id, new)
+		}
 		return
 	}
-	g.RemoveRegion(id, old)
+	for cy := oy1; cy <= oy2; cy++ {
+		for cx := ox1; cx <= ox2; cx++ {
+			if cy >= ny1 && cy <= ny2 && cx >= nx1 && cx <= nx2 {
+				continue // still covered: InsertRegion refreshes it
+			}
+			g.removeRegionCell(id, int32(cy*g.n+cx))
+		}
+	}
 	g.InsertRegion(id, new)
 }
 

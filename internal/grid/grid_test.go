@@ -173,11 +173,14 @@ func TestRegionBoundaryAligned(t *testing.T) {
 
 func TestRegionOutsideBounds(t *testing.T) {
 	g := unitGrid(4)
+	// A region wholly outside the bounds clamps onto the nearest boundary
+	// cell: out-of-bounds geometry must stay indexable so it can meet the
+	// boundary-clamped objects of a sub-Region engine (see cellRange).
 	g.InsertRegion(5, geo.R(2, 2, 3, 3))
-	if g.NumRegionEntries() != 0 {
-		t.Error("region outside bounds should not register")
+	if g.NumRegionEntries() != 1 {
+		t.Errorf("clamped outside region entries = %d, want 1", g.NumRegionEntries())
 	}
-	g.RemoveRegion(5, geo.R(2, 2, 3, 3)) // must not panic or underflow
+	g.RemoveRegion(5, geo.R(2, 2, 3, 3)) // must remove the same clamped range
 	if g.NumRegionEntries() != 0 {
 		t.Error("counter drifted")
 	}
@@ -185,6 +188,11 @@ func TestRegionOutsideBounds(t *testing.T) {
 	g.InsertRegion(6, geo.R(0.9, 0.9, 3, 3))
 	if g.NumRegionEntries() != 1 {
 		t.Errorf("partial overlap entries = %d, want 1", g.NumRegionEntries())
+	}
+	// An invalid rectangle registers nowhere.
+	g.InsertRegion(7, geo.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.2, MaxY: 0.6})
+	if g.NumRegionEntries() != 1 {
+		t.Errorf("invalid rect entries = %d, want 1", g.NumRegionEntries())
 	}
 }
 

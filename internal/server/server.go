@@ -67,6 +67,17 @@ type Config struct {
 	// shards evaluating in parallel. Negative values are rejected.
 	Shards int
 
+	// ShardHalo is the absolute halo margin added around each tile
+	// engine's region when Shards > 1 (shard.Options.Halo). It only
+	// tunes index resolution at tile seams — answers are invariant
+	// under it; 0 picks one global grid cell.
+	ShardHalo float64
+
+	// ShardRepartition configures the sharded engine's load-aware
+	// split/merge policy when Shards > 1; the zero value leaves the
+	// partition static.
+	ShardRepartition shard.RepartitionOptions
+
 	// Processor, when non-nil, is used as the query processor instead of
 	// constructing one from Engine/Shards (which are then ignored). The
 	// server takes ownership: Close closes the processor if it implements
@@ -330,7 +341,11 @@ func newProcessor(cfg Config) (core.Processor, error) {
 	case cfg.Shards < 0:
 		return nil, fmt.Errorf("server: Config.Shards must be non-negative, got %d", cfg.Shards)
 	case cfg.Shards > 1:
-		return shard.NewN(cfg.Engine, cfg.Shards)
+		rows, cols := shard.Split(cfg.Shards)
+		return shard.New(shard.Options{
+			Core: cfg.Engine, Rows: rows, Cols: cols,
+			Halo: cfg.ShardHalo, Repartition: cfg.ShardRepartition,
+		})
 	default:
 		return core.NewEngine(cfg.Engine)
 	}

@@ -1,0 +1,89 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+)
+
+// benchShard builds a sharded engine with a uniform population. -short
+// shrinks the population so the CI bench smoke (one iteration) stays
+// cheap.
+func benchShard(b *testing.B, tiles int, ro RepartitionOptions) (*Engine, *rand.Rand, int) {
+	objects, queries := 10000, 2000
+	if testing.Short() {
+		objects, queries = 1000, 200
+	}
+	rows, cols := Split(tiles)
+	e := MustNew(Options{
+		Core:        core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: 64, PredictiveHorizon: 100},
+		Rows:        rows,
+		Cols:        cols,
+		Repartition: ro,
+	})
+	b.Cleanup(func() { e.Close() })
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < objects; i++ {
+		e.ReportObject(core.ObjectUpdate{
+			ID: core.ObjectID(i + 1), Kind: core.Moving,
+			Loc: geo.Pt(rng.Float64(), rng.Float64()),
+		})
+	}
+	for j := 0; j < queries; j++ {
+		e.ReportQuery(core.QueryUpdate{
+			ID: core.QueryID(j + 1), Kind: core.Range,
+			Region: geo.RectAt(geo.Pt(rng.Float64(), rng.Float64()), 0.01),
+		})
+	}
+	e.Step(0)
+	return e, rng, objects
+}
+
+// BenchmarkShardStep measures the router's full Step — route,
+// broadcast, merge — with 3% of the population moving per tick across
+// a 2×2 tiling.
+func BenchmarkShardStep(b *testing.B) {
+	e, rng, objects := benchShard(b, 4, RepartitionOptions{})
+	moves := objects / 33
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < moves; n++ {
+			id := core.ObjectID(1 + rng.Intn(objects))
+			e.ReportObject(core.ObjectUpdate{
+				ID: id, Kind: core.Moving,
+				Loc: geo.Pt(rng.Float64(), rng.Float64()), T: float64(i + 1),
+			})
+		}
+		e.Step(float64(i + 1))
+	}
+	b.ReportMetric(float64(moves), "moves/op")
+}
+
+// BenchmarkShardStepRepartition is BenchmarkShardStep with the
+// load-aware split/merge policy active and a hotspot drifting through
+// the space, so splits and merges actually run while the clock ticks.
+func BenchmarkShardStepRepartition(b *testing.B) {
+	e, rng, objects := benchShard(b, 4, RepartitionOptions{Enable: true, Interval: 4, MaxTiles: 16})
+	moves := objects / 33
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The hotspot corner wanders so the hot tile changes over time.
+		cx := 0.4 + 0.4*float64(i%8)/8
+		for n := 0; n < moves; n++ {
+			id := core.ObjectID(1 + rng.Intn(objects))
+			loc := geo.Pt(rng.Float64(), rng.Float64())
+			if n%2 == 0 {
+				loc = geo.Pt(cx+rng.Float64()*0.1, rng.Float64()*0.1)
+			}
+			e.ReportObject(core.ObjectUpdate{
+				ID: id, Kind: core.Moving, Loc: loc, T: float64(i + 1),
+			})
+		}
+		e.Step(float64(i + 1))
+	}
+	b.ReportMetric(float64(moves), "moves/op")
+}

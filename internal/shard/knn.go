@@ -13,17 +13,17 @@ import (
 // queryInfo.count — always contains the exact global answer, provided
 // the coverage is wide enough. settleKNN establishes "wide enough" as a
 // fixpoint: after ranking the candidates by distance, any uncovered
-// tile that could still hold a closer object (MinDist(focal, tile) ≤
-// distance to the current k-th candidate) is added to the coverage, the
-// query is registered on it, only those tiles are sub-stepped at the
-// same timestamp, and the loop repeats. Termination: the coverage only
-// grows and is bounded by the tile count, and adding candidates never
-// increases the k-th distance.
+// live tile that could still hold a closer object (MinDist(focal, tile)
+// ≤ distance to the current k-th candidate) is added to the coverage,
+// the query is registered on it, only those tiles are sub-stepped at
+// the same timestamp, and the loop repeats. Termination: the coverage
+// only grows and is bounded by the live tile count, and adding
+// candidates never increases the k-th distance.
 //
 // A starved query (fewer than k candidates) is replicated to *every*
 // tile — including currently empty ones — mirroring the core engine,
-// which registers a starved query's interest region as the whole
-// bounds. This is what guarantees a later object arrival in any tile is
+// which registers a starved query's interest region as its whole
+// region. This is what guarantees a later object arrival in any tile is
 // reported.
 
 // cand is one ranked kNN merge candidate.
@@ -41,7 +41,7 @@ func (e *Engine) rankedCandidates(qi *queryInfo) []cand {
 		if !ok {
 			continue // removed this batch; its retraction is already merged
 		}
-		cands = append(cands, cand{id: o, dist: info.loc.Dist(qi.focal)})
+		cands = append(cands, cand{id: o, dist: info.last.Loc.Dist(qi.focal)})
 	}
 	slices.SortFunc(cands, compareCand)
 	return cands
@@ -97,11 +97,11 @@ func (e *Engine) settleKNN(m *mergeState, qi *queryInfo, now float64) {
 				rk = cands[qi.k-1].dist
 			}
 			var grow []int
-			for t := range e.tiles {
-				if _, covered := qi.coverage[t]; covered {
+			for _, t := range e.live {
+				if covHas(qi.coverage, t) {
 					continue
 				}
-				if starved || e.rects[t].MinDist(qi.focal) <= rk {
+				if starved || e.tstate[t].rect.MinDist(qi.focal) <= rk {
 					grow = append(grow, t)
 				}
 			}
@@ -113,12 +113,14 @@ func (e *Engine) settleKNN(m *mergeState, qi *queryInfo, now float64) {
 				Focal: qi.focal, K: qi.k, T: qi.t,
 			}
 			for _, t := range grow {
-				qi.coverage[t] = struct{}{}
 				e.tiles[t].ReportQuery(def)
 			}
+			qi.coverage = unionSorted(make([]int, 0, len(qi.coverage)+len(grow)), qi.coverage, grow)
+			qi.covEpoch = e.stepSeq
 			// Sub-step only the newly covered tiles, at the step's own
 			// timestamp: their engines register the replica and report
 			// its local top-k, which absorb folds into the candidates.
+			e.m.knnSubsteps.Add(uint64(len(grow)))
 			for _, batch := range e.stepTiles(grow, now) {
 				e.absorb(m, batch)
 			}

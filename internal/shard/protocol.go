@@ -9,20 +9,23 @@ import (
 
 // The client-protocol surface of the sharded engine. The router is the
 // single source of truth for answers and the commit/recover protocol:
-// per-tile engines also track committed state, but it is never
-// consulted — a query replicated to three tiles has one global answer
-// and one committed snapshot, both held here.
+// per-tile engines are replicas (core.Options.Replica) — a query
+// replicated to three tiles has one global answer and one committed
+// snapshot, both held here.
 
 // answerIDs returns the merged global answer of a query in ascending
 // ObjectID order.
 func (e *Engine) answerIDs(qi *queryInfo) []core.ObjectID {
 	var out []core.ObjectID
-	if qi.kind == core.KNN {
+	switch {
+	case qi.kind == core.KNN:
 		out = make([]core.ObjectID, 0, len(qi.answer))
 		for o := range qi.answer {
 			out = append(out, o)
 		}
-	} else {
+	case qi.count == nil:
+		return slices.Clone(qi.ans) // bypass mode: already sorted
+	default:
 		out = make([]core.ObjectID, 0, len(qi.count))
 		for o, c := range qi.count {
 			if c > 0 {
@@ -31,24 +34,6 @@ func (e *Engine) answerIDs(qi *queryInfo) []core.ObjectID {
 		}
 	}
 	slices.Sort(out)
-	return out
-}
-
-// answerSet returns the merged global answer as a set.
-func (e *Engine) answerSet(qi *queryInfo) map[core.ObjectID]struct{} {
-	if qi.kind == core.KNN {
-		out := make(map[core.ObjectID]struct{}, len(qi.answer))
-		for o := range qi.answer {
-			out[o] = struct{}{}
-		}
-		return out
-	}
-	out := make(map[core.ObjectID]struct{}, len(qi.count))
-	for o, c := range qi.count {
-		if c > 0 {
-			out[o] = struct{}{}
-		}
-	}
 	return out
 }
 
@@ -69,7 +54,20 @@ func (e *Engine) AnswerChecksum(q core.QueryID) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
+	if qi.kind != core.KNN && qi.count == nil {
+		return core.ChecksumIDs(qi.ans), true
+	}
 	return core.ChecksumIDs(e.answerIDs(qi)), true
+}
+
+// commitNow snapshots the current merged answer as the committed
+// answer, reusing the previous snapshot's backing array.
+func (e *Engine) commitNow(qi *queryInfo) {
+	if qi.kind != core.KNN && qi.count == nil {
+		qi.committed = append(qi.committed[:0], qi.ans...)
+	} else {
+		qi.committed = append(qi.committed[:0], e.answerIDs(qi)...)
+	}
 }
 
 // Commit records that q's client provably received the stream so far.
@@ -79,7 +77,7 @@ func (e *Engine) Commit(q core.QueryID) bool {
 	if !ok {
 		return false
 	}
-	qi.committed = e.answerSet(qi)
+	e.commitNow(qi)
 	return true
 }
 
@@ -90,12 +88,7 @@ func (e *Engine) CommittedAnswer(q core.QueryID) ([]core.ObjectID, bool) {
 	if !ok {
 		return nil, false
 	}
-	out := make([]core.ObjectID, 0, len(qi.committed))
-	for o := range qi.committed {
-		out = append(out, o)
-	}
-	slices.Sort(out)
-	return out, true
+	return slices.Clone(qi.committed), true
 }
 
 // CommittedChecksum returns the checksum of q's committed answer; ok is
@@ -105,11 +98,7 @@ func (e *Engine) CommittedChecksum(q core.QueryID) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
-	out := make([]core.ObjectID, 0, len(qi.committed))
-	for o := range qi.committed {
-		out = append(out, o)
-	}
-	return core.ChecksumIDs(out), true
+	return core.ChecksumIDs(qi.committed), true
 }
 
 // SeedCommitted installs a committed answer for q (repository restore
@@ -119,67 +108,70 @@ func (e *Engine) SeedCommitted(q core.QueryID, objs []core.ObjectID) bool {
 	if !ok {
 		return false
 	}
-	committed := make(map[core.ObjectID]struct{}, len(objs))
-	for _, o := range objs {
-		committed[o] = struct{}{}
-	}
-	qi.committed = committed
+	qi.committed = append(qi.committed[:0], objs...)
+	slices.Sort(qi.committed)
 	return true
 }
 
 // Recover returns the updates an out-of-sync client needs — the diff
 // between the committed and current merged answers, negatives first —
-// and then commits, exactly as core.Engine.Recover does.
+// and then commits, exactly as core.Engine.Recover does. Both sides of
+// the diff are ascending ObjectID slices, so the diff is a single
+// linear pass.
 func (e *Engine) Recover(q core.QueryID) ([]core.Update, bool) {
 	qi, ok := e.qrys[q]
 	if !ok {
 		return nil, false
 	}
-	answer := e.answerSet(qi)
+	var answer []core.ObjectID
+	if qi.kind != core.KNN && qi.count == nil {
+		answer = qi.ans
+	} else {
+		answer = e.answerIDs(qi)
+	}
 	var out []core.Update
-	for o := range qi.committed {
-		if _, still := answer[o]; !still {
-			out = append(out, core.Update{Query: q, Object: o, Positive: false})
+	// Negatives first (the client prunes before it grows), then
+	// ascending ObjectID — the same order as core.Engine.Recover.
+	i, j := 0, 0
+	for i < len(qi.committed) {
+		for j < len(answer) && answer[j] < qi.committed[i] {
+			j++
 		}
-	}
-	for o := range answer {
-		if _, had := qi.committed[o]; !had {
-			out = append(out, core.Update{Query: q, Object: o, Positive: true})
+		if j >= len(answer) || answer[j] != qi.committed[i] {
+			out = append(out, core.Update{Query: q, Object: qi.committed[i], Positive: false})
 		}
+		i++
 	}
-	// Negatives first (the client prunes before it grows), then ascending
-	// ObjectID — the same order as core.Engine.Recover.
-	slices.SortFunc(out, compareRecovery)
-	qi.committed = answer
+	i, j = 0, 0
+	for j < len(answer) {
+		for i < len(qi.committed) && qi.committed[i] < answer[j] {
+			i++
+		}
+		if i >= len(qi.committed) || qi.committed[i] != answer[j] {
+			out = append(out, core.Update{Query: q, Object: answer[j], Positive: true})
+		}
+		j++
+	}
+	qi.committed = append(qi.committed[:0], answer...)
 	return out, true
-}
-
-// compareRecovery orders a recovery diff: negatives first, then ascending
-// ObjectID — identical to the core engine's recovery order.
-func compareRecovery(a, b core.Update) int {
-	if a.Positive != b.Positive {
-		if !a.Positive {
-			return -1
-		}
-		return 1
-	}
-	if a.Object < b.Object {
-		return -1
-	}
-	if a.Object > b.Object {
-		return 1
-	}
-	return 0
 }
 
 // Stats returns the router's activity counters. Step, report, and
 // update counts are the router's own (they match the single-engine
 // counts for the same workload); the work counters — kNN recomputes,
-// candidate checks, region cells visited — are summed over the tile
-// engines, exposing the actual evaluation work done across shards.
+// candidate checks, region cells visited — are summed over the live
+// tile engines plus the final tallies of tiles retired by
+// repartitioning, exposing the actual evaluation work done across
+// shards.
 func (e *Engine) Stats() core.Stats {
 	s := e.stats
+	s.KNNRecomputes += e.retiredWork.KNNRecomputes
+	s.CandidateChecks += e.retiredWork.CandidateChecks
+	s.RegionEvalCells += e.retiredWork.RegionEvalCells
 	for _, t := range e.tiles {
+		if t == nil {
+			continue
+		}
 		ws := t.WorkStats()
 		s.KNNRecomputes += ws.KNNRecomputes
 		s.CandidateChecks += ws.CandidateChecks

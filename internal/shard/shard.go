@@ -1,9 +1,9 @@
 // Package shard implements the spatially sharded continuous query
-// processor: the monitored space is split into an R×C grid of tiles,
-// each tile owns an independent core.Engine driven by its own worker
-// goroutine, and a thin single-threaded router partitions reports,
-// replicates queries, runs all tile engines in parallel, and merges the
-// per-tile update streams back into one exact global answer stream.
+// processor: the monitored space is split into tiles, each tile owns an
+// independent core.Engine driven by its own worker goroutine, and a
+// thin single-threaded router partitions reports, replicates queries,
+// runs all tile engines in parallel, and merges the per-tile update
+// streams back into one exact global answer stream.
 //
 // The design follows the distributed continuous-query literature (Zhu &
 // Yu's distributed range monitoring, MOIST's space-partitioned moving
@@ -16,21 +16,34 @@
 //     the old tile and an insertion routed to the new tile, so negative
 //     updates for queries in the old tile still fire.
 //   - Range queries are replicated to every tile their region overlaps,
-//     predictive range queries to every tile (a predictive object's
-//     trajectory can reach a distant query region from any tile), and
-//     kNN queries to every tile overlapping their focal circle plus a
-//     configurable padding ring of tiles, re-replicated whenever the
-//     circle grows.
-//   - Each tile engine spans the *full* global bounds (it simply holds
-//     only its tile's objects). This keeps every engine-level behavior —
-//     out-of-bounds clamping, predictive swept-region registration, kNN
-//     circle registration — identical to the single-engine case, which
-//     is what makes the merge exact.
-//   - Step broadcasts the evaluation to all workers, runs them in
+//     with the replica's region clipped to the tile's halo-expanded
+//     extent; predictive range queries to every tile their region grown
+//     by MaxSpeed·PredictiveHorizon overlaps (every tile when MaxSpeed
+//     is unset: a predictive object's trajectory can then reach a
+//     distant query region from any tile); kNN queries to every tile
+//     overlapping their focal circle plus a configurable padding ring,
+//     re-replicated whenever the circle grows.
+//   - Each tile engine spans only its own tile plus a halo margin: its
+//     core.Options.Region is the tile rectangle expanded by Options.Halo
+//     (clipped to the global bounds), so the spatial index resolution
+//     concentrates where the tile's objects actually are. Correctness
+//     does not depend on the halo — engine answers are invariant under
+//     the Region choice (predicates evaluate raw geometry; the grid is
+//     only a candidate generator; see core.Options.Region) — it exists
+//     so a replica's clipped region and its owned objects stay well
+//     inside the tile's index.
+//   - The tiling is a binary split forest over an initial Rows×Cols
+//     grid: a hot tile splits into two halves along its longer axis, two
+//     cold sibling leaves merge back into their parent rectangle, and
+//     the object/query state moves through the ordinary migration and
+//     replication paths inside the step, so the merged stream never
+//     shows a seam (see repartition.go).
+//   - Step broadcasts the evaluation to all live tiles, runs them in
 //     parallel, and merges the resulting streams: membership refcounts
 //     deduplicate positives/negatives for queries replicated to several
-//     tiles, and kNN answers are merged to the exact global top-k at
-//     the router (see knn.go).
+//     tiles — queries covered by exactly one tile bypass the refcount
+//     and stream straight through — and kNN answers are merged to the
+//     exact global top-k at the router (see knn.go).
 //
 // The Engine satisfies core.Processor and is a drop-in replacement for
 // *core.Engine behind internal/server. Like the core engine it is not
@@ -41,6 +54,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"cqp/internal/core"
@@ -50,17 +64,56 @@ import (
 // Options configures a sharded engine.
 type Options struct {
 	// Core configures each per-tile engine. Core.Bounds is the global
-	// monitored space; every tile engine spans it in full. Required.
+	// monitored space; each tile engine receives a copy whose Region is
+	// the tile's rectangle expanded by Halo. Core.Region must be unset
+	// (the router owns it). Required.
 	Core core.Options
 
-	// Rows, Cols shape the tile grid. Both default to 1.
+	// Rows, Cols shape the initial tile grid. Both default to 1.
 	Rows, Cols int
 
 	// PadTiles is the kNN replication padding: a kNN query is
 	// replicated to every tile overlapping its focal circle grown by
-	// this many tile widths, so small circle growth does not force a
-	// re-replication every step. Defaults to 1.
+	// this many initial tile widths, so small circle growth does not
+	// force a re-replication every step. Defaults to 1.
 	PadTiles int
+
+	// Halo is the absolute margin added around each tile's rectangle to
+	// form its engine Region, and the slack added to the predictive
+	// swept-region routing. It only tunes index resolution at the seams
+	// — answers are invariant under it. 0 picks one global grid cell
+	// (max bounds extent / Core.GridN); negative is an error.
+	Halo float64
+
+	// Repartition configures load-aware tile splitting and merging.
+	// Disabled unless Repartition.Enable is set; SplitTile and
+	// MergeTile work either way.
+	Repartition RepartitionOptions
+}
+
+// RepartitionOptions tunes the load-aware split/merge policy. Per-tile
+// load is an exponential moving average of the tile's queue depth at
+// broadcast time (the shard.queue_depth observation), or of the tile's
+// measured step nanos (the shard.step_skew_ns source) when Core.Clock
+// is configured — the same two signals the obs layer already exports.
+type RepartitionOptions struct {
+	// Enable turns the periodic policy check on.
+	Enable bool
+
+	// Interval is the number of steps between policy checks (default 16).
+	Interval int
+
+	// MaxTiles caps the number of live tiles (default 4 × the initial
+	// Rows×Cols count).
+	MaxTiles int
+
+	// SplitFactor: a tile splits when its load exceeds SplitFactor ×
+	// the mean live-tile load (default 2).
+	SplitFactor float64
+
+	// MergeFactor: two sibling leaves merge when their combined load is
+	// below MergeFactor × the mean live-tile load (default 0.5).
+	MergeFactor float64
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -80,6 +133,39 @@ func (o *Options) withDefaults() (Options, error) {
 	if out.PadTiles < 0 {
 		return out, fmt.Errorf("shard: Options.PadTiles must be non-negative, got %d", out.PadTiles)
 	}
+	if out.Halo < 0 {
+		return out, fmt.Errorf("shard: Options.Halo must be non-negative, got %v", out.Halo)
+	}
+	if out.Core.Region != (geo.Rect{}) && out.Core.Region != out.Core.Bounds {
+		return out, fmt.Errorf("shard: Options.Core.Region is owned by the router, leave it unset")
+	}
+	// Resolve the core defaults once, up front: the router needs the
+	// effective GridN (halo default), PredictiveHorizon and MaxSpeed
+	// (swept-region routing) before any tile engine exists.
+	c, err := out.Core.Normalized()
+	if err != nil {
+		return out, err
+	}
+	out.Core = c
+	if out.Halo == 0 {
+		out.Halo = math.Max(c.Bounds.Width(), c.Bounds.Height()) / float64(c.GridN)
+	}
+	r := &out.Repartition
+	if r.Interval == 0 {
+		r.Interval = 16
+	}
+	if r.MaxTiles == 0 {
+		r.MaxTiles = 4 * out.Rows * out.Cols
+	}
+	if r.SplitFactor == 0 {
+		r.SplitFactor = 2
+	}
+	if r.MergeFactor == 0 {
+		r.MergeFactor = 0.5
+	}
+	if r.Interval < 1 || r.MaxTiles < out.Rows*out.Cols || r.SplitFactor <= 1 || r.MergeFactor < 0 {
+		return out, fmt.Errorf("shard: invalid Repartition options %+v", *r)
+	}
 	return out, nil
 }
 
@@ -97,11 +183,12 @@ func Split(n int) (rows, cols int) {
 }
 
 // objInfo is the router's record of one object: which tile owns it and
-// its last reported location (used for migration detection and for the
-// kNN merge distance computations).
+// its last full report (used for migration detection, kNN merge
+// distances, and re-insertion when a repartition moves the object to a
+// fresh tile).
 type objInfo struct {
 	tile int
-	loc  geo.Point
+	last core.ObjectUpdate
 }
 
 // queryInfo is the router's record of one query: its definition (for
@@ -113,14 +200,22 @@ type queryInfo struct {
 	t    float64
 
 	region geo.Rect  // Range / PredictiveRange region
+	t1, t2 float64   // PredictiveRange validity window
 	focal  geo.Point // KNN focal point
 	k      int       // KNN cardinality
 	radius float64   // KNN: distance to the current global k-th member
 
-	// coverage is the set of tiles holding a replica of this query.
-	// Invariant: every replica receives every subsequent update of the
-	// query, so replicas never go stale.
-	coverage map[int]struct{}
+	// coverage is the sorted set of tiles holding a replica of this
+	// query. Invariant: every replica receives every subsequent update
+	// of the query, so replicas never go stale; coverage only contains
+	// live tiles (repartitions rewrite it in the same step).
+	coverage []int
+
+	// covEpoch is the router step that last changed the coverage set.
+	// The single-replica merge bypass requires a step in which the
+	// coverage did not change: only then is the sole replica's stream
+	// already the exact merged stream (see absorb).
+	covEpoch uint64
 
 	// count refcounts, per object, how many replicas currently report
 	// it as a member. For Range and PredictiveRange queries an object
@@ -129,31 +224,137 @@ type queryInfo struct {
 	// transient −/+ pairs of cross-tile migrations. For KNN queries
 	// count tracks *candidacy* (membership in some tile's local top-k)
 	// and the exact global answer is maintained separately.
+	//
+	// count is nil while the query rides the single-replica merge
+	// bypass: with one replica there is nothing to deduplicate, so the
+	// answer lives in ans instead and the map is dropped. Any event
+	// that re-enters the refcount path — coverage change, repartition
+	// handoff, removal — materializes count again (materializeCount).
 	count map[core.ObjectID]int
+
+	// ans is the merged answer as a sorted ObjectID slice, valid only
+	// in bypass mode (count == nil, never for KNN). Tile batches are
+	// (Query, Object)-sorted, so the bypass folds a query's update run
+	// into ans with one linear merge — no per-update map traffic — and
+	// the auto-commit snapshot of a moving query is a memcopy.
+	ans []core.ObjectID
 
 	// answer is the exact global top-k of a KNN query; nil for other
 	// kinds (their answer is derived from count).
 	answer map[core.ObjectID]struct{}
 
-	// committed is the last committed answer; nil until the first
-	// commit, mirroring core.
-	committed map[core.ObjectID]struct{}
+	// committed is the last committed answer in ascending ObjectID
+	// order; empty until the first commit. Never-committed and
+	// committed-empty coincide, exactly as they do observably in core.
+	committed []core.ObjectID
+}
+
+// materializeCount switches a bypass-mode query back to refcount mode:
+// every member of the sorted answer holds exactly one replica's claim.
+func (qi *queryInfo) materializeCount() {
+	if qi.count != nil {
+		return
+	}
+	qi.count = make(map[core.ObjectID]int, len(qi.ans))
+	for _, o := range qi.ans {
+		qi.count[o] = 1
+	}
+	qi.ans = qi.ans[:0]
+}
+
+// materializeAns switches a refcount-mode query to the bypass's sorted-
+// slice answer. Only called when the query has held a single replica
+// through a full settled step, which guarantees every refcount is 0 or
+// 1 — the slice is exactly {o : count[o] > 0}.
+func (qi *queryInfo) materializeAns() {
+	qi.ans = qi.ans[:0]
+	for o, c := range qi.count {
+		if c > 0 {
+			qi.ans = append(qi.ans, o)
+		}
+	}
+	slices.Sort(qi.ans)
+	qi.count = nil
+}
+
+// covHas reports whether sorted coverage contains tile t.
+func covHas(cov []int, t int) bool {
+	lo, hi := 0, len(cov)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cov[mid] < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(cov) && cov[lo] == t
+}
+
+// unionSorted merges sorted b into sorted a, deduplicating, appending
+// to dst (which may be a[:0] only if a and dst do not alias — callers
+// pass a fresh dst).
+func unionSorted(dst, a, b []int) []int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
+}
+
+// tileState is the router-side spatial record of one tile id.
+type tileState struct {
+	rect geo.Rect // the tile's owned rectangle (partition cell)
+	node int      // index into Engine.nodes of the leaf this tile serves
+	live bool
+}
+
+// tnode is one node of the binary split forest. The initial Rows×Cols
+// tiles are the roots; a split turns a leaf into an interior node with
+// two children, a merge of two sibling leaves turns their parent back
+// into a leaf (served by a fresh tile id).
+type tnode struct {
+	rect   geo.Rect
+	parent int    // -1 for roots
+	kids   [2]int // node indexes; {-1, -1} while a leaf
+	tile   int    // live tile id serving this leaf; -1 otherwise
 }
 
 // Engine is the sharded processor. See the package documentation.
 type Engine struct {
-	opt        Options
-	rows, cols int
-	rects      []geo.Rect
-	tileW      float64
-	tileH      float64
+	opt   Options
+	halo  float64
+	tileW float64 // initial tile width (kNN pad unit, stable across repartitions)
+	tileH float64
 
-	tiles    []Tile
-	objCount []int // objects owned per tile
+	tiles  []Tile      // by tile id; nil once retired (ids are never reused)
+	tstate []tileState // parallel to tiles
+	nodes  []tnode
+	live   []int // sorted ids of live tiles
 
-	now  float64
-	objs map[core.ObjectID]*objInfo
-	qrys map[core.QueryID]*queryInfo
+	objCount []int     // objects owned per tile id
+	loadEW   []float64 // EWMA of queue depth at broadcast, per tile id
+	nanosEW  []float64 // EWMA of measured step nanos, per tile id (0 without a clock)
+
+	factory TileFactory
+
+	now     float64
+	stepSeq uint64
+	objs    map[core.ObjectID]*objInfo
+	qrys    map[core.QueryID]*queryInfo
 
 	// candKNN is the reverse candidacy index: for each object, the KNN
 	// queries holding it as a merge candidate. An object report must
@@ -162,11 +363,19 @@ type Engine struct {
 	// global distances silently).
 	candKNN map[core.ObjectID]map[core.QueryID]struct{}
 
-	objBuf []core.ObjectUpdate
-	qryBuf []core.QueryUpdate
+	pendingOps []repartOp // queued SplitTile/MergeTile requests
 
-	stats core.Stats
-	m     *shardMetrics
+	objBuf   []core.ObjectUpdate
+	qryBuf   []core.QueryUpdate
+	covBuf   []int           // coverage scratch, reused per query update
+	covBuf2  []int           // second coverage scratch (kNN union)
+	ansBuf   []core.ObjectID // bypass answer-merge scratch (see absorbBypass)
+	batchBuf [][]core.Update // broadcast scratch
+	merge    mergeState      // step scratch, reused across Steps
+
+	stats       core.Stats
+	retiredWork core.Stats // work counters of retired tiles (see Stats)
+	m           *shardMetrics
 
 	closeOnce sync.Once
 }
@@ -181,57 +390,62 @@ func New(opt Options) (*Engine, error) {
 
 // NewWithTiles constructs a sharded engine whose tile transports come
 // from factory; a nil factory yields the in-process tiles New uses.
-// internal/cluster passes a factory binding tiles to worker processes:
-// the router's routing and merge logic is byte-for-byte the same either
-// way, which is what keeps the cluster's merged update stream
-// bit-identical to the in-process engine's.
+// The factory receives each tile's core options with Region already set
+// to the tile's halo-expanded rectangle. internal/cluster passes a
+// factory binding tiles to worker processes: the router's routing and
+// merge logic is byte-for-byte the same either way, which is what keeps
+// the cluster's merged update stream bit-identical to the in-process
+// engine's.
 func NewWithTiles(opt Options, factory TileFactory) (*Engine, error) {
 	o, err := opt.withDefaults()
 	if err != nil {
 		return nil, err
 	}
 	b := o.Core.Bounds
-	n := o.Rows * o.Cols
 	e := &Engine{
-		opt:      o,
-		rows:     o.Rows,
-		cols:     o.Cols,
-		rects:    make([]geo.Rect, n),
-		tiles:    make([]Tile, n),
-		objCount: make([]int, n),
-		objs:     make(map[core.ObjectID]*objInfo),
-		qrys:     make(map[core.QueryID]*queryInfo),
-		candKNN:  make(map[core.ObjectID]map[core.QueryID]struct{}),
-		m:        newShardMetrics(o.Core.Metrics, o.Core.Clock),
+		opt:     o,
+		halo:    o.Halo,
+		objs:    make(map[core.ObjectID]*objInfo),
+		qrys:    make(map[core.QueryID]*queryInfo),
+		candKNN: make(map[core.ObjectID]map[core.QueryID]struct{}),
+		m:       newShardMetrics(o.Core.Metrics, o.Core.Clock),
 	}
-	e.m.tiles.Set(int64(n))
+	e.factory = factory
+	if e.factory == nil {
+		e.factory = func(_ int, opt core.Options) (Tile, error) {
+			// Every tile engine resolves the same "engine.*" names against
+			// the shared registry, so engine metrics aggregate across tiles.
+			return newLocalTile(opt, e.m.tracer)
+		}
+	}
 	e.tileW = b.Width() / float64(o.Cols)
 	e.tileH = b.Height() / float64(o.Rows)
 	for r := 0; r < o.Rows; r++ {
 		for c := 0; c < o.Cols; c++ {
-			e.rects[r*o.Cols+c] = geo.Rect{
+			rect := geo.Rect{
 				MinX: b.MinX + float64(c)*e.tileW,
 				MinY: b.MinY + float64(r)*e.tileH,
 				MaxX: b.MinX + float64(c+1)*e.tileW,
 				MaxY: b.MinY + float64(r+1)*e.tileH,
 			}
+			// Pin the outer edges to the exact bounds: tile ownership
+			// treats the global boundary as closed, which requires the
+			// boundary tiles' edges to compare equal to it.
+			if c == o.Cols-1 {
+				rect.MaxX = b.MaxX
+			}
+			if r == o.Rows-1 {
+				rect.MaxY = b.MaxY
+			}
+			node := e.newNode(rect, -1)
+			if _, err := e.attachTile(node); err != nil {
+				e.Close()
+				return nil, err
+			}
 		}
 	}
-	if factory == nil {
-		factory = func(int, core.Options) (Tile, error) {
-			// Every tile engine resolves the same "engine.*" names against
-			// the shared registry, so engine metrics aggregate across tiles.
-			return newLocalTile(o.Core, e.m.tracer)
-		}
-	}
-	for i := 0; i < n; i++ {
-		t, err := factory(i, o.Core)
-		if err != nil {
-			e.Close()
-			return nil, err
-		}
-		e.tiles[i] = t
-	}
+	e.m.tiles.Set(int64(len(e.live)))
+	e.observeTileArea()
 	return e, nil
 }
 
@@ -265,37 +479,80 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// NumTiles returns the number of tiles (shards).
-func (e *Engine) NumTiles() int { return len(e.tiles) }
+// NumTiles returns the number of live tiles (shards).
+func (e *Engine) NumTiles() int { return len(e.live) }
 
-// TileRect returns the spatial extent of tile i, for tests and
-// monitoring.
-func (e *Engine) TileRect(i int) geo.Rect { return e.rects[i] }
+// TileRect returns the spatial extent of tile id i (live or retired),
+// for tests and monitoring.
+func (e *Engine) TileRect(i int) geo.Rect { return e.tstate[i].rect }
 
-// tileCoords maps a point to tile grid coordinates, clamped so every
-// point — including out-of-bounds reports — is owned by a valid tile,
-// exactly as grid cells clamp in the core engine.
-func (e *Engine) tileCoords(p geo.Point) (cx, cy int) {
-	b := e.opt.Core.Bounds
-	cx = int((p.X - b.MinX) / e.tileW)
-	cy = int((p.Y - b.MinY) / e.tileH)
-	if cx < 0 {
-		cx = 0
-	} else if cx > e.cols-1 {
-		cx = e.cols - 1
-	}
-	if cy < 0 {
-		cy = 0
-	} else if cy > e.rows-1 {
-		cy = e.rows - 1
-	}
-	return cx, cy
+// LiveTiles returns the sorted ids of the live tiles. The returned
+// slice is owned by the engine; callers must not modify it.
+func (e *Engine) LiveTiles() []int { return e.live }
+
+// newNode appends a forest node and returns its index.
+func (e *Engine) newNode(rect geo.Rect, parent int) int {
+	e.nodes = append(e.nodes, tnode{rect: rect, parent: parent, kids: [2]int{-1, -1}, tile: -1})
+	return len(e.nodes) - 1
 }
 
-// tileOf returns the index of the tile owning a point.
-func (e *Engine) tileOf(p geo.Point) int {
-	cx, cy := e.tileCoords(p)
-	return cy*e.cols + cx
+// tileOptions derives the core options of a tile engine serving rect:
+// the engine's Region is the rectangle grown by the halo, clipped to
+// the global bounds.
+func (e *Engine) tileOptions(rect geo.Rect) core.Options {
+	o := e.opt.Core
+	if region, ok := rect.Expand(e.halo).Intersect(o.Bounds); ok {
+		o.Region = region
+	}
+	// Tile engines are replicas behind this router: the router owns the
+	// commit/recover protocol, so tiles skip auto-commit snapshots.
+	o.Replica = true
+	return o
+}
+
+// attachTile creates a fresh live tile serving leaf node and returns
+// its id.
+func (e *Engine) attachTile(node int) (int, error) {
+	id := len(e.tiles)
+	rect := e.nodes[node].rect
+	t, err := e.factory(id, e.tileOptions(rect))
+	if err != nil {
+		return -1, err
+	}
+	e.tiles = append(e.tiles, t)
+	e.tstate = append(e.tstate, tileState{rect: rect, node: node, live: true})
+	e.objCount = append(e.objCount, 0)
+	e.loadEW = append(e.loadEW, 0)
+	e.nanosEW = append(e.nanosEW, 0)
+	e.nodes[node].tile = id
+	// Keep the live list sorted; new ids are always the largest.
+	e.live = append(e.live, id)
+	return id, nil
+}
+
+// deactivateTile removes id from the live set (routing no longer sees
+// it) while keeping its transport alive for the handoff sub-step.
+func (e *Engine) deactivateTile(id int) {
+	st := &e.tstate[id]
+	st.live = false
+	e.nodes[st.node].tile = -1
+	for i, t := range e.live {
+		if t == id {
+			e.live = append(e.live[:i], e.live[i+1:]...)
+			break
+		}
+	}
+}
+
+// destroyTile accumulates a deactivated tile's work counters and closes
+// its transport.
+func (e *Engine) destroyTile(id int) {
+	ws := e.tiles[id].WorkStats()
+	e.retiredWork.KNNRecomputes += ws.KNNRecomputes
+	e.retiredWork.CandidateChecks += ws.CandidateChecks
+	e.retiredWork.RegionEvalCells += ws.RegionEvalCells
+	e.tiles[id].Close()
+	e.tiles[id] = nil
 }
 
 // clampToBounds clamps a point into the monitored space componentwise.
@@ -314,79 +571,174 @@ func (e *Engine) clampToBounds(p geo.Point) geo.Point {
 	return p
 }
 
-// tilesOverlapping adds to dst every tile a region can share an owned
-// object with. The region is clamped into bounds componentwise first:
-// clamping is monotone, so the owner tile of any (clamped) location the
-// region contains always falls inside the resulting index range.
-func (e *Engine) tilesOverlapping(r geo.Rect, dst map[int]struct{}) map[int]struct{} {
-	if dst == nil {
-		dst = make(map[int]struct{})
+// ownsPoint reports whether a tile rectangle owns a (bounds-clamped)
+// point. Ownership is half-open — a point on a shared MaxX/MaxY edge
+// belongs to the neighbor — except at the global boundary, which is
+// closed so clamped out-of-bounds reports have an owner.
+func (e *Engine) ownsPoint(r geo.Rect, p geo.Point) bool {
+	b := e.opt.Core.Bounds
+	if p.X < r.MinX || p.X > r.MaxX || p.Y < r.MinY || p.Y > r.MaxY {
+		return false
 	}
+	if p.X == r.MaxX && r.MaxX != b.MaxX {
+		return false
+	}
+	if p.Y == r.MaxY && r.MaxY != b.MaxY {
+		return false
+	}
+	return true
+}
+
+// tileOf returns the id of the live tile owning a point.
+func (e *Engine) tileOf(p geo.Point) int {
+	p = e.clampToBounds(p)
+	for _, id := range e.live {
+		if e.ownsPoint(e.tstate[id].rect, p) {
+			return id
+		}
+	}
+	// The live rectangles partition the bounds exactly (splits are
+	// midpoint cuts of their parent), so this is unreachable; guard
+	// against float pathology with the nearest tile, deterministically.
+	best, bd := e.live[0], math.Inf(1)
+	for _, id := range e.live {
+		if d := e.tstate[id].rect.MinDist2(p); d < bd {
+			bd, best = d, id
+		}
+	}
+	return best
+}
+
+// tilesOverlapping appends to dst (sorted) every live tile a region can
+// share an owned object with. The region is clamped into bounds
+// componentwise first: clamping is monotone, so the owner tile of any
+// (clamped) location the region contains always intersects the clamped
+// image.
+func (e *Engine) tilesOverlapping(r geo.Rect, dst []int) []int {
 	if !r.Valid() {
 		return dst
 	}
 	lo := e.clampToBounds(geo.Pt(r.MinX, r.MinY))
 	hi := e.clampToBounds(geo.Pt(r.MaxX, r.MaxY))
-	x1, y1 := e.tileCoords(lo)
-	x2, y2 := e.tileCoords(hi)
-	for cy := y1; cy <= y2; cy++ {
-		for cx := x1; cx <= x2; cx++ {
-			dst[cy*e.cols+cx] = struct{}{}
+	cr := geo.Rect{MinX: lo.X, MinY: lo.Y, MaxX: hi.X, MaxY: hi.Y}
+	for _, id := range e.live {
+		if e.tstate[id].rect.Intersects(cr) {
+			dst = append(dst, id)
 		}
 	}
 	return dst
 }
 
-// allTiles adds every tile index to dst.
-func (e *Engine) allTiles(dst map[int]struct{}) map[int]struct{} {
-	if dst == nil {
-		dst = make(map[int]struct{}, len(e.tiles))
-	}
-	for i := range e.tiles {
-		dst[i] = struct{}{}
-	}
-	return dst
+// allLive appends every live tile id to dst (sorted).
+func (e *Engine) allLive(dst []int) []int {
+	return append(dst, e.live...)
 }
 
-// knnCoverage returns the tiles a kNN query must be replicated to for a
-// focal circle of the given radius, padded by PadTiles tile widths.
-func (e *Engine) knnCoverage(focal geo.Point, radius float64, dst map[int]struct{}) map[int]struct{} {
+// knnCoverage appends the tiles a kNN query must be replicated to for a
+// focal circle of the given radius, padded by PadTiles initial tile
+// widths. The pad is a replication-churn damper, not a correctness
+// bound — settleKNN's fixpoint supplies that.
+func (e *Engine) knnCoverage(focal geo.Point, radius float64, dst []int) []int {
 	pad := float64(e.opt.PadTiles) * math.Max(e.tileW, e.tileH)
 	return e.tilesOverlapping(geo.RectAround(focal, radius+pad), dst)
 }
 
-// stepTiles runs Step(now) on the given tiles in parallel and returns
-// their update batches in tile order. It is the kNN settle fixpoint's
-// sub-step broadcast, so each call also counts toward shard.knn.substeps.
-func (e *Engine) stepTiles(tiles []int, now float64) [][]core.Update {
-	e.m.knnSubsteps.Add(uint64(len(tiles)))
-	for _, t := range tiles {
-		e.m.queueDepth.Observe(int64(e.tiles[t].Pending()))
-		e.tiles[t].StepBegin(now)
+// predictiveCoverage appends the tiles a predictive range query must be
+// replicated to. With a MaxSpeed cap, an object's trajectory over the
+// validity window [T, T+PredictiveHorizon] stays within
+// MaxSpeed·PredictiveHorizon of its reported location, so only tiles
+// overlapping the region grown by that reach (plus the halo, covering
+// the ownership slack of boundary-clamped reports) can own an object
+// whose predicted motion intersects the region. Without a cap any tile
+// can, so the query replicates everywhere.
+func (e *Engine) predictiveCoverage(region geo.Rect, dst []int) []int {
+	ms := e.opt.Core.MaxSpeed
+	if ms <= 0 {
+		return e.allLive(dst)
 	}
-	out := make([][]core.Update, 0, len(tiles))
-	for _, t := range tiles {
-		out = append(out, e.tiles[t].StepWait())
+	reach := ms*e.opt.Core.PredictiveHorizon + e.halo
+	return e.tilesOverlapping(region.Expand(reach), dst)
+}
+
+// farOut is the pseudo-infinity used when extending a tile's clip
+// rectangle past the global boundary: clamped ownership maps every
+// out-of-bounds raw location onto the boundary tiles, whose clip must
+// therefore admit arbitrary raw coordinates on that side. Finite so
+// grid arithmetic stays well-behaved.
+const farOut = 1e12
+
+// clipRegion clips a range query's region to a tile's halo-expanded
+// extent, extending any side that touches the global boundary to
+// ±farOut. For every object owned by the tile, raw-location membership
+// in the clipped region is equivalent to membership in the full region
+// (an owned object's raw location always lies inside the extended
+// extent — in-bounds coordinates fall in the tile's range, out-of-bounds
+// ones clamp onto a boundary side, which is extended), so the replica's
+// local answer is exactly the full query's answer restricted to the
+// tile's objects.
+func (e *Engine) clipRegion(region geo.Rect, tile int) geo.Rect {
+	c := e.tstate[tile].rect.Expand(e.halo)
+	b := e.opt.Core.Bounds
+	if c.MinX <= b.MinX {
+		c.MinX = -farOut
+	}
+	if c.MinY <= b.MinY {
+		c.MinY = -farOut
+	}
+	if c.MaxX >= b.MaxX {
+		c.MaxX = farOut
+	}
+	if c.MaxY >= b.MaxY {
+		c.MaxY = farOut
+	}
+	out, ok := region.Intersect(c)
+	if !ok {
+		// Unreachable for covered tiles (coverage implies overlap of the
+		// clamped region, which the extended extent contains); forwarding
+		// the full region is always sound — clipping is an optimization.
+		return region
 	}
 	return out
 }
 
-// stepAll runs Step(now) on every tile in parallel, recording each
-// tile's queue depth at broadcast time and the broadcast's step skew
+// stepTiles runs Step(now) on the given tiles in parallel and returns
+// their update batches in tile order. Used by the kNN settle fixpoint
+// and the repartition handoff.
+func (e *Engine) stepTiles(tiles []int, now float64) [][]core.Update {
+	for _, t := range tiles {
+		e.m.queueDepth.Observe(int64(e.tiles[t].Pending()))
+		e.tiles[t].StepBegin(now)
+	}
+	out := e.batchBuf[:0]
+	for _, t := range tiles {
+		out = append(out, e.tiles[t].StepWait())
+	}
+	e.batchBuf = out
+	return out
+}
+
+// stepAll runs Step(now) on every live tile in parallel, recording each
+// tile's queue depth at broadcast time (also folded into the load
+// average driving repartitioning) and the broadcast's step skew
 // (slowest minus fastest tile) when a clock is configured.
 func (e *Engine) stepAll(now float64) [][]core.Update {
-	for _, t := range e.tiles {
-		e.m.queueDepth.Observe(int64(t.Pending()))
-		t.StepBegin(now)
+	const keep = 0.75 // EWMA retention of the previous load estimate
+	for _, id := range e.live {
+		p := e.tiles[id].Pending()
+		e.m.queueDepth.Observe(int64(p))
+		e.loadEW[id] = keep*e.loadEW[id] + (1-keep)*float64(p)
+		e.tiles[id].StepBegin(now)
 	}
-	out := make([][]core.Update, 0, len(e.tiles))
-	for _, t := range e.tiles {
-		out = append(out, t.StepWait())
+	out := e.batchBuf[:0]
+	for _, id := range e.live {
+		out = append(out, e.tiles[id].StepWait())
 	}
-	if e.m.tracer.Enabled() && len(e.tiles) > 1 {
-		lo, hi := e.tiles[0].StepNanos(), e.tiles[0].StepNanos()
-		for _, t := range e.tiles[1:] {
-			ns := t.StepNanos()
+	e.batchBuf = out
+	if e.m.tracer.Enabled() && len(e.live) > 0 {
+		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+		for _, id := range e.live {
+			ns := e.tiles[id].StepNanos()
+			e.nanosEW[id] = keep*e.nanosEW[id] + (1-keep)*float64(ns)
 			if ns < lo {
 				lo = ns
 			}
@@ -394,7 +746,27 @@ func (e *Engine) stepAll(now float64) [][]core.Update {
 				hi = ns
 			}
 		}
-		e.m.stepSkew.Observe(hi - lo)
+		if len(e.live) > 1 {
+			e.m.stepSkew.Observe(hi - lo)
+		}
 	}
 	return out
+}
+
+// observeTileArea publishes the largest live tile's share of the
+// monitored space, in parts per million, to shard.tile_area_max_ppm.
+func (e *Engine) observeTileArea() {
+	b := e.opt.Core.Bounds
+	total := b.Width() * b.Height()
+	if total <= 0 {
+		return
+	}
+	maxA := 0.0
+	for _, id := range e.live {
+		r := e.tstate[id].rect
+		if a := r.Width() * r.Height(); a > maxA {
+			maxA = a
+		}
+	}
+	e.m.tileAreaMax.Set(int64(maxA / total * 1e6))
 }

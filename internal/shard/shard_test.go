@@ -283,7 +283,7 @@ func TestQueryMoveAcrossTiles(t *testing.T) {
 	if len(updates) != 2 || updates[0] != want[0] || updates[1] != want[1] {
 		t.Fatalf("updates = %v, want %v", updates, want)
 	}
-	if _, covered := e.qrys[1].coverage[0]; covered {
+	if covHas(e.qrys[1].coverage, 0) {
 		t.Fatal("old tile should no longer hold a replica")
 	}
 }

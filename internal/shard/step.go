@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"slices"
+
 	"cqp/internal/core"
 	"cqp/internal/geo"
 )
@@ -30,11 +32,14 @@ type pair struct {
 // membership of every touched pair (so each pair emits at most one net
 // transition regardless of how many tile streams mention it), the KNN
 // queries needing a global re-rank, the queries and objects removed in
-// this batch, and the merged output.
+// this batch, and the merged output. It lives on the Engine and is
+// reset, not reallocated, every step.
 type mergeState struct {
-	prior    map[pair]bool
-	touched  []pair
-	knnDirty map[core.QueryID]struct{}
+	prior      map[pair]bool
+	touched    []pair
+	knnDirty   map[core.QueryID]struct{}
+	priorHW    int // high-water len, see resetMap
+	knnDirtyHW int
 
 	removedQrys map[core.QueryID]*queryInfo
 	removedObjs map[core.ObjectID]struct{}
@@ -47,15 +52,60 @@ type mergeState struct {
 	// into the fresh counts (see absorb).
 	resetQrys map[core.QueryID]struct{}
 
+	// handoff marks the repartition handoff sub-step: every pair goes
+	// through the refcounts so the dying and born replicas' −/+ streams
+	// net to silence (see repartition.go).
+	handoff bool
+
 	out []core.Update
+}
+
+// beginMerge resets the engine's merge scratch for a new step.
+func (e *Engine) beginMerge(out []core.Update) *mergeState {
+	m := &e.merge
+	if m.prior == nil {
+		m.prior = make(map[pair]bool)
+		m.knnDirty = make(map[core.QueryID]struct{})
+		m.removedQrys = make(map[core.QueryID]*queryInfo)
+		m.removedObjs = make(map[core.ObjectID]struct{})
+		m.resetQrys = make(map[core.QueryID]struct{})
+	} else {
+		m.prior = resetMap(m.prior, &m.priorHW)
+		m.knnDirty = resetMap(m.knnDirty, &m.knnDirtyHW)
+		clear(m.removedQrys)
+		clear(m.removedObjs)
+		clear(m.resetQrys)
+		m.touched = m.touched[:0]
+	}
+	m.handoff = false
+	m.out = out
+	return m
+}
+
+// resetMap clears a per-step scratch map for reuse. A cleared Go map
+// keeps its bucket array, and clearing costs time proportional to that
+// retained capacity — so one huge step (the bootstrap step refcounts
+// every query before the single-replica bypass can engage) would tax
+// every later step forever. When recent usage collapses far below the
+// high-water mark the map is dropped and reallocated small instead.
+func resetMap[K comparable, V any](mp map[K]V, hw *int) map[K]V {
+	n := len(mp)
+	if n > *hw {
+		*hw = n
+	}
+	if *hw > 1024 && n*8 < *hw {
+		*hw = n
+		return make(map[K]V, 2*n+16)
+	}
+	clear(mp)
+	return mp
 }
 
 // Step routes every buffered report to its tile(s), runs all tile
 // engines in parallel at time now, and merges their update streams into
 // the exact global incremental answer stream. See core.Engine.Step for
 // the contract; the returned slice is freshly allocated and in the
-// canonical order of core.SortUpdates, so the sharded engine's stream is
-// bit-identical to the single-space engine's for the same reports.
+// canonical order of core.SortUpdates.
 func (e *Engine) Step(now float64) []core.Update {
 	return e.stepAppend(nil, now)
 }
@@ -70,16 +120,11 @@ func (e *Engine) stepAppend(out []core.Update, now float64) []core.Update {
 	base := len(out)
 	begin := e.m.tracer.Begin()
 	e.now = now
+	e.stepSeq++
 	e.stats.Steps++
-	m := &mergeState{
-		prior:       make(map[pair]bool),
-		knnDirty:    make(map[core.QueryID]struct{}),
-		removedQrys: make(map[core.QueryID]*queryInfo),
-		removedObjs: make(map[core.ObjectID]struct{}),
-		resetQrys:   make(map[core.QueryID]struct{}),
-		out:         out,
-	}
+	m := e.beginMerge(out)
 
+	e.runRepartitions(m)
 	e.routeObjects(m)
 	e.routeQueries(m)
 
@@ -98,14 +143,16 @@ func (e *Engine) stepAppend(out []core.Update, now float64) []core.Update {
 	e.m.mergedUpdates.Add(uint64(emitted))
 	e.m.lastEmitted.Set(int64(emitted))
 	maxObjs := 0
-	for _, c := range e.objCount {
-		if c > maxObjs {
+	for _, id := range e.live {
+		if c := e.objCount[id]; c > maxObjs {
 			maxObjs = c
 		}
 	}
 	e.m.tileObjectsMax.Set(int64(maxObjs))
 	e.m.tracer.End(e.m.stepLatency, begin)
-	return m.out
+	out = m.out
+	m.out = nil
+	return out
 }
 
 // routeObjects applies the buffered object reports to the routing table
@@ -113,6 +160,7 @@ func (e *Engine) stepAppend(out []core.Update, now float64) []core.Update {
 // cross-tile moves into a removal (old tile) plus an insertion (new
 // tile) so the old tile's queries still see their negative updates.
 func (e *Engine) routeObjects(m *mergeState) {
+	maxSpeed := e.opt.Core.MaxSpeed
 	for i := range e.objBuf {
 		u := e.objBuf[i]
 		e.stats.ObjectReports++
@@ -137,8 +185,18 @@ func (e *Engine) routeObjects(m *mergeState) {
 				continue
 			}
 		}
-		t := e.tileOf(u.Loc)
+		// Mirror the engine-side MaxSpeed rejection: a too-fast
+		// predictive report must not migrate or re-home the object
+		// either, or routing table and tile state would diverge.
+		if core.ExceedsMaxSpeed(u, maxSpeed) {
+			continue
+		}
+		clamped := e.clampToBounds(u.Loc)
 		if info, ok := e.objs[u.ID]; ok {
+			t := info.tile
+			if !e.ownsPoint(e.tstate[t].rect, clamped) {
+				t = e.tileOf(u.Loc)
+			}
 			if info.tile != t {
 				e.m.migrations.Inc()
 				e.tiles[info.tile].ReportObject(core.ObjectUpdate{ID: u.ID, Remove: true})
@@ -146,12 +204,14 @@ func (e *Engine) routeObjects(m *mergeState) {
 				e.objCount[t]++
 				info.tile = t
 			}
-			info.loc = u.Loc
+			info.last = u
+			e.tiles[t].ReportObject(u)
 		} else {
-			e.objs[u.ID] = &objInfo{tile: t, loc: u.Loc}
+			t := e.tileOf(u.Loc)
+			e.objs[u.ID] = &objInfo{tile: t, last: u}
 			e.objCount[t]++
+			e.tiles[t].ReportObject(u)
 		}
-		e.tiles[t].ReportObject(u)
 		e.markCandidateQueries(m, u.ID)
 	}
 }
@@ -177,7 +237,7 @@ func (e *Engine) routeQueries(m *mergeState) {
 			if !ok {
 				continue
 			}
-			for t := range qi.coverage {
+			for _, t := range qi.coverage {
 				e.tiles[t].ReportQuery(core.QueryUpdate{ID: u.ID, Remove: true})
 			}
 			e.detachCandidates(qi)
@@ -185,7 +245,10 @@ func (e *Engine) routeQueries(m *mergeState) {
 			// Keep the record until the merge completes: tiles may have
 			// emitted phase-1 negatives for this query (an object removal
 			// processed before the removal of the query), exactly as the
-			// single engine does.
+			// single engine does. Those negatives fold through the
+			// refcount path, so a bypass-mode record re-materializes its
+			// counts.
+			qi.materializeCount()
 			m.removedQrys[u.ID] = qi
 			continue
 		}
@@ -201,22 +264,25 @@ func (e *Engine) routeQueries(m *mergeState) {
 // applyQueryUpdate registers or moves one query at the router: it
 // mirrors the core engine's auto-commit semantics, recomputes the
 // replication coverage for the new definition, and forwards the update
-// to every tile that holds — or must now hold — a replica.
+// to every tile that holds — or must now hold — a replica. Range
+// replicas receive the region clipped to their tile's halo-expanded
+// extent (membership of owned objects is invariant under the clip, see
+// clipRegion), so a tile's spatial index never registers interest far
+// outside its own region.
 func (e *Engine) applyQueryUpdate(m *mergeState, u core.QueryUpdate) {
 	qi, exists := e.qrys[u.ID]
 	switch {
 	case !exists:
 		qi = &queryInfo{
-			id:       u.ID,
-			kind:     u.Kind,
-			count:    make(map[core.ObjectID]int),
-			coverage: make(map[int]struct{}),
+			id:    u.ID,
+			kind:  u.Kind,
+			count: make(map[core.ObjectID]int),
 		}
 		e.qrys[u.ID] = qi
 		// A fresh registration auto-commits its (empty) answer, as core
 		// does. If the same ID was removed earlier in this batch, old
 		// replicas may still stream stale negatives: mark the reset.
-		qi.committed = make(map[core.ObjectID]struct{})
+		qi.committed = qi.committed[:0]
 		m.resetQrys[u.ID] = struct{}{}
 	case qi.kind != u.Kind:
 		// Kind change: core tears the query down silently (no negative
@@ -226,37 +292,42 @@ func (e *Engine) applyQueryUpdate(m *mergeState, u core.QueryUpdate) {
 		// removed below.
 		e.detachCandidates(qi)
 		qi.count = make(map[core.ObjectID]int)
+		qi.ans = qi.ans[:0]
 		qi.answer = nil
 		qi.radius = 0
 		qi.kind = u.Kind
-		qi.committed = make(map[core.ObjectID]struct{})
+		qi.committed = qi.committed[:0]
 		m.resetQrys[u.ID] = struct{}{}
 	default:
 		// Hearing from a query's client proves it consumed the stream:
 		// auto-commit. The snapshot mirrors core's phase ordering — the
 		// pre-step answer minus the objects removed earlier in this
 		// batch (core's phase 1 retracts those before phase 2 commits).
-		committed := make(map[core.ObjectID]struct{})
-		for _, o := range e.answerIDs(qi) {
-			if _, removed := m.removedObjs[o]; !removed {
-				committed[o] = struct{}{}
+		// For a bypass-mode query this is a memcopy of the sorted
+		// answer; moving queries auto-commit every tick, so this path
+		// dominated the router's query-move profile.
+		e.commitNow(qi)
+		if len(m.removedObjs) > 0 {
+			kept := qi.committed[:0]
+			for _, o := range qi.committed {
+				if _, removed := m.removedObjs[o]; !removed {
+					kept = append(kept, o)
+				}
 			}
+			qi.committed = kept
 		}
-		qi.committed = committed
 	}
 
 	qi.t = u.T
-	newCov := make(map[int]struct{})
+	newCov := e.covBuf[:0]
 	switch u.Kind {
 	case core.Range:
 		qi.region = u.Region
-		e.tilesOverlapping(u.Region, newCov)
+		newCov = e.tilesOverlapping(u.Region, newCov)
 	case core.PredictiveRange:
-		// A predictive object's trajectory can enter the query region
-		// from any tile, and the object↔query join runs in the tile
-		// owning the object: replicate everywhere.
 		qi.region = u.Region
-		e.allTiles(newCov)
+		qi.t1, qi.t2 = u.T1, u.T2
+		newCov = e.predictiveCoverage(u.Region, newCov)
 	case core.KNN:
 		qi.focal = u.Focal
 		qi.k = u.K
@@ -264,26 +335,44 @@ func (e *Engine) applyQueryUpdate(m *mergeState, u core.QueryUpdate) {
 		// held a replica keeps receiving updates (a stale replica would
 		// contribute stale candidates). The focal circle uses the
 		// previous radius; the post-step fixpoint corrects it.
-		for t := range qi.coverage {
-			newCov[t] = struct{}{}
-		}
-		e.knnCoverage(u.Focal, qi.radius, newCov)
+		grown := e.knnCoverage(u.Focal, qi.radius, e.covBuf2[:0])
+		newCov = unionSorted(newCov, qi.coverage, grown)
+		e.covBuf2 = grown[:0]
 		m.knnDirty[qi.id] = struct{}{}
 	}
+	e.m.replicaFanout.Observe(int64(len(newCov)))
 
-	for t := range qi.coverage {
-		if _, keep := newCov[t]; !keep {
-			// The region moved off this tile: forward the update so the
-			// replica retracts its members with proper negatives, then
-			// remove the now-empty replica in the same tile step.
-			e.tiles[t].ReportQuery(u)
-			e.tiles[t].ReportQuery(core.QueryUpdate{ID: u.ID, Remove: true})
+	// A coverage change ends the single-replica bypass for this step:
+	// the refcount path will fold the old and new replicas' streams, so
+	// the compact sorted answer must expand back into refcounts first.
+	if qi.count == nil && !slices.Equal(qi.coverage, newCov) {
+		qi.materializeCount()
+	}
+
+	for _, t := range qi.coverage {
+		if covHas(newCov, t) {
+			continue
 		}
-	}
-	for t := range newCov {
+		// The region moved off this tile: forward the update so the
+		// replica retracts its members with proper negatives, then
+		// remove the now-empty replica in the same tile step. The full
+		// (unclipped) region is fine here — it no longer overlaps the
+		// tile, and the replica is gone within the step.
 		e.tiles[t].ReportQuery(u)
+		e.tiles[t].ReportQuery(core.QueryUpdate{ID: u.ID, Remove: true})
 	}
-	qi.coverage = newCov
+	for _, t := range newCov {
+		uc := u
+		if u.Kind == core.Range {
+			uc.Region = e.clipRegion(u.Region, t)
+		}
+		e.tiles[t].ReportQuery(uc)
+	}
+	if !slices.Equal(qi.coverage, newCov) {
+		qi.coverage = append(qi.coverage[:0], newCov...)
+		qi.covEpoch = e.stepSeq
+	}
+	e.covBuf = newCov[:0]
 }
 
 // lookupMerge resolves a query touched by a tile stream, including
@@ -297,12 +386,102 @@ func (e *Engine) lookupMerge(m *mergeState, q core.QueryID) *queryInfo {
 
 // absorb folds one tile's update batch into the merge refcounts,
 // recording the pre-step membership of each pair on first touch.
+//
+// Fast path: a live non-KNN query covered by exactly one tile whose
+// coverage did not change this step streams straight through. The sole
+// replica's emissions are already the exact merged transitions — no
+// other tile can mention the query, and the stable coverage guarantees
+// no stale old-replica updates are in flight — so the refcount
+// bookkeeping (prior snapshot, touched list, net-transition pass)
+// reduces to mirroring the count and emitting verbatim. Batches are
+// sorted by (Query, Object), so the per-query decision is made once per
+// run of updates, not once per update.
 func (e *Engine) absorb(m *mergeState, batch []core.Update) {
-	for _, u := range batch {
-		qi := e.lookupMerge(m, u.Query)
+	var nbypass uint64
+	for i := 0; i < len(batch); {
+		q := batch[i].Query
+		j := i + 1
+		for j < len(batch) && batch[j].Query == q {
+			j++
+		}
+		run := batch[i:j]
+		i = j
+		qi, live := e.qrys[q]
+		if !live {
+			qi = m.removedQrys[q]
+		}
 		if qi == nil {
 			continue
 		}
+		if live && !m.handoff && qi.kind != core.KNN &&
+			len(qi.coverage) == 1 && qi.covEpoch != e.stepSeq {
+			nbypass += uint64(len(run))
+			e.absorbBypass(m, qi, run)
+			continue
+		}
+		e.absorbCounted(m, qi, run)
+	}
+	if nbypass > 0 {
+		e.m.bypassed.Add(nbypass)
+	}
+}
+
+// absorbBypass folds the sole replica's update run for one query into
+// its sorted-slice answer with a single linear merge: the run and the
+// answer are both in ascending ObjectID order. Emission mirrors the
+// refcount semantics exactly — a positive emits when the object was
+// absent, a negative when present, and the remove+re-add corner (the
+// one case a single engine emits two updates for a pair) streams
+// through verbatim.
+func (e *Engine) absorbBypass(m *mergeState, qi *queryInfo, run []core.Update) {
+	if qi.count != nil {
+		qi.materializeAns()
+	}
+	old := qi.ans
+	buf := e.ansBuf[:0]
+	k := 0
+	for r := 0; r < len(run); {
+		o := run[r].Object
+		for k < len(old) && old[k] < o {
+			buf = append(buf, old[k])
+			k++
+		}
+		present := k < len(old) && old[k] == o
+		if present {
+			k++
+		}
+		for ; r < len(run) && run[r].Object == o; r++ {
+			if run[r].Positive {
+				if !present {
+					present = true
+					e.emit(m, qi.id, o, true)
+				}
+			} else if present {
+				present = false
+				e.emit(m, qi.id, o, false)
+			}
+			// else: stale negative for a state the merge never held;
+			// ignore, as the refcount path does.
+		}
+		if present {
+			buf = append(buf, o)
+		}
+	}
+	buf = append(buf, old[k:]...)
+	qi.ans = append(old[:0], buf...)
+	e.ansBuf = buf[:0]
+}
+
+// absorbCounted folds one query's update run through the refcounts,
+// recording the pre-step membership of each pair on first touch.
+func (e *Engine) absorbCounted(m *mergeState, qi *queryInfo, run []core.Update) {
+	if qi.kind != core.KNN && qi.count == nil {
+		// A bypass-mode query pulled back through the refcount path
+		// (handoff sub-step, or a coverage change arranged after its
+		// last bypass step).
+		qi.materializeCount()
+	}
+	for _, u := range run {
 		key := pair{u.Query, u.Object}
 		if _, seen := m.prior[key]; !seen {
 			m.prior[key] = e.memberOf(qi, u.Object)
@@ -346,6 +525,10 @@ func (e *Engine) absorb(m *mergeState, batch []core.Update) {
 func (e *Engine) memberOf(qi *queryInfo, o core.ObjectID) bool {
 	if qi.kind == core.KNN {
 		_, in := qi.answer[o]
+		return in
+	}
+	if qi.count == nil {
+		_, in := slices.BinarySearch(qi.ans, o)
 		return in
 	}
 	return qi.count[o] > 0

@@ -101,6 +101,8 @@ func buildFuzzMessage(sel byte, a, b uint64, x, y, z, tm float64, flag bool, n u
 		return FullAnswer{Query: core.QueryID(a), Time: tm, Objects: ids}
 	case 10:
 		return Heartbeat{Time: tm}
+	case 11:
+		return ClusterRetire{Tile: uint32(a), Epoch: b}
 	case 12:
 		return ClusterHello{Worker: uint32(a), Incarnation: b}
 	case 13:
@@ -108,6 +110,8 @@ func buildFuzzMessage(sel byte, a, b uint64, x, y, z, tm float64, flag bool, n u
 			Tile: uint32(a), Epoch: b,
 			Bounds: geo.Rect{MinX: x, MinY: y, MaxX: x + z, MaxY: y + z},
 			GridN:  uint32(n%128) + 1, PredictiveHorizon: tm,
+			Region:   geo.Rect{MinX: x, MinY: y, MaxX: x + z/2, MaxY: y + z/2},
+			MaxSpeed: z, Replica: flag,
 		}
 	case 14, 15:
 		objs := make([]core.ObjectUpdate, 0, k)
@@ -185,7 +189,10 @@ func FuzzDecode(f *testing.F) {
 		// trailing payload checksum (a bit flip must fail the decode, not
 		// deliver a silently corrupted tile batch).
 		ClusterHello{Worker: 2, Incarnation: 3},
-		ClusterAssign{Tile: 1, Epoch: 4, Bounds: geo.R(0, 0, 2, 2), GridN: 16, PredictiveHorizon: 50},
+		ClusterAssign{
+			Tile: 1, Epoch: 4, Bounds: geo.R(0, 0, 2, 2), GridN: 16, PredictiveHorizon: 50,
+			Region: geo.R(0, 0, 1, 2), MaxSpeed: 0.25, Replica: true,
+		},
 		ClusterStep{
 			Tile: 1, Epoch: 4, Time: 5,
 			Objects: []core.ObjectUpdate{{ID: 1, Kind: core.Moving, Loc: geo.Pt(0.5, 0.5), T: 5}},
@@ -202,6 +209,7 @@ func FuzzDecode(f *testing.F) {
 			Queries: []core.QueryUpdate{{ID: 2, Kind: core.Range, Region: geo.R(0, 0, 1, 1), T: 5}},
 		},
 		ClusterResyncAck{Tile: 1, Epoch: 5, Checksum: 0xdeadbeef},
+		ClusterRetire{Tile: 1, Epoch: 6},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

@@ -93,6 +93,10 @@ const (
 	// Checksum folds the rebuilt replica answers so the coordinator can
 	// verify the worker's state before routing to it again.
 	MsgClusterResyncAck
+	// MsgClusterRetire (coordinator→worker): a repartition retired the
+	// tile; the worker drops its engine. Tile ids are never reused, so
+	// no epoch race can resurrect a retired tile.
+	MsgClusterRetire
 )
 
 // MaxPayload bounds a message payload; it accommodates a full answer over
@@ -185,9 +189,12 @@ type ClusterHello struct {
 }
 
 // ClusterAssign is the payload of MsgClusterAssign: the engine
-// parameters of one tile. Every tile engine spans the full global
-// bounds (see internal/shard); the semantic options must match the
-// coordinator's exactly or the merged stream would diverge.
+// parameters of one tile. The semantic options must match the
+// coordinator's exactly or the merged stream would diverge; Region is
+// the tile's sub-rectangle of Bounds (zero value: the full bounds) so
+// a remote tile builds the same tile-local grid the coordinator's
+// router assumes, and Replica marks the engine as a router-owned
+// replica that skips per-report committed-answer snapshots.
 type ClusterAssign struct {
 	Tile  uint32
 	Epoch uint64 // current tile epoch; stamped on all subsequent frames
@@ -195,6 +202,9 @@ type ClusterAssign struct {
 	Bounds            geo.Rect
 	GridN             uint32
 	PredictiveHorizon float64
+	Region            geo.Rect // tile bounds + halo; zero = full Bounds
+	MaxSpeed          float64  // swept-region routing bound (0: disabled)
+	Replica           bool
 }
 
 // ClusterStep is the payload of MsgClusterStep: the reports routed to
@@ -251,6 +261,16 @@ type ClusterResyncAck struct {
 	Checksum uint64
 }
 
+// ClusterRetire is the payload of MsgClusterRetire: a split or merge
+// retired the tile, its state has been re-homed onto born tiles, and
+// the worker should free the engine. Best-effort — a worker that never
+// sees it (death before delivery) merely holds a dead engine until its
+// process is recycled.
+type ClusterRetire struct {
+	Tile  uint32
+	Epoch uint64
+}
+
 // Message is any decodable protocol message.
 type Message interface{ msgType() MsgType }
 
@@ -271,6 +291,7 @@ func (ClusterStep) msgType() MsgType       { return MsgClusterStep }
 func (ClusterStepResult) msgType() MsgType { return MsgClusterStepResult }
 func (ClusterResync) msgType() MsgType     { return MsgClusterResync }
 func (ClusterResyncAck) msgType() MsgType  { return MsgClusterResyncAck }
+func (ClusterRetire) msgType() MsgType     { return MsgClusterRetire }
 
 // RecoveryDiff wraps an UpdateBatch under the MsgRecoveryDiff type.
 type RecoveryDiff UpdateBatch
@@ -516,6 +537,11 @@ func appendMessage(b []byte, m Message) []byte {
 		}
 		b = appendU32(b, m.GridN)
 		b = appendF64(b, m.PredictiveHorizon)
+		for _, v := range []float64{m.Region.MinX, m.Region.MinY, m.Region.MaxX, m.Region.MaxY} {
+			b = appendF64(b, v)
+		}
+		b = appendF64(b, m.MaxSpeed)
+		b = appendBool(b, m.Replica)
 		b = appendClusterSum(b, start)
 	case ClusterStep:
 		start := len(b)
@@ -552,6 +578,11 @@ func appendMessage(b []byte, m Message) []byte {
 		b = appendU32(b, m.Tile)
 		b = appendU64(b, m.Epoch)
 		b = appendU64(b, m.Checksum)
+		b = appendClusterSum(b, start)
+	case ClusterRetire:
+		start := len(b)
+		b = appendU32(b, m.Tile)
+		b = appendU64(b, m.Epoch)
 		b = appendClusterSum(b, start)
 	default:
 		panic(fmt.Sprintf("wire: cannot encode %T", m))
@@ -767,6 +798,9 @@ func decodeMessage(t MsgType, payload []byte) (Message, error) {
 		m.Bounds = geo.Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
 		m.GridN = d.u32()
 		m.PredictiveHorizon = d.f64()
+		m.Region = geo.Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
+		m.MaxSpeed = d.f64()
+		m.Replica = d.bool()
 		return m, d.finish()
 	case MsgClusterStep:
 		d.verifyClusterSum()
@@ -809,6 +843,10 @@ func decodeMessage(t MsgType, payload []byte) (Message, error) {
 		m.HasStep = d.bool()
 		m.LastStep = d.f64()
 		m.Objects, m.Queries = decodeReports(d)
+		return m, d.finish()
+	case MsgClusterRetire:
+		d.verifyClusterSum()
+		m := ClusterRetire{Tile: d.u32(), Epoch: d.u64()}
 		return m, d.finish()
 	case MsgClusterResyncAck:
 		d.verifyClusterSum()
