@@ -3,10 +3,13 @@
 //
 // Standalone:
 //
-//	cqp-lint [-checks determinism,maporder,...] [-list] ./...
+//	cqp-lint [-checks determinism,maporder,...] [-list] [-json] ./...
 //
 // exits 1 when findings remain after //lint:allow filtering, printing
-// each as file:line:col: [analyzer] message.
+// each as file:line:col: [analyzer] message — or, under -json, as a
+// JSON array of {file, line, col, analyzer, message} objects on stdout
+// for editor and CI integration. Exit status is 0 for a clean tree, 1
+// for findings, 2 for usage or load errors.
 //
 // As a vet tool it speaks the cmd/go unitchecker protocol, so the same
 // binary plugs into the build cache:
@@ -19,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +53,7 @@ func main() {
 
 	checks := flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cqp-lint [flags] ./... | ./dir ...\n")
 		flag.PrintDefaults()
@@ -86,17 +91,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cqp-lint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		rel := f
-		if r, err := filepath.Rel(modDir, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			rel.Pos.Filename = r
+	for i := range findings {
+		if r, err := filepath.Rel(modDir, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			findings[i].Pos.Filename = r
 		}
-		fmt.Println(rel)
+	}
+	if *asJSON {
+		if err := writeJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "cqp-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "cqp-lint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the stable machine-readable finding shape; the struct
+// keeps the output schema independent of driver.Finding's layout.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits findings as a JSON array — `[]`, never `null`, on a
+// clean run, so consumers can iterate unconditionally.
+func writeJSON(w *os.File, findings []driver.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // findModuleDir walks up from the working directory to the go.mod.

@@ -79,6 +79,7 @@ func main() {
 	}
 	stopMetrics := make(chan struct{})
 	if *metricsAddr != "" {
+		//lint:allow golifecycle the metrics listener serves for the whole process lifetime and dies with main; there is nothing to join
 		go func() {
 			log.Printf("metrics on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
 			if err := http.ListenAndServe(*metricsAddr, cqp.MetricsHandler(reg)); err != nil {

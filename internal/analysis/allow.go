@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression annotations. A finding is dropped when the offending
+// line, or the line directly above it, carries
+//
+//	//lint:allow <analyzer> <reason>
+//
+// with a non-empty reason. The parsing lives here (not in the driver)
+// because two consumers need it: the driver filters findings through
+// it, and the allowaudit analyzer re-derives raw findings to prove
+// every annotation still earns its keep.
+
+// AllowRe matches a suppression comment's shape: analyzer name plus a
+// trailing reason. A reason starting with "//" is not a reason — it is
+// a bare allow followed by another comment — so callers must also
+// check ReasonOK.
+var AllowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_-]+)\s+(\S.*)$`)
+
+// ReasonOK reports whether a captured reason is a real one.
+func ReasonOK(reason string) bool {
+	return reason != "" && !strings.HasPrefix(reason, "//")
+}
+
+// allowAnyRe matches anything that is trying to be a suppression,
+// well-formed or not; allowaudit uses it to catch reason-less allows.
+var allowAnyRe = regexp.MustCompile(`^//\s*lint:allow\b`)
+
+// Allow is one parsed //lint:allow annotation.
+type Allow struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// AllowSet maps file -> line -> set of analyzer names allowed there.
+type AllowSet map[string]map[int]map[string]bool
+
+// Allowed reports whether a finding by analyzer at pos is suppressed by
+// an annotation on its line or the line directly above.
+func (s AllowSet) Allowed(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+func (s AllowSet) add(a Allow) {
+	lines := s[a.Pos.Filename]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		s[a.Pos.Filename] = lines
+	}
+	set := lines[a.Pos.Line]
+	if set == nil {
+		set = make(map[string]bool)
+		lines[a.Pos.Line] = set
+	}
+	set[a.Analyzer] = true
+}
+
+// CollectAllows parses every well-formed //lint:allow annotation in
+// files into a position-indexed set.
+func CollectAllows(fset *token.FileSet, files []*ast.File) AllowSet {
+	out := make(AllowSet)
+	for _, a := range ParseAllows(fset, files) {
+		out.add(a)
+	}
+	return out
+}
+
+// ParseAllows returns every well-formed //lint:allow annotation in
+// files, in file order. Malformed annotations (no reason) are excluded;
+// allowaudit reports those separately.
+func ParseAllows(fset *token.FileSet, files []*ast.File) []Allow {
+	var out []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				m := AllowRe.FindStringSubmatch(cm.Text)
+				if m == nil || !ReasonOK(m[2]) {
+					continue
+				}
+				out = append(out, Allow{
+					Pos:      fset.Position(cm.Pos()),
+					Analyzer: m[1],
+					Reason:   m[2],
+				})
+			}
+		}
+	}
+	return out
+}

@@ -14,6 +14,14 @@
 //   - erradrift: no discarded errors on the storage/wire write paths.
 //   - validatefirst: no receiver-state mutation before parameter
 //     validation has passed (the applyQueryUpdate bug class).
+//   - golifecycle: no fire-and-forget goroutines — every `go` statement
+//     needs a provable join/stop path visible from the launch site.
+//   - wiresym: wire frame codecs must read and write the same top-level
+//     fields in the same order on the encode and decode sides.
+//   - atomicmix: no field accessed both via sync/atomic and plainly; no
+//     obs instrument resolved inside a loop.
+//   - allowaudit: every //lint:allow suppression must be well-formed
+//     and still suppress a live finding.
 //
 // The framework mirrors x/tools deliberately: if the module ever grows a
 // dependency on golang.org/x/tools, each Analyzer translates 1:1. It is
@@ -76,7 +84,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, LockSend, ErrAdrift, ValidateFirst}
+	return []*Analyzer{
+		Determinism, MapOrder, LockSend, ErrAdrift, ValidateFirst,
+		GoLifecycle, WireSym, AtomicMix, AllowAudit,
+	}
 }
 
 // ByName resolves a comma-separated analyzer name list; unknown names

@@ -24,12 +24,10 @@ package driver
 
 import (
 	"fmt"
-	"go/ast"
 	"go/build"
 	"go/token"
 	"os"
 	"path/filepath"
-	"regexp"
 	"sort"
 	"strings"
 
@@ -126,7 +124,7 @@ func (c *Config) Run(patterns []string) ([]Finding, error) {
 // cmd/cqp-lint, which loads packages through cmd/go's export data
 // rather than this driver's loader.
 func (c *Config) LintPackage(pkg *Package) ([]Finding, error) {
-	allows := collectAllows(pkg.Fset, pkg.Files)
+	allows := analysis.CollectAllows(pkg.Fset, pkg.Files)
 	var findings []Finding
 	for _, a := range c.Analyzers {
 		if scope, ok := c.Scope[a.Name]; ok && !scope[pkg.Path] {
@@ -141,7 +139,7 @@ func (c *Config) LintPackage(pkg *Package) ([]Finding, error) {
 		}
 		pass.Report = func(d analysis.Diagnostic) {
 			pos := pkg.Fset.Position(d.Pos)
-			if allows.allowed(a.Name, pos) {
+			if allows.Allowed(a.Name, pos) {
 				return
 			}
 			findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
@@ -225,48 +223,4 @@ func modulePackages(modPath, modDir string) ([]string, error) {
 	})
 	sort.Strings(out)
 	return out, err
-}
-
-// --- //lint:allow ----------------------------------------------------------
-
-var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_-]+)\s+(\S.*)$`)
-
-// allowSet maps file -> line -> set of analyzer names allowed there.
-type allowSet map[string]map[int]map[string]bool
-
-// allowed reports whether the finding at pos is suppressed by an
-// annotation on its line or the line directly above.
-func (s allowSet) allowed(analyzer string, pos token.Position) bool {
-	lines := s[pos.Filename]
-	if lines == nil {
-		return false
-	}
-	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
-}
-
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	out := make(allowSet)
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, cm := range cg.List {
-				m := allowRe.FindStringSubmatch(cm.Text)
-				if m == nil {
-					continue
-				}
-				pos := fset.Position(cm.Pos())
-				lines := out[pos.Filename]
-				if lines == nil {
-					lines = make(map[int]map[string]bool)
-					out[pos.Filename] = lines
-				}
-				set := lines[pos.Line]
-				if set == nil {
-					set = make(map[string]bool)
-					lines[pos.Line] = set
-				}
-				set[m[1]] = true
-			}
-		}
-	}
-	return out
 }

@@ -1,0 +1,90 @@
+package driver_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolUnitchecker exercises the cmd/go integration end to end:
+// cqp-lint is built once, then driven through `go vet -vettool=` — the
+// unitchecker protocol (-V=full probe, per-package .cfg, exit 2 on
+// findings) — against a clean module package and against a scratch
+// module carrying a leaky goroutine that golifecycle must flag.
+func TestVettoolUnitchecker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	modDir := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "cqp-lint")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cqp-lint")
+	build.Dir = modDir
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cqp-lint: %v\n%s", err, out)
+	}
+
+	t.Run("clean package", func(t *testing.T) {
+		vet := exec.Command("go", "vet", "-vettool="+bin, "./internal/geo/")
+		vet.Dir = modDir
+		if out, err := vet.CombinedOutput(); err != nil {
+			t.Fatalf("go vet on a clean package failed: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("leaky module", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFile(t, filepath.Join(dir, "go.mod"), "module leaky\n\ngo 1.21\n")
+		writeFile(t, filepath.Join(dir, "leaky.go"), `package leaky
+
+func Leak() {
+	go func() {
+		for {
+		}
+	}()
+}
+`)
+		vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		vet.Dir = dir
+		var out bytes.Buffer
+		vet.Stdout = &out
+		vet.Stderr = &out
+		err := vet.Run()
+		if err == nil {
+			t.Fatalf("go vet accepted a leaky goroutine; output:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "no join/stop path") {
+			t.Fatalf("vet failed but not with the golifecycle finding:\n%s", out.String())
+		}
+	})
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

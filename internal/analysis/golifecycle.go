@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLifecycle flags `go` statements that launch goroutines with no
+// provable join or stop path — the fire-and-forget shape that worker
+// and supervisor leaks start as. Every goroutine in this repository is
+// expected to be joinable (WaitGroup Add/Done pairing, a done channel
+// closed on exit) or stoppable (a stop/context channel it selects on),
+// because the differential and chaos suites assert zero leaked
+// goroutines after every Close.
+//
+// The analysis is evidence-based, not a proof: a launch is accepted
+// when a join/stop mechanism is visible from the launch site —
+//
+//   - the goroutine body (a function literal, or the body of a
+//     same-package function/method, followed through same-package
+//     calls to bounded depth) performs a channel operation: a send,
+//     receive, select, range over a channel, or close — these are the
+//     shapes of done-channel joins, result handoffs, and stop-channel
+//     loops;
+//   - the body calls (*sync.WaitGroup).Done or Wait, or
+//     context.Context.Done;
+//   - or, when the callee's body is out of reach (another package, a
+//     function value), the call site passes a stop-capable argument: a
+//     channel, a context.Context, or a *sync.WaitGroup.
+//
+// A goroutine with none of the above has no way to be waited for and
+// no way to be told to stop; either wire one in or annotate the launch
+// with a reason (process-lifetime goroutines in main are the one
+// sanctioned case).
+var GoLifecycle = &Analyzer{
+	Name: "golifecycle",
+	Doc: "flag fire-and-forget goroutines: every `go` statement needs a " +
+		"provable join/stop path (WaitGroup Done, done-channel close, " +
+		"channel loop, or context cancellation) visible from the launch site",
+	Run: runGoLifecycle,
+}
+
+func runGoLifecycle(pass *Pass) error {
+	// Memoized per-function evidence, shared across launch sites; the
+	// in-progress marker (false entry before the walk) breaks recursion
+	// cycles conservatively toward "no evidence".
+	memo := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if isTestFile(pass.Fset, g.Pos()) {
+				return true
+			}
+			if !launchHasLifecycle(pass, g.Call, memo) {
+				pass.Reportf(g.Pos(), "goroutine launched with no join/stop path: no WaitGroup Done/Wait, channel operation, select, or context cancellation is reachable from this `go` statement — a leak the moment its parent is closed")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// launchHasLifecycle decides one `go` call.
+func launchHasLifecycle(pass *Pass, call *ast.CallExpr, memo map[*types.Func]bool) bool {
+	// Stop-capable arguments count as evidence even when the callee's
+	// body is out of reach: passing a channel, context, or WaitGroup is
+	// what handing a goroutine its stop/join mechanism looks like.
+	for _, arg := range call.Args {
+		if stopCapableType(pass.TypesInfo.TypeOf(arg)) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyHasJoinEvidence(pass, fun.Body, memo, 0)
+	default:
+		fn := funcOf(pass.TypesInfo, call)
+		if fn != nil && fn.Pkg() == pass.Pkg {
+			if body := declBody(pass, fn); body != nil {
+				return funcHasJoinEvidence(pass, fn, body, memo)
+			}
+		}
+		return false
+	}
+}
+
+// stopCapableType reports whether t can carry a stop or join signal
+// across the launch: a channel, a context.Context, or a
+// *sync.WaitGroup.
+func stopCapableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Pointer:
+		if named, ok := u.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "WaitGroup" && pkgPathOf(obj) == "sync" {
+				return true
+			}
+		}
+	case *types.Interface:
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Context" && pkgPathOf(obj) == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// maxCallDepth bounds how far join evidence is chased through
+// same-package calls (go w.run() → run's body → its helpers).
+const maxCallDepth = 3
+
+func funcHasJoinEvidence(pass *Pass, fn *types.Func, body *ast.BlockStmt, memo map[*types.Func]bool) bool {
+	if v, ok := memo[fn]; ok {
+		return v
+	}
+	memo[fn] = false // in-progress: cycles resolve to "no evidence"
+	v := bodyHasJoinEvidence(pass, body, memo, 0)
+	memo[fn] = v
+	return v
+}
+
+// bodyHasJoinEvidence walks a goroutine body — including nested
+// function literals, since a deferred literal is the canonical place
+// for wg.Done — looking for any join/stop shape.
+func bodyHasJoinEvidence(pass *Pass, body *ast.BlockStmt, memo map[*types.Func]bool, depth int) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			// A nested launch's evidence belongs to the goroutine it
+			// starts, not to this one — it is checked at its own site.
+			return false
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if callIsJoinEvidence(pass, x, memo, depth) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func callIsJoinEvidence(pass *Pass, call *ast.CallExpr, memo map[*types.Func]bool, depth int) bool {
+	info := pass.TypesInfo
+	// close(ch): the done-channel join.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	fn := funcOf(info, call)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		switch {
+		case pkgPathOf(fn) == "sync" && (fn.Name() == "Done" || fn.Name() == "Wait"):
+			return true
+		case pkgPathOf(fn) == "context" && fn.Name() == "Done":
+			return true
+		}
+	}
+	// Follow same-package callees: `go w.run()` is joinable when run
+	// ranges over the command channel that Close closes.
+	if fn.Pkg() == pass.Pkg && depth < maxCallDepth {
+		if body := declBody(pass, fn); body != nil {
+			if v, ok := memo[fn]; ok {
+				return v
+			}
+			memo[fn] = false
+			v := bodyHasJoinEvidence(pass, body, memo, depth+1)
+			memo[fn] = v
+			return v
+		}
+	}
+	return false
+}
+
+// declBody finds the FuncDecl body of a same-package function or
+// method in the pass's files.
+func declBody(pass *Pass, fn *types.Func) *ast.BlockStmt {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}

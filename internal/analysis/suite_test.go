@@ -30,3 +30,19 @@ func TestErrAdrift(t *testing.T) {
 func TestValidateFirst(t *testing.T) {
 	analysistest.Run(t, analysis.ValidateFirst, "validatefirst")
 }
+
+func TestGoLifecycle(t *testing.T) {
+	analysistest.Run(t, analysis.GoLifecycle, "golifecycle")
+}
+
+func TestWireSym(t *testing.T) {
+	analysistest.Run(t, analysis.WireSym, "wiresym")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "atomicmix")
+}
+
+func TestAllowAudit(t *testing.T) {
+	analysistest.Run(t, analysis.AllowAudit, "allowaudit")
+}

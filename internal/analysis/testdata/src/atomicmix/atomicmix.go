@@ -1,0 +1,69 @@
+// Fixture for the atomicmix analyzer: no field may be accessed both
+// via sync/atomic and plainly, and no obs instrument may be resolved
+// inside a loop.
+package atomicmix
+
+import (
+	"sync/atomic"
+
+	"cqp/internal/obs"
+)
+
+type counters struct {
+	hits  uint64        // accessed via atomic.AddUint64 — must stay atomic everywhere
+	safe  atomic.Uint64 // typed atomic: the mix is inexpressible
+	plain int           // never touched atomically
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// plainRead races with bump: the mixed access the analyzer exists for.
+func (c *counters) plainRead() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+// atomicRead uses the atomic API throughout: fine.
+func (c *counters) atomicRead() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// typedAndPlain: typed atomics and untouched fields are never flagged.
+func (c *counters) typedAndPlain() {
+	c.safe.Add(1)
+	c.plain++
+}
+
+// metrics resolves its instruments once, at construction time — the
+// internal/obs hot-path contract.
+type metrics struct {
+	steps *obs.Counter
+	depth *obs.Gauge
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		steps: r.Counter("engine.steps"),
+		depth: r.Gauge("engine.depth"),
+	}
+}
+
+// hotLoop re-resolves on every iteration: flagged. The pre-resolved
+// instrument next to it is the sanctioned idiom.
+func (m *metrics) hotLoop(r *obs.Registry, n int) {
+	for i := 0; i < n; i++ {
+		r.Counter("engine.steps").Inc() // want `obs instrument resolved inside a loop`
+		m.steps.Inc()
+	}
+}
+
+// rangeClosure: a closure built inside a range loop still resolves once
+// per iteration — depth does not reset at the func literal.
+func (m *metrics) rangeClosure(r *obs.Registry, vs []int64) {
+	for _, v := range vs {
+		f := func() { m.depth.Set(v) }
+		f()
+		_ = func() { r.Gauge("engine.depth").Set(v) } // want `obs instrument resolved inside a loop`
+	}
+}

@@ -1,0 +1,94 @@
+// Fixture for the golifecycle analyzer: every `go` statement must have
+// a provable join/stop path — a WaitGroup, a channel operation, a
+// select, or context cancellation reachable from the launch.
+package golifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	wg   sync.WaitGroup
+	cmd  chan int
+	done chan struct{}
+}
+
+// fireAndForget has no join or stop path at all.
+func fireAndForget() {
+	go func() { // want `goroutine launched with no join/stop path`
+		println("leaked")
+	}()
+}
+
+// waitGroupJoin is the canonical Add/Done pairing.
+func (w *worker) waitGroupJoin() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		println("work")
+	}()
+}
+
+// doneChannelJoin signals completion by closing a channel.
+func (w *worker) doneChannelJoin() {
+	go func() {
+		defer close(w.done)
+		println("work")
+	}()
+}
+
+// methodWithStopLoop: the callee's body ranges over a channel the owner
+// closes; the analyzer follows same-package callees.
+func (w *worker) start() {
+	go w.run()
+}
+
+func (w *worker) run() {
+	for c := range w.cmd {
+		_ = c
+	}
+}
+
+// contextCancel selects on ctx.Done.
+func contextCancel(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// stopCapableArg: the callee body is out of reach (a func value), but a
+// stop channel travels with the launch — evidence enough.
+func stopCapableArg(f func(stop <-chan struct{}), stop chan struct{}) {
+	go f(stop)
+}
+
+// resultHandoff blocks on delivering its result: joinable.
+func resultHandoff(res chan int) {
+	go func() { res <- 42 }()
+}
+
+// indirectLeak launches a same-package callee that has no lifecycle
+// either; the analyzer recurses and still finds nothing.
+func indirectLeak() {
+	go spin() // want `goroutine launched with no join/stop path`
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// nestedLaunchIsNotEvidence: the inner goroutine's channel send belongs
+// to the inner goroutine — it must not excuse the outer launch, which
+// loops forever with no stop path of its own.
+func nestedLaunchIsNotEvidence(out chan int) {
+	go func() { // want `goroutine launched with no join/stop path`
+		for {
+			go func() { out <- 1 }()
+		}
+	}()
+}

@@ -1,0 +1,127 @@
+// Fixture for the wiresym analyzer: the encoder's type switch and the
+// decoder's tag switch must touch each message's fields in the same
+// order. The mini protocol below mirrors internal/wire's shape —
+// append-style encode, cursor-style decode, shared per-type helpers.
+package wiresym
+
+type MsgType uint8
+
+const (
+	MsgPing MsgType = iota
+	MsgAssign
+	MsgBatch
+	MsgSnapshot
+)
+
+type Rect struct{ MinX, MinY, MaxX, MaxY float64 }
+
+type Ping struct{ Seq uint64 }
+
+type Assign struct {
+	Tile  uint32
+	Max   float64
+	Epoch uint64
+	Area  Rect
+}
+
+type Batch struct {
+	Time    float64
+	Updates []uint64
+}
+
+type Snapshot struct {
+	Tile  uint32
+	Batch Batch
+}
+
+type Message interface{ msgType() MsgType }
+
+func (Ping) msgType() MsgType     { return MsgPing }
+func (Assign) msgType() MsgType   { return MsgAssign }
+func (Batch) msgType() MsgType    { return MsgBatch }
+func (Snapshot) msgType() MsgType { return MsgSnapshot }
+
+func appendU32(b []byte, v uint32) []byte { return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v)) }
+func appendU64(b []byte, v uint64) []byte { return appendU32(appendU32(b, uint32(v>>32)), uint32(v)) }
+func appendF64(b []byte, v float64) []byte { return appendU64(b, uint64(v)) }
+
+type decoder struct {
+	b []byte
+	i int
+}
+
+func (d *decoder) u32() uint32 {
+	v := uint32(d.b[d.i])<<24 | uint32(d.b[d.i+1])<<16 | uint32(d.b[d.i+2])<<8 | uint32(d.b[d.i+3])
+	d.i += 4
+	return v
+}
+func (d *decoder) u64() uint64 { return uint64(d.u32())<<32 | uint64(d.u32()) }
+func (d *decoder) f64() float64 { return float64(d.u64()) }
+
+func appendMessage(b []byte, m Message) []byte {
+	switch m := m.(type) {
+	case Ping:
+		b = appendU64(b, m.Seq)
+	case Assign:
+		b = appendU32(b, m.Tile)
+		b = appendF64(b, m.Max)
+		b = appendU64(b, m.Epoch)
+		b = appendF64(b, m.Area.MinX)
+		b = appendF64(b, m.Area.MinY)
+		b = appendF64(b, m.Area.MaxX)
+		b = appendF64(b, m.Area.MaxY)
+	case Batch:
+		b = appendBatch(b, m)
+	case Snapshot:
+		b = appendU32(b, m.Tile)
+		b = appendBatch(b, m.Batch)
+	}
+	return b
+}
+
+// appendBatch is a whole-message helper: its field touches count as the
+// caller's when the caller hands it the entire message value.
+func appendBatch(b []byte, m Batch) []byte {
+	b = appendF64(b, m.Time)
+	b = appendU32(b, uint32(len(m.Updates)))
+	for _, u := range m.Updates {
+		b = appendU64(b, u)
+	}
+	return b
+}
+
+func decodeMessage(t MsgType, d *decoder) Message {
+	switch t {
+	case MsgPing:
+		return Ping{Seq: d.u64()}
+	case MsgAssign: // want `wire codec asymmetry for Assign: encode writes \[Tile Max Epoch Area\] but decode reads \[Tile Epoch Max Area\]`
+		var m Assign
+		m.Tile = d.u32()
+		m.Epoch = d.u64() // drifted: encode writes Max before Epoch
+		m.Max = d.f64()
+		m.Area = Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
+		return m
+	case MsgBatch:
+		m := decodeBatch(d)
+		return m
+	case MsgSnapshot:
+		var m Snapshot
+		m.Tile = d.u32()
+		m.Batch = decodeBatch(d)
+		return m
+	}
+	return nil
+}
+
+// decodeBatch mirrors appendBatch; the analyzer follows it when its
+// result becomes the whole decoded message.
+func decodeBatch(d *decoder) Batch {
+	var m Batch
+	m.Time = d.f64()
+	n := int(d.u32())
+	m.Updates = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		m.Updates = append(m.Updates, d.u64())
+	}
+	return m
+}

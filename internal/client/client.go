@@ -486,7 +486,7 @@ func (c *Client) apply(msg wire.Message) {
 		// to the application. A write failure here is the read loop's
 		// problem to notice.
 		//lint:allow locksend c.mu serializes writers on the shared wire.Writer; writes are deadline-bounded
-		if err := c.w.Write(wire.Heartbeat{Time: m.Time}); err == nil { //lint:allow erradrift echo failure surfaces as the read loop's next error; there is no caller to hand it to
+		if err := c.w.Write(wire.Heartbeat{Time: m.Time}); err == nil {
 			c.m.framesOut.Inc()
 		}
 		c.mu.Unlock()

@@ -4,12 +4,16 @@ import (
 	"fmt"
 	"os"
 	"testing"
+
+	"cqp/internal/testutil/leakcheck"
 )
 
 // TestMain lets the test binary double as the worker executable: when
 // ExecSpawner re-executes it with the CQP_CLUSTER_* environment set,
 // the process becomes a tile worker instead of running tests — the same
-// dial-back re-exec pattern cmd/cqp-cluster uses.
+// dial-back re-exec pattern cmd/cqp-cluster uses. The test path runs
+// under leakcheck: a coordinator, slot, or spawner goroutine that
+// outlives its Close fails the package.
 func TestMain(m *testing.M) {
 	if handled, err := RunWorkerFromEnv(); handled {
 		if err != nil {
@@ -18,7 +22,7 @@ func TestMain(m *testing.M) {
 		}
 		os.Exit(0)
 	}
-	os.Exit(m.Run())
+	os.Exit(leakcheck.Run(m))
 }
 
 // TestExecSIGKILLBetweenSteps runs the differential workload against

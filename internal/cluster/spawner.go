@@ -94,9 +94,12 @@ type ExecSpawner struct {
 	command []string
 	ln      net.Listener
 	stop    chan struct{}
+	wg      sync.WaitGroup // joins the accept loop and in-flight routes
 
 	mu      sync.Mutex
+	closed  bool
 	pending map[spawnKey]chan net.Conn
+	routing map[net.Conn]bool // dial-backs mid-handshake, closed on Close
 }
 
 type spawnKey struct {
@@ -119,17 +122,32 @@ func NewExecSpawner(command []string) (*ExecSpawner, error) {
 		ln:      ln,
 		stop:    make(chan struct{}),
 		pending: make(map[spawnKey]chan net.Conn),
+		routing: make(map[net.Conn]bool),
 	}
+	s.wg.Add(1)
 	go s.accept()
 	return s, nil
 }
 
 func (s *ExecSpawner) accept() {
+	defer s.wg.Done()
 	for {
 		c, err := s.ln.Accept()
 		if err != nil {
 			return
 		}
+		// Register the dial-back before routing so Close can cut a
+		// handshake sitting on its read deadline instead of waiting it
+		// out.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.routing[c] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
 		go s.route(c)
 	}
 }
@@ -138,15 +156,18 @@ func (s *ExecSpawner) accept() {
 // waiting for that (worker, incarnation); unclaimed or late dial-backs
 // are dropped.
 func (s *ExecSpawner) route(c net.Conn) {
+	defer s.wg.Done()
 	c.SetReadDeadline(time.Now().Add(10 * time.Second))
 	m, err := wire.NewReader(c).Read()
 	hello, ok := m.(wire.ClusterHello)
-	if err != nil || !ok {
+	s.mu.Lock()
+	delete(s.routing, c)
+	if err != nil || !ok || s.closed {
+		s.mu.Unlock()
 		c.Close()
 		return
 	}
 	c.SetReadDeadline(time.Time{})
-	s.mu.Lock()
 	key := spawnKey{hello.Worker, hello.Incarnation}
 	ch := s.pending[key]
 	delete(s.pending, key)
@@ -202,9 +223,22 @@ func (s *ExecSpawner) Spawn(worker int, incarnation uint64) (Process, error) {
 	return nil, fmt.Errorf("cluster: worker %d (incarnation %d) did not dial back", worker, incarnation)
 }
 
+// Close stops the dial-back listener and joins the accept and route
+// goroutines. In-flight handshakes are cut by closing their
+// connections; without that, a route blocked on its 10-second read
+// deadline would outlive the spawner — the supervisor-leak shape the
+// golifecycle analyzer exists to catch.
 func (s *ExecSpawner) Close() error {
 	close(s.stop)
-	return s.ln.Close()
+	err := s.ln.Close()
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.routing {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
 }
 
 type execProcess struct {

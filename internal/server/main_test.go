@@ -1,0 +1,14 @@
+package server
+
+import (
+	"testing"
+
+	"cqp/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// every server, session, and shard started here must be fully joined by
+// its Close path.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -1,0 +1,14 @@
+package shard
+
+import (
+	"testing"
+
+	"cqp/internal/testutil/leakcheck"
+)
+
+// TestMain fails the package if any test leaves a goroutine running —
+// shard workers are long-lived and a Close that does not join them is
+// exactly the leak this catches.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -1,0 +1,26 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyCleanProcess(t *testing.T) {
+	if err := Verify(); err != nil {
+		t.Fatalf("expected clean process, got: %v", err)
+	}
+}
+
+func TestVerifyCatchesParkedGoroutine(t *testing.T) {
+	stop := make(chan struct{})
+	go func() { <-stop }()
+	defer close(stop)
+
+	err := Verify()
+	if err == nil {
+		t.Fatal("expected a leak report for the parked goroutine")
+	}
+	if !strings.Contains(err.Error(), "TestVerifyCatchesParkedGoroutine") {
+		t.Fatalf("leak report does not name the leaking site:\n%v", err)
+	}
+}

@@ -20,6 +20,12 @@ func FuzzRoundTrip(f *testing.F) {
 	}
 	f.Add(byte(1), uint64(9), uint64(8), -1.0, 2.0, 0.5, -3.0, true, uint(17))
 	f.Add(byte(14), uint64(7), uint64(3), 0.0, 1.0, 0.25, 9.0, true, uint(5))
+	// Dedicated corners for the cluster control frames: a retirement at
+	// the tile/epoch extremes, and an assignment with a non-default halo
+	// region, speed bound, and replica flag — the fields whose ordering
+	// the resync checksum (and the wiresym analyzer) guards.
+	f.Add(byte(11), uint64(1)<<32-1, ^uint64(0), 0.0, 0.0, 0.0, 0.0, false, uint(0))
+	f.Add(byte(13), uint64(5), uint64(1), 0.125, 0.25, 0.5, 75.0, true, uint(63))
 
 	f.Fuzz(func(t *testing.T, sel byte, a, b uint64, x, y, z, tm float64, flag bool, n uint) {
 		m := buildFuzzMessage(sel, a, b, x, y, z, tm, flag, n)
