@@ -39,14 +39,15 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig5a|fig5b|shared|qindex|gridsize|recovery|bulk|predictive|parallel|shard|core|all")
-		label      = flag.String("label", "", "run label recorded in BENCH_core.json for -exp core")
-		shards     = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shard")
-		objects    = flag.Int("objects", 20000, "moving object population")
-		queries    = flag.Int("queries", 20000, "moving query population")
-		ticks      = flag.Int("ticks", 8, "measured evaluation periods per point")
-		seed       = flag.Int64("seed", 1, "random seed")
-		paperScale = flag.Bool("paper-scale", false, "use the paper's 100K objects x 100K queries")
+		exp         = flag.String("exp", "all", "experiment: fig5a|fig5b|shared|qindex|gridsize|recovery|bulk|predictive|parallel|shard|core|all")
+		label       = flag.String("label", "", "run label recorded in BENCH_core.json for -exp core")
+		shards      = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shard")
+		parallelism = flag.String("parallelism", "", "comma-separated join worker counts: the sweep list for -exp parallel (default 1,2,4,8) and the per-point engine settings for -exp core (default 0 = serial; 0 is allowed)")
+		objects     = flag.Int("objects", 20000, "moving object population")
+		queries     = flag.Int("queries", 20000, "moving query population")
+		ticks       = flag.Int("ticks", 8, "measured evaluation periods per point")
+		seed        = flag.Int64("seed", 1, "random seed")
+		paperScale  = flag.Bool("paper-scale", false, "use the paper's 100K objects x 100K queries")
 	)
 	flag.Parse()
 
@@ -73,9 +74,9 @@ func main() {
 	run("recovery", func() { recovery(base) })
 	run("bulk", func() { bulk(base) })
 	run("predictive", func() { predictive(base) })
-	run("parallel", func() { parallelExp(base) })
+	run("parallel", func() { parallelExp(base, *parallelism) })
 	run("shard", func() { shardExp(base, *shards) })
-	run("core", func() { coreExp(base, *label) })
+	run("core", func() { coreExp(base, *label, *parallelism) })
 
 	switch *exp {
 	case "fig5a", "fig5b", "shared", "qindex", "gridsize", "recovery", "bulk", "predictive", "parallel", "shard", "core", "all":
@@ -186,9 +187,27 @@ func predictive(base bench.Fig5Config) {
 	fmt.Println()
 }
 
-func parallelExp(base bench.Fig5Config) {
-	fmt.Println("=== Ablation 8: gather-phase parallelism (100% update rate) ===")
+// parseCounts parses a comma-separated integer list flag; values below
+// min are rejected.
+func parseCounts(list, flagName string, min int) []int {
+	var counts []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < min {
+			fmt.Fprintf(os.Stderr, "cqp-bench: bad %s entry %q\n", flagName, f)
+			os.Exit(2)
+		}
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+func parallelExp(base bench.Fig5Config, list string) {
+	fmt.Println("=== Ablation 8: join-phase parallelism (100% update rate) ===")
 	workers := []int{1, 2, 4, 8}
+	if list != "" {
+		workers = parseCounts(list, "-parallelism", 1)
+	}
 	cfg := base
 	cfg.Rate, cfg.QueryRate = 1.0, 0.3
 	times := bench.RunParallelSweep(cfg, workers)
@@ -200,15 +219,7 @@ func parallelExp(base bench.Fig5Config) {
 }
 
 func shardExp(base bench.Fig5Config, list string) {
-	var counts []int
-	for _, f := range strings.Split(list, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "cqp-bench: bad -shards entry %q\n", f)
-			os.Exit(2)
-		}
-		counts = append(counts, n)
-	}
+	counts := parseCounts(list, "-shards", 1)
 	fmt.Println("=== Shard scaling: Step latency vs. spatial shard count (30% update rate) ===")
 	results := bench.RunShardSweep(base, counts)
 	fmt.Printf("%10s %8s %12s %9s %12s\n", "shards", "tiles", "step ms", "speedup", "updates/tick")
@@ -232,13 +243,31 @@ func shardExp(base bench.Fig5Config, list string) {
 // BENCH_core.json, the perf-regression trajectory of the unsharded hot
 // path (one Step == one op; ns/op, B/op, allocs/op as a testing.B
 // benchmark would report them).
-func coreExp(base bench.Fig5Config, label string) {
+func coreExp(base bench.Fig5Config, label, parallelism string) {
 	fmt.Println("=== Core engine: steady-state Step cost (30% update rate) ===")
-	points := bench.RunCoreSweep(base)
-	fmt.Printf("%8s %10s %10s %14s %14s %14s %14s\n",
+	levels := []int{0}
+	if parallelism != "" {
+		levels = parseCounts(parallelism, "-parallelism", 0)
+	}
+	var points []bench.CorePoint
+	for _, p := range levels {
+		cfg := base
+		cfg.Parallelism = p
+		pts := bench.RunCoreSweep(cfg)
+		if p > 0 {
+			// Distinguish parallel variants of the same population so a
+			// single run can carry serial and parallel points side by
+			// side (the parallelism field holds the exact value).
+			for i := range pts {
+				pts[i].Name += fmt.Sprintf("-p%d", p)
+			}
+		}
+		points = append(points, pts...)
+	}
+	fmt.Printf("%10s %10s %10s %14s %14s %14s %14s\n",
 		"point", "objects", "queries", "ms/step", "KB/step", "allocs/step", "updates/step")
 	for _, p := range points {
-		fmt.Printf("%8s %10d %10d %14.1f %14.0f %14.0f %14.0f\n",
+		fmt.Printf("%10s %10d %10d %14.1f %14.0f %14.0f %14.0f\n",
 			p.Name, p.Objects, p.Queries, p.NsPerStep/1e6, p.BytesPerStep/1024,
 			p.AllocsPerStep, p.UpdatesPerStep)
 	}

@@ -30,6 +30,8 @@ func main() {
 		horizon  = flag.Float64("horizon", 100, "predictive trajectory horizon (seconds)")
 		shards   = flag.Int("shards", 1, "spatial shards evaluating in parallel (1 = single engine)")
 
+		parallelism = flag.Int("parallelism", 0, "join-phase worker count per engine (0 = serial); with -shards > 1 each tile engine gets this many workers")
+
 		shardHalo   = flag.Float64("shard-halo", 0, "halo margin around each tile engine's region (0 = one grid cell)")
 		shardRepart = flag.Bool("shard-repartition", false, "split hot tiles and merge cold ones under load skew (shards > 1)")
 		repoDir     = flag.String("repo", "", "repository directory for durable commits and location history (empty = in-memory only)")
@@ -55,6 +57,7 @@ func main() {
 			Bounds:            cqp.R(0, 0, *size, *size),
 			GridN:             *gridN,
 			PredictiveHorizon: *horizon,
+			Parallelism:       *parallelism,
 		},
 		Shards:            *shards,
 		ShardHalo:         *shardHalo,

@@ -34,6 +34,12 @@ type Fig5Config struct {
 	Warmup    int     // unmeasured leading periods
 	DT        float64 // seconds per period (paper: 5)
 	Seed      int64
+
+	// Parallelism is the engine's join-phase worker count for
+	// experiments that honor it (the core sweep); 0 keeps the serial
+	// engine. Sweeps that vary the worker count themselves
+	// (RunParallelSweep) take an explicit list instead.
+	Parallelism int
 }
 
 // WithDefaults fills the zero fields with the laptop-scale defaults used

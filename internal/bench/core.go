@@ -27,6 +27,18 @@ type CorePoint struct {
 	AllocsPerStep  float64 `json:"allocs_per_step"`
 	UpdatesPerStep float64 `json:"updates_per_step"`
 
+	// Parallelism is the engine's configured join worker count (0 =
+	// serial path). GOMAXPROCS and NumCPU record the parallelism the
+	// host actually offered, and Hardware interprets them, matching
+	// BENCH_shard.json: on a single-CPU host the join workers
+	// serialize, so a parallel run's gain over serial is work
+	// reduction, not concurrency. Comparisons across BENCH_core.json
+	// revisions are only meaningful at equal GOMAXPROCS.
+	Parallelism int    `json:"parallelism"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"numcpu"`
+	Hardware    string `json:"hardware,omitempty"`
+
 	// Metrics is the final flattened snapshot of the point's metrics
 	// registry (the engine runs fully instrumented, clock included), so
 	// each BENCH record carries the observability view of its own run:
@@ -90,7 +102,8 @@ func runCorePoint(name string, cfg Fig5Config) CorePoint {
 	reg := obs.NewRegistry()
 	engine := core.MustNewEngine(core.Options{
 		Bounds: geo.R(0, 0, 1, 1), GridN: cfg.GridN,
-		Metrics: reg, Clock: obs.WallClock,
+		Parallelism: cfg.Parallelism,
+		Metrics:     reg, Clock: obs.WallClock,
 	})
 	wl.Bootstrap(engine)
 	engine.Step(world.Now())
@@ -133,6 +146,10 @@ func runCorePoint(name string, cfg Fig5Config) CorePoint {
 		BytesPerStep:   float64(bytes) / n,
 		AllocsPerStep:  float64(mallocs) / n,
 		UpdatesPerStep: float64(updates) / n,
+		Parallelism:    cfg.Parallelism,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		Hardware:       hardwareNote(),
 		Metrics:        reg.Flatten(),
 	}
 }

@@ -44,7 +44,7 @@ type ShardResult struct {
 func hardwareNote() string {
 	note := fmt.Sprintf("go %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
 	if runtime.GOMAXPROCS(0) == 1 {
-		note += "; GOMAXPROCS=1: tiles serialize, speedup is work reduction only"
+		note += "; GOMAXPROCS=1: parallel stages (tiles, join workers) serialize, speedup is work reduction only"
 	}
 	return note
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -9,7 +10,14 @@ import (
 
 // benchEngine builds an engine with a uniform population.
 func benchEngine(objects, queries int, kind QueryKind) (*Engine, *rand.Rand) {
-	e := MustNewEngine(Options{Bounds: geo.R(0, 0, 1, 1), GridN: 64, PredictiveHorizon: 100})
+	return benchEngineP(objects, queries, kind, 0)
+}
+
+// benchEngineP is benchEngine with an explicit Parallelism, so the
+// steady-state pins can cover the work-stealing join as well as the
+// serial path.
+func benchEngineP(objects, queries int, kind QueryKind, parallelism int) (*Engine, *rand.Rand) {
+	e := MustNewEngine(Options{Bounds: geo.R(0, 0, 1, 1), GridN: 64, PredictiveHorizon: 100, Parallelism: parallelism})
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < objects; i++ {
 		e.ReportObject(ObjectUpdate{
@@ -130,21 +138,30 @@ func BenchmarkStepSteadyState(b *testing.B) {
 // (a 100-move tick against 10K queries used to cost thousands of
 // allocations with closure sorts and per-visit temporaries).
 func TestStepSteadyStateAllocs(t *testing.T) {
-	const objects, queries, moves = 10000, 10000, 100
-	e, rng := benchEngine(objects, queries, Range)
-	// Long warmup: grid cell slabs and answer maps keep growing toward
-	// their high-water marks for tens of ticks under random churn.
-	for i := 0; i < 100; i++ {
-		stepChurn(e, rng, objects, moves, float64(i))
-	}
-	tick := 100
-	avg := testing.AllocsPerRun(20, func() {
-		stepChurn(e, rng, objects, moves, float64(tick))
-		tick++
-	})
-	const budget = 50
-	t.Logf("steady-state Step: %.1f allocs/tick (budget %d)", avg, budget)
-	if avg > budget {
-		t.Errorf("steady-state Step allocates %.1f times per tick; budget is %d", avg, budget)
+	// The parallel variant shares the serial budget: worker scratch is
+	// engine-owned and resliced per step, so the work-stealing join must
+	// not add steady-state allocations (goroutine starts reuse runtime
+	// stacks; deques and batch spans live on the engine).
+	for _, par := range []int{0, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			const objects, queries, moves = 10000, 10000, 100
+			e, rng := benchEngineP(objects, queries, Range, par)
+			// Long warmup: grid cell slabs and answer sets keep growing
+			// toward their high-water marks for tens of ticks under
+			// random churn.
+			for i := 0; i < 100; i++ {
+				stepChurn(e, rng, objects, moves, float64(i))
+			}
+			tick := 100
+			avg := testing.AllocsPerRun(20, func() {
+				stepChurn(e, rng, objects, moves, float64(tick))
+				tick++
+			})
+			const budget = 50
+			t.Logf("steady-state Step: %.1f allocs/tick (budget %d)", avg, budget)
+			if avg > budget {
+				t.Errorf("steady-state Step allocates %.1f times per tick; budget is %d", avg, budget)
+			}
+		})
 	}
 }

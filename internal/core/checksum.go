@@ -1,5 +1,7 @@
 package core
 
+import "slices"
+
 // ChecksumIDs returns an order-independent checksum of an answer set,
 // used by the out-of-sync recovery handshake: a reconnecting client sends
 // the checksum of its (rolled-back) answer; if it matches the server's
@@ -16,11 +18,14 @@ func ChecksumIDs(ids []ObjectID) uint64 {
 	return sum
 }
 
-func checksumSet(s map[ObjectID]struct{}) uint64 {
+// checksumAnswer folds a handle-keyed answer set, translating handles
+// to ObjectIDs so the checksum is comparable with a client's.
+func (e *Engine) checksumAnswer(s *answerSet) uint64 {
 	var sum uint64
-	for id := range s {
-		//lint:allow maporder XOR of per-ID mixes is commutative; the fold is order-independent by construction (see TestChecksumOrderIndependent)
-		sum ^= splitmix64(uint64(id))
+	members := s.AppendTo(e.hBuf[:0])
+	e.hBuf = members
+	for _, h := range members {
+		sum ^= splitmix64(uint64(e.idByH[h]))
 	}
 	return sum
 }
@@ -41,7 +46,7 @@ func (e *Engine) AnswerChecksum(q QueryID) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
-	return checksumSet(qs.answer), true
+	return e.checksumAnswer(&qs.answer), true
 }
 
 // CommittedChecksum returns the checksum of q's committed answer; ok is
@@ -52,7 +57,7 @@ func (e *Engine) CommittedChecksum(q QueryID) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
-	return checksumSet(qs.committed), true
+	return ChecksumIDs(qs.committed), true
 }
 
 // SeedCommitted installs a committed answer for q, typically restored
@@ -65,10 +70,13 @@ func (e *Engine) SeedCommitted(q QueryID, objs []ObjectID) bool {
 	if !ok {
 		return false
 	}
-	committed := make(map[ObjectID]struct{}, len(objs))
-	for _, id := range objs {
-		committed[id] = struct{}{}
-	}
-	qs.committed = committed
+	dst := append(qs.committed[:0], objs...)
+	// The committed snapshot is a set: dedupe, since the caller's input
+	// is unconstrained (a duplicate would double-emit on Recover).
+	slices.Sort(dst)
+	qs.committed = slices.Compact(dst)
+	// The installed snapshot need not match the live answer, so the next
+	// commit must rebuild even if no membership changed since.
+	qs.snapClean = false
 	return true
 }

@@ -1,6 +1,9 @@
 package core
 
-import "slices"
+import (
+	"math/bits"
+	"slices"
+)
 
 // Commit records that the client of query q has provably received the
 // update stream so far: the current answer becomes the committed answer.
@@ -18,17 +21,35 @@ func (e *Engine) Commit(q QueryID) bool {
 }
 
 func (e *Engine) commit(qs *queryState) {
-	// Reuse the previous committed map: moving queries auto-commit on
-	// every report, so allocating a fresh snapshot per report dominated
-	// the query-move path's allocation profile.
-	if qs.committed == nil {
-		qs.committed = make(map[ObjectID]struct{}, len(qs.answer))
+	// No membership change since the last snapshot: committed already
+	// equals the answer, so the rebuild below would reproduce it. (An
+	// object removal that could invalidate a committed ID always went
+	// through setMember first, clearing the flag.)
+	if qs.snapClean {
+		return
+	}
+	// Reuse the previous committed snapshot's storage: moving queries
+	// auto-commit on every report, so allocating a fresh snapshot per
+	// report dominated the query-move path's allocation profile. The
+	// answer holds handles; the snapshot stores ObjectIDs, because the
+	// committed set can outlive its members (see queryState.committed).
+	dst := qs.committed[:0]
+	if qs.answer.bits != nil {
+		for wi, w := range qs.answer.bits {
+			base := int32(wi << 6)
+			for w != 0 {
+				h := base + int32(bits.TrailingZeros64(w))
+				w &= w - 1
+				dst = append(dst, e.idByH[h])
+			}
+		}
 	} else {
-		clear(qs.committed)
+		for _, h := range qs.answer.small {
+			dst = append(dst, e.idByH[h])
+		}
 	}
-	for oid := range qs.answer {
-		qs.committed[oid] = struct{}{}
-	}
+	qs.committed = dst
+	qs.snapClean = true
 }
 
 // Recover computes the updates an out-of-sync client needs after a
@@ -48,14 +69,21 @@ func (e *Engine) Recover(q QueryID) ([]Update, bool) {
 	if !ok {
 		return nil, false
 	}
+	// The snapshot is unordered (commit is the hot path and appends
+	// blindly); sort it here so membership tests are binary searches.
+	// Recover is rare, and the snapshot is rewritten below anyway.
+	slices.Sort(qs.committed)
 	var out []Update
-	for oid := range qs.committed {
-		if _, still := qs.answer[oid]; !still {
+	for _, oid := range qs.committed {
+		if os, live := e.objs[oid]; !live || !qs.answer.Has(os.h) {
 			out = append(out, Update{Query: q, Object: oid, Positive: false})
 		}
 	}
-	for oid := range qs.answer {
-		if _, had := qs.committed[oid]; !had {
+	members := qs.answer.AppendTo(e.hBuf[:0])
+	e.hBuf = members
+	for _, h := range members {
+		oid := e.idByH[h]
+		if _, ok := slices.BinarySearch(qs.committed, oid); !ok {
 			out = append(out, Update{Query: q, Object: oid, Positive: true})
 		}
 	}
@@ -90,10 +118,7 @@ func (e *Engine) CommittedAnswer(q QueryID) ([]ObjectID, bool) {
 	if !ok {
 		return nil, false
 	}
-	out := make([]ObjectID, 0, len(qs.committed))
-	for oid := range qs.committed {
-		out = append(out, oid)
-	}
+	out := append(make([]ObjectID, 0, len(qs.committed)), qs.committed...)
 	slices.Sort(out)
 	return out, true
 }

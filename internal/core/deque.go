@@ -1,0 +1,66 @@
+package core
+
+import "sync/atomic"
+
+// clDeque is a Chase-Lev-style work-stealing deque specialized for the
+// join phase's batch schedule. The classic structure keeps a growable
+// ring buffer; here the partition stage preloads each worker with a
+// contiguous run of batch indices and nothing is ever pushed mid-phase,
+// so the "buffer" is the identity mapping over [top, bottom) and only
+// the two ends remain: the owner pops batches from the bottom (LIFO,
+// walking its run back to front), thieves CAS the top forward (FIFO,
+// taking the batches the owner would reach last — which preserves the
+// cell-major locality of what the owner keeps).
+//
+// Go's sync/atomic operations are sequentially consistent, which covers
+// the fence the original algorithm needs between the owner's bottom
+// store and its top load. With no pushes there is no buffer reuse and
+// therefore no ABA: a CAS on top uniquely claims one batch index.
+type clDeque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	// Pad to a cache line so adjacent deques in the engine's pool don't
+	// false-share their hot words.
+	_ [48]byte
+}
+
+// reset preloads the deque with the batch indices [lo, hi).
+func (d *clDeque) reset(lo, hi int32) {
+	d.top.Store(int64(lo))
+	d.bottom.Store(int64(hi))
+}
+
+// popBottom takes one batch from the owner's end. Only the owning
+// worker may call it.
+func (d *clDeque) popBottom() (int32, bool) {
+	b := d.bottom.Add(-1) // claim the slot, then re-check against thieves
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the claim so thieves see a canonical empty deque.
+		d.bottom.Store(t)
+		return 0, false
+	}
+	if t == b {
+		// Last batch: race any thief for it via the top CAS.
+		won := d.top.CompareAndSwap(t, t+1)
+		d.bottom.Store(t + 1)
+		return int32(b), won
+	}
+	return int32(b), true
+}
+
+// steal takes one batch from the top end on behalf of another worker.
+// It returns false only after observing the deque empty; CAS losses
+// against the owner or other thieves retry internally, so a false
+// result is a proof this deque has no more work.
+func (d *clDeque) steal() (int32, bool) {
+	for {
+		t := d.top.Load()
+		if t >= d.bottom.Load() {
+			return 0, false
+		}
+		if d.top.CompareAndSwap(t, t+1) {
+			return int32(t), true
+		}
+	}
+}

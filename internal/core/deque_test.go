@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeSerialDrain checks the owner-only path: a preloaded run pops
+// LIFO (back to front) and exactly once.
+func TestDequeSerialDrain(t *testing.T) {
+	var d clDeque
+	d.reset(3, 10)
+	var got []int32
+	for {
+		b, ok := d.popBottom()
+		if !ok {
+			break
+		}
+		got = append(got, b)
+	}
+	if len(got) != 7 {
+		t.Fatalf("drained %d batches, want 7: %v", len(got), got)
+	}
+	for i, b := range got {
+		if want := int32(9 - i); b != want {
+			t.Fatalf("pop %d = %d, want %d (LIFO from bottom)", i, b, want)
+		}
+	}
+	if _, ok := d.steal(); ok {
+		t.Fatal("steal from drained deque succeeded")
+	}
+}
+
+// TestDequeStealExactlyOnce hammers one deque with a popping owner and
+// several concurrent thieves, asserting every batch index is claimed by
+// exactly one goroutine. Run under -race this is also the memory-model
+// check on the top/bottom protocol.
+func TestDequeStealExactlyOnce(t *testing.T) {
+	const (
+		rounds  = 200
+		batches = 64
+		thieves = 4
+	)
+	for round := 0; round < rounds; round++ {
+		var d clDeque
+		d.reset(0, batches)
+		var claimed [batches]atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(thieves)
+		for i := 0; i < thieves; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					b, ok := d.steal()
+					if !ok {
+						return
+					}
+					claimed[b].Add(1)
+					runtime.Gosched()
+				}
+			}()
+		}
+		for {
+			b, ok := d.popBottom()
+			if !ok {
+				break
+			}
+			claimed[b].Add(1)
+		}
+		wg.Wait()
+		for b := range claimed {
+			if n := claimed[b].Load(); n != 1 {
+				t.Fatalf("round %d: batch %d claimed %d times", round, b, n)
+			}
+		}
+	}
+}

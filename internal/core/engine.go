@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"slices"
-	"sync"
 
 	"cqp/internal/geo"
 	"cqp/internal/grid"
@@ -48,11 +47,15 @@ type Options struct {
 	// cover the longest window in use. Defaults to 100.
 	PredictiveHorizon float64
 
-	// Parallelism fans the read-only gather phase of the object-driven
-	// join out across this many goroutines when a bulk step carries enough
-	// moved objects. 0 or 1 keeps evaluation single-threaded (the
-	// default); results are identical either way, only update order within
-	// a batch differs.
+	// Parallelism is the worker count of the parallel query-update join:
+	// when a step carries enough dirty work, its query re-registrations,
+	// moved-object joins, and dirty-kNN re-evaluations are bucketed into
+	// per-cell batches and drained by this many workers with
+	// work-stealing (see join.go). 0 or 1 keeps evaluation
+	// single-threaded (the default). The emitted update stream is
+	// bit-identical at any worker count: gathers are read-only, deltas
+	// are applied serially in a deterministic order, and the appended
+	// region is canonically sorted either way.
 	Parallelism int
 
 	// Metrics, when non-nil, registers the engine's observability
@@ -151,7 +154,11 @@ func ExceedsMaxSpeed(u ObjectUpdate, maxSpeed float64) bool {
 // objectState is the engine's record of one object: the paper's object
 // entry (OID, loc, t, QList).
 type objectState struct {
-	id        ObjectID
+	id ObjectID
+	// h is the object's dense handle: its slot in Engine.objsByH and the
+	// payload of its grid keys, so every hot-path lookup from a grid
+	// visit is a direct array index instead of a map probe.
+	h         int32
 	kind      ObjectKind
 	loc       geo.Point
 	vel       geo.Vector
@@ -164,14 +171,19 @@ type objectState struct {
 	sweptValid bool
 
 	// queries is the QList: every query whose answer currently contains
-	// this object.
-	queries map[QueryID]struct{}
+	// this object. A packed slice (membership sets are small — see
+	// answerSet) maintained exclusively by setMember, which keeps it an
+	// exact mirror of the answer sets.
+	queries []*queryState
 }
 
 // queryState is the engine's record of one query: the paper's query entry
 // plus the incremental-evaluation and recovery bookkeeping.
 type queryState struct {
-	id   QueryID
+	id QueryID
+	// h is the query's dense handle (slot in Engine.qrysByH, payload of
+	// its grid keys); see objectState.h.
+	h    int32
 	kind QueryKind
 	t    float64
 
@@ -183,12 +195,28 @@ type queryState struct {
 
 	registered bool // region currently present in the grid
 
-	// answer is the OList: the latest answer, maintained incrementally.
-	answer map[ObjectID]struct{}
+	// answer is the OList: the latest answer, maintained incrementally,
+	// keyed by object handle (members are always live, so handles cannot
+	// dangle).
+	answer answerSet
 
-	// committed is the last answer the client provably received; nil until
-	// the first commit. See Commit and Recover.
-	committed map[ObjectID]struct{}
+	// committed is the last answer the client provably received, keyed
+	// by ObjectID — unlike answer it can outlive its members (a removed
+	// object must still produce a negative update on Recover), so it
+	// must not reference handles. It is an unordered snapshot slice,
+	// rewritten wholesale on every commit (the auto-commit path is hot;
+	// Recover, the only reader that needs lookups, sorts it first). See
+	// Commit and Recover.
+	committed []ObjectID
+
+	// snapClean records that committed (as a set) still equals answer:
+	// no membership change since the last commit. Auto-commit fires on
+	// every report a moving query sends, but most reporting queries —
+	// the ones in quiet cells — have unchanged answers, so commit can
+	// skip the snapshot rebuild for them entirely. Cleared by the two
+	// answer mutators (setMember, setMemberNew) and by SeedCommitted,
+	// set by commit.
+	snapClean bool
 }
 
 // Engine is the shared, incremental continuous query processor. Methods
@@ -200,6 +228,24 @@ type Engine struct {
 	now  float64
 	objs map[ObjectID]*objectState
 	qrys map[QueryID]*queryState
+
+	// Dense handle tables: objsByH[os.h] == os for every live object
+	// (nil in freed slots), and symmetrically for queries. Grid keys
+	// carry handles, so the join's candidate probes index these arrays
+	// directly. Freed handles are recycled LIFO — a deterministic
+	// policy, so handle assignment (and with it grid-slab layout) is
+	// identical across replicas fed the same report stream.
+	objsByH []*objectState
+	qrysByH []*queryState
+	objFree []int32
+	qryFree []int32
+
+	// idByH mirrors objsByH with just the external ID: handle→ID
+	// translation (commit snapshots, answer reads, checksums) is a flat
+	// array load instead of a pointer chase through the object state.
+	// Freed slots keep their stale ID — translation is only ever done
+	// for live members, whose slots are current.
+	idByH []ObjectID
 
 	objBuf []ObjectUpdate
 	qryBuf []QueryUpdate
@@ -214,23 +260,43 @@ type Engine struct {
 	// within a few Steps and is then only resliced. None of this state
 	// carries semantics between Steps — each buffer is reset (length
 	// zero or cleared) before use.
-	movedBuf []movedObj     // phase-1 changed-object list
-	gathers  []*movedGather // per-worker gather scratch; [0] serves the serial path
-	dirtyBuf []QueryID      // sorted dirty-kNN drain
-	qidBuf   []QueryID      // removeObject's sorted QList drain
-	dropBuf  []*objectState // range/predictive membership-drop collection
-	diffBuf  []geo.Rect     // region-difference pieces
+	movedBuf []movedObj    // phase-1 changed-object list
+	workers  []*joinWorker // per-worker join scratch; [0] serves the serial path
+	deques   []*clDeque    // per-worker batch deques (see join.go)
+	dirtyBuf []QueryID     // sorted dirty-kNN drain
+	qidBuf   []*queryState // removeObject's sorted QList drain
+	hBuf     []int32       // answer-member snapshot for drop scans et al.
+	diffBuf  []geo.Rect    // region-difference pieces
 	knnBuf   []grid.Neighbor
-	knnNew   map[ObjectID]struct{} // recomputeKNN's next answer
-	knnDrop  []ObjectID
-	knnAdd   []ObjectID
-	prevEmit int // previous Step's emission count: pre-size hint for out
+	knnDrop  []int32 // recomputeKNN's retracted member handles
+	knnAdd   []int32 // recomputeKNN's admitted member handles
+	prevEmit int     // previous Step's emission count: pre-size hint for out
+
+	// Parallel-join scratch (see join.go): the partition stage's
+	// counting-sort buffers and batch table, the per-phase item tables,
+	// and the canonical-sort keys.
+	partIdx  []int32
+	itemCell []int32
+	cellCnt  []int32
+	batches  []batchSpan
+	nActive  int32 // workers participating in the running phase
+	qryPlan  []qryPlanEntry
+	gItems   []gItem
+	gRes     []gRes
+	qryCount map[QueryID]int32
+	knnQS    []*queryState
+	knnCell  []int32
+	knnRes   []knnRes
+	liveBuf  []movedObj // phase-3 live view, shared with movedBuf's array
+	sortKeys []uint64
+	sortWide []updSortKey
+	sortTmp  []Update
 
 	// Pre-bound grid-visit callbacks for the serial query-update phase
 	// (a fresh closure per moved query escapes to the heap; with tens of
 	// thousands of query moves per Step that was a dominant allocation
-	// source). curQS/curOut carry the query being applied; both phases
-	// run strictly serially, so one slot suffices.
+	// source). curQS/curOut carry the query being applied; the apply
+	// path runs strictly serially, so one slot suffices.
 	curQS        *queryState
 	curOut       *[]Update
 	rangeVisitCB func(uint64, geo.Point) bool
@@ -250,19 +316,23 @@ func NewEngine(opt Options) (*Engine, error) {
 		objs:     make(map[ObjectID]*objectState),
 		qrys:     make(map[QueryID]*queryState),
 		dirtyKNN: make(map[QueryID]struct{}),
-		knnNew:   make(map[ObjectID]struct{}),
+		qryCount: make(map[QueryID]int32),
 		m:        newEngineMetrics(o.Metrics, o.Clock),
 	}
 	e.rangeVisitCB = func(k uint64, _ geo.Point) bool {
 		e.stats.CandidateChecks++
-		e.setMember(e.curQS, e.objs[keyObject(k)], true, e.curOut)
+		// Candidates from the region difference A_new − A_old can still
+		// be members: phase 1 moves objects before the query phase, so
+		// a member may sit in the new area under its new location while
+		// its membership dates from the old one. setMember dedupes.
+		e.setMember(e.curQS, e.objsByH[k>>1], true, e.curOut)
 		return true
 	}
 	e.predRegionCB = func(k uint64, _ geo.Rect) bool {
 		if keyIsQuery(k) {
 			return true
 		}
-		os := e.objs[keyObject(k)]
+		os := e.objsByH[k>>1]
 		e.stats.CandidateChecks++
 		if e.predictiveMatch(e.curQS, os) {
 			e.setMember(e.curQS, os, true, e.curOut)
@@ -287,14 +357,49 @@ func MustNewEngine(opt Options) *Engine {
 	return e
 }
 
-// Grid key space: object and query identifiers share the grid's uint64
-// key space, disambiguated by the low bit.
-func okey(id ObjectID) uint64 { return uint64(id)<<1 | 0 }
-func qkey(id QueryID) uint64  { return uint64(id)<<1 | 1 }
+// Grid key space: object and query handles share the grid's uint64 key
+// space, disambiguated by the low bit. Keys carry dense handles rather
+// than external IDs so a grid visit resolves its subject with one array
+// index (objsByH / qrysByH) — the map probes this replaces were over
+// half the join phase's CPU at the paper scale. Query keys additionally
+// carry the query kind in bits 1–2, so the object-join gather can
+// dispatch on kind and test the slab-stored rect before touching the
+// (cold) query state at all; the handle sits at bits 3+.
+func okeyH(h int32) uint64 { return uint64(uint32(h))<<1 | 0 }
 
-func keyIsQuery(k uint64) bool    { return k&1 == 1 }
-func keyObject(k uint64) ObjectID { return ObjectID(k >> 1) }
-func keyQuery(k uint64) QueryID   { return QueryID(k >> 1) }
+func qkeyH(h int32, kind QueryKind) uint64 {
+	return uint64(uint32(h))<<3 | uint64(kind)<<1 | 1
+}
+
+func keyIsQuery(k uint64) bool { return k&1 == 1 }
+
+func keyKind(k uint64) QueryKind { return QueryKind(k >> 1 & 3) }
+
+// allocObjHandle assigns os the next free dense handle.
+func (e *Engine) allocObjHandle(os *objectState) {
+	if n := len(e.objFree); n > 0 {
+		os.h = e.objFree[n-1]
+		e.objFree = e.objFree[:n-1]
+		e.objsByH[os.h] = os
+		e.idByH[os.h] = os.id
+		return
+	}
+	os.h = int32(len(e.objsByH))
+	e.objsByH = append(e.objsByH, os)
+	e.idByH = append(e.idByH, os.id)
+}
+
+// allocQryHandle assigns qs the next free dense handle.
+func (e *Engine) allocQryHandle(qs *queryState) {
+	if n := len(e.qryFree); n > 0 {
+		qs.h = e.qryFree[n-1]
+		e.qryFree = e.qryFree[:n-1]
+		e.qrysByH[qs.h] = qs
+		return
+	}
+	qs.h = int32(len(e.qrysByH))
+	e.qrysByH = append(e.qrysByH, qs)
+}
 
 // ReportObject buffers an object update for the next Step, mirroring the
 // paper's server-side buffering of received updates for bulk processing.
@@ -337,9 +442,11 @@ func (e *Engine) Answer(q QueryID) ([]ObjectID, bool) {
 	if !ok {
 		return nil, false
 	}
-	out := make([]ObjectID, 0, len(qs.answer))
-	for id := range qs.answer {
-		out = append(out, id)
+	members := qs.answer.AppendTo(e.hBuf[:0])
+	e.hBuf = members
+	out := make([]ObjectID, 0, len(members))
+	for _, h := range members {
+		out = append(out, e.idByH[h])
 	}
 	slices.Sort(out)
 	return out, true
@@ -405,14 +512,15 @@ func (e *Engine) stepAppend(out []Update, now float64) []Update {
 		}
 		os, exists := e.objs[u.ID]
 		if !exists {
-			os = &objectState{id: u.ID, queries: make(map[QueryID]struct{})}
+			os = &objectState{id: u.ID}
+			e.allocObjHandle(os)
 			e.objs[u.ID] = os
 			os.kind = u.Kind
 			os.loc = u.Loc
 			os.vel = u.Vel
 			os.waypoints = u.Waypoints
 			os.t = u.T
-			e.g.InsertObject(okey(u.ID), u.Loc)
+			e.g.InsertObject(okeyH(os.h), u.Loc)
 			e.registerSwept(os)
 			moved = append(moved, movedObj{os: os, isNew: true, oldLoc: u.Loc})
 			continue
@@ -423,34 +531,28 @@ func (e *Engine) stepAppend(out []Update, now float64) []Update {
 		os.waypoints = u.Waypoints
 		os.t = u.T
 		os.loc = u.Loc
-		e.g.MoveObject(okey(u.ID), old, u.Loc)
+		e.g.MoveObject(okeyH(os.h), old, u.Loc)
 		e.registerSwept(os)
 		moved = append(moved, movedObj{os: os, oldLoc: old})
 	}
+
+	// Phases 2–4 are the query-update join: query re-registrations,
+	// the moved-object spatial join, and exact dirty-kNN re-evaluation.
+	// Each phase gathers read-only (in parallel, when configured) and
+	// applies serially; see join.go for the batch/steal machinery and
+	// the determinism argument.
+	joinBegin := e.m.tracer.Begin()
 
 	// Phase 2: apply query reports. Range queries are evaluated
 	// incrementally over the region difference; kNN queries are marked for
 	// exact recomputation; predictive queries are re-joined against
 	// trajectory candidates.
-	for _, u := range e.qryBuf {
-		e.stats.QueryReports++
-		if u.Remove {
-			e.removeQuery(u.ID)
-			continue
-		}
-		e.applyQueryUpdate(u, &out)
-	}
+	e.queryPhase(&out)
 
 	// Phase 3: object-driven evaluation. For every changed object, first
 	// re-check its existing memberships against the (possibly moved)
 	// queries, then probe the grid cells at its new position for candidate
 	// queries it newly satisfies.
-	//
-	// The phase is structured as a read-only gather over the moved objects
-	// followed by a serial apply, so the gather can fan out across
-	// Options.Parallelism goroutines: during it, the grid, the query
-	// regions, and (for the kNN dirtiness test) the answers and radii are
-	// all immutable.
 	live := moved[:0]
 	for _, m := range moved {
 		// Skip objects that were removed later in the same batch: their
@@ -459,66 +561,21 @@ func (e *Engine) stepAppend(out []Update, now float64) []Update {
 			live = append(live, m)
 		}
 	}
-	workers := e.opt.Parallelism
-	if workers <= 1 || len(live) < 2*workers {
-		g := e.gatherScratch(1)
-		for _, m := range live {
-			e.gatherMovedObject(m.os, g[0])
-		}
-		e.applyGather(g[0], &out)
-	} else {
-		gathers := e.gatherScratch(workers)
-		var wg sync.WaitGroup
-		chunk := (len(live) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(live) {
-				hi = len(live)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(g *movedGather, part []movedObj) {
-				defer wg.Done()
-				for _, m := range part {
-					e.gatherMovedObject(m.os, g)
-				}
-			}(gathers[w], live[lo:hi])
-		}
-		wg.Wait()
-		for _, g := range gathers {
-			e.applyGather(g, &out)
-		}
-	}
+	e.objectJoinPhase(live, &out)
 
 	// Phase 4: recompute the answer of every dirty kNN query exactly and
 	// emit the membership diff, in query order so the grid's region
 	// maintenance and the recompute stats are replay-stable.
-	nDirty := 0
-	if len(e.dirtyKNN) > 0 {
-		dirty := e.dirtyBuf[:0]
-		for qid := range e.dirtyKNN {
-			dirty = append(dirty, qid)
-		}
-		slices.Sort(dirty)
-		clear(e.dirtyKNN)
-		nDirty = len(dirty)
-		for _, qid := range dirty {
-			if qs, ok := e.qrys[qid]; ok {
-				e.recomputeKNN(qs, &out)
-			}
-		}
-		e.dirtyBuf = dirty
-	}
+	nDirty := e.knnPhase(&out)
+
+	e.m.tracer.End(e.m.joinLatency, joinBegin)
 
 	e.objBuf = e.objBuf[:0]
 	e.qryBuf = e.qryBuf[:0]
 	e.movedBuf = moved
 	emitted := len(out) - base
 	e.prevEmit = emitted
-	SortUpdates(out[base:])
+	e.canonicalize(out[base:])
 
 	// Metrics epilogue: pure atomic adds against pre-resolved
 	// instruments (detached ones when no registry was configured), so
@@ -535,7 +592,7 @@ func (e *Engine) stepAppend(out []Update, now float64) []Update {
 	m.negUpdates.Add(e.stats.NegativeUpdates - prevNeg)
 	m.knnRecomputes.Add(e.stats.KNNRecomputes - prevKNN)
 	m.movedHighWater.SetMax(int64(cap(e.movedBuf)))
-	m.gatherSlots.SetMax(int64(len(e.gathers)))
+	m.gatherSlots.SetMax(int64(len(e.workers)))
 	m.lastEmitted.Set(int64(emitted))
 	m.objects.Set(int64(len(e.objs)))
 	m.qrySet.Set(int64(len(e.qrys)))
@@ -544,43 +601,65 @@ func (e *Engine) stepAppend(out []Update, now float64) []Update {
 	return out
 }
 
-// gatherScratch returns n reset movedGather scratch slots, growing the
-// engine's pool as needed. The backing buffers and pre-bound grid-visit
-// callbacks inside each slot are retained across Steps, which is what
-// keeps the gather phase allocation-free at steady state. Slots are
-// pointers because the callbacks close over their slot.
-func (e *Engine) gatherScratch(n int) []*movedGather {
-	for len(e.gathers) < n {
-		e.gathers = append(e.gathers, newMovedGather(e))
-	}
-	g := e.gathers[:n]
-	for _, s := range g {
-		s.props = s.props[:0]
-		s.dirty = s.dirty[:0]
-		s.checks = 0
-	}
-	return g
-}
-
 // setMember is the single authority over answer membership. Every
 // evaluation path funnels through it, which both keeps the QList/OList
 // views consistent and deduplicates updates when several phases discover
 // the same membership change.
 func (e *Engine) setMember(qs *queryState, os *objectState, in bool, out *[]Update) {
-	_, has := qs.answer[os.id]
-	if has == in {
-		return
-	}
 	if in {
-		qs.answer[os.id] = struct{}{}
-		os.queries[qs.id] = struct{}{}
+		if !qs.answer.Add(os.h) {
+			return
+		}
+		if len(os.queries) == cap(os.queries) {
+			// Same growth policy as answerSet.Add: jump straight to a
+			// working capacity so QLists stop allocating within the
+			// steady-state warmup instead of doubling from 1.
+			grown := make([]*queryState, len(os.queries), max(answerGrow, 2*cap(os.queries)))
+			copy(grown, os.queries)
+			os.queries = grown
+		}
+		os.queries = append(os.queries, qs)
 		e.stats.PositiveUpdates++
 	} else {
-		delete(qs.answer, os.id)
-		delete(os.queries, qs.id)
+		if !qs.answer.Remove(os.h) {
+			return
+		}
+		ql := os.queries
+		for i, q := range ql {
+			if q == qs {
+				last := len(ql) - 1
+				ql[i] = ql[last]
+				ql[last] = nil
+				os.queries = ql[:last]
+				break
+			}
+		}
 		e.stats.NegativeUpdates++
 	}
+	qs.snapClean = false
 	*out = append(*out, Update{Query: qs.id, Object: os.id, Positive: in})
+}
+
+// setMemberNew admits an object known to be absent from qs's answer,
+// skipping the membership probe setMember pays. Callers must hold a
+// structural guarantee of absence; both current callers are kNN adds,
+// which are pre-filtered against the answer before being gathered.
+// Range region-difference candidates do NOT qualify (an object that
+// moved into A_new − A_old in the same step may already be a member)
+// and go through setMember. Must never be called when a duplicate is
+// possible — the QList would double-link and emit a duplicate positive
+// update.
+func (e *Engine) setMemberNew(qs *queryState, os *objectState, out *[]Update) {
+	qs.answer.addNoCheck(os.h)
+	if len(os.queries) == cap(os.queries) {
+		grown := make([]*queryState, len(os.queries), max(answerGrow, 2*cap(os.queries)))
+		copy(grown, os.queries)
+		os.queries = grown
+	}
+	os.queries = append(os.queries, qs)
+	e.stats.PositiveUpdates++
+	qs.snapClean = false
+	*out = append(*out, Update{Query: qs.id, Object: os.id, Positive: true})
 }
 
 // removeObject deregisters an object, emitting negative updates for every
@@ -590,25 +669,33 @@ func (e *Engine) removeObject(id ObjectID, out *[]Update) {
 	if !ok {
 		return
 	}
-	qids := e.qidBuf[:0]
-	for qid := range os.queries {
-		qids = append(qids, qid)
-	}
-	slices.Sort(qids)
-	e.qidBuf = qids
-	for _, qid := range qids {
-		qs := e.qrys[qid]
+	// Retract memberships in ascending QueryID order (collected first:
+	// setMember swap-removes from the QList being walked).
+	qss := append(e.qidBuf[:0], os.queries...)
+	slices.SortFunc(qss, func(a, b *queryState) int {
+		if a.id < b.id {
+			return -1
+		}
+		if a.id > b.id {
+			return 1
+		}
+		return 0
+	})
+	e.qidBuf = qss[:0]
+	for _, qs := range qss {
 		if qs.kind == KNN {
 			// A departed member must be replaced by the next nearest.
-			e.dirtyKNN[qid] = struct{}{}
+			e.dirtyKNN[qs.id] = struct{}{}
 		}
 		e.setMember(qs, os, false, out)
 	}
-	e.g.RemoveObject(okey(id), os.loc)
+	e.g.RemoveObject(okeyH(os.h), os.loc)
 	if os.sweptValid {
-		e.g.RemoveRegion(okey(id), os.swept)
+		e.g.RemoveRegion(okeyH(os.h), os.swept)
 	}
 	delete(e.objs, id)
+	e.objsByH[os.h] = nil
+	e.objFree = append(e.objFree, os.h)
 }
 
 // removeQuery deregisters a query. No updates are emitted: the subscriber
@@ -618,21 +705,48 @@ func (e *Engine) removeQuery(id QueryID) {
 	if !ok {
 		return
 	}
-	for oid := range qs.answer {
-		delete(e.objs[oid].queries, id)
+	members := qs.answer.AppendTo(e.hBuf[:0])
+	e.hBuf = members
+	for _, h := range members {
+		e.detachQuery(e.objsByH[h], qs)
 	}
 	if qs.registered {
-		e.g.RemoveRegion(qkey(id), qs.region)
+		e.g.RemoveRegion(qkeyH(qs.h, qs.kind), qs.region)
 	}
 	delete(e.qrys, id)
 	delete(e.dirtyKNN, id)
+	e.qrysByH[qs.h] = nil
+	e.qryFree = append(e.qryFree, qs.h)
+}
+
+// detachQuery drops qs from an object's QList without touching qs's own
+// answer (the caller is discarding it wholesale).
+func (e *Engine) detachQuery(os *objectState, qs *queryState) {
+	ql := os.queries
+	for i, q := range ql {
+		if q == qs {
+			last := len(ql) - 1
+			ql[i] = ql[last]
+			ql[last] = nil
+			os.queries = ql[:last]
+			return
+		}
+	}
+}
+
+// newQuery registers a fresh query state under a newly assigned handle.
+func (e *Engine) newQuery(id QueryID, kind QueryKind) *queryState {
+	qs := &queryState{id: id, kind: kind}
+	e.allocQryHandle(qs)
+	e.qrys[id] = qs
+	return qs
 }
 
 // registerSwept (re)registers the trajectory bounding box of a predictive
 // object over the configured horizon.
 func (e *Engine) registerSwept(os *objectState) {
 	if os.sweptValid {
-		e.g.RemoveRegion(okey(os.id), os.swept)
+		e.g.RemoveRegion(okeyH(os.h), os.swept)
 		os.sweptValid = false
 	}
 	if os.kind != Predictive {
@@ -647,7 +761,7 @@ func (e *Engine) registerSwept(os *objectState) {
 		os.swept = m.SweptBBox(os.t, horizon)
 	}
 	os.sweptValid = true
-	e.g.InsertRegion(okey(os.id), os.swept)
+	e.g.InsertRegion(okeyH(os.h), os.swept)
 }
 
 // applyQueryUpdate registers a new query or applies a movement report to
@@ -668,12 +782,7 @@ func (e *Engine) applyQueryUpdate(u QueryUpdate, out *[]Update) {
 		exists = false
 	}
 	if !exists {
-		qs = &queryState{
-			id:     u.ID,
-			kind:   u.Kind,
-			answer: make(map[ObjectID]struct{}),
-		}
-		e.qrys[u.ID] = qs
+		qs = e.newQuery(u.ID, u.Kind)
 	}
 
 	// Receiving any report from a query's client proves the client is
@@ -704,133 +813,4 @@ type movedObj struct {
 	os     *objectState
 	isNew  bool
 	oldLoc geo.Point
-}
-
-// objectProposal is one membership decision produced by the read-only
-// gather phase of the object-driven join and applied serially afterwards.
-type objectProposal struct {
-	qs *queryState
-	os *objectState
-	in bool
-}
-
-// movedGather accumulates the outcome of gathering one or more moved
-// objects: membership proposals, kNN queries to mark dirty, and the
-// candidate-check count. Each worker of a parallel Step owns one.
-//
-// The grid-visit callbacks are bound once at construction and read the
-// current object from the os field: a fresh closure per moved object
-// escapes to the heap, which at 100K moves/step was the single largest
-// allocation source in the gather phase.
-type movedGather struct {
-	e      *Engine
-	props  []objectProposal
-	dirty  []QueryID
-	checks uint64
-
-	os            *objectState                // object currently being gathered
-	regionsAtCB   func(uint64, geo.Rect) bool // candidate probe at os.loc
-	sweptCellCB   func(int) bool              // predictive swept-box cell walk
-	sweptRegionCB func(uint64, geo.Rect) bool // predictive candidate probe
-}
-
-// newMovedGather builds a gather slot with its callbacks pre-bound.
-func newMovedGather(e *Engine) *movedGather {
-	g := &movedGather{e: e}
-	g.regionsAtCB = func(k uint64, _ geo.Rect) bool {
-		if !keyIsQuery(k) {
-			return true
-		}
-		os := g.os
-		qs := e.qrys[keyQuery(k)]
-		g.checks++
-		switch qs.kind {
-		case Range:
-			if qs.region.Contains(os.loc) {
-				g.props = append(g.props, objectProposal{qs, os, true})
-			}
-		case KNN:
-			// Inside the current circle (or the query is still starved):
-			// the exact answer may change. (Answers and radii are stable
-			// throughout the gather phase: they only change in the apply
-			// and kNN-recompute phases.)
-			if len(qs.answer) < qs.k || qs.focal.Dist(os.loc) <= qs.radius {
-				g.dirty = append(g.dirty, qs.id)
-			}
-		case PredictiveRange:
-			if os.kind == Predictive && e.predictiveMatch(qs, os) {
-				g.props = append(g.props, objectProposal{qs, os, true})
-			}
-		}
-		return true
-	}
-	g.sweptRegionCB = func(k uint64, _ geo.Rect) bool {
-		if !keyIsQuery(k) {
-			return true
-		}
-		qs := e.qrys[keyQuery(k)]
-		if qs.kind != PredictiveRange {
-			return true
-		}
-		g.checks++
-		if e.predictiveMatch(qs, g.os) {
-			g.props = append(g.props, objectProposal{qs, g.os, true})
-		}
-		return true
-	}
-	g.sweptCellCB = func(ci int) bool {
-		e.g.VisitRegionsInCell(ci, g.sweptRegionCB)
-		return true
-	}
-	return g
-}
-
-// gatherMovedObject is the object side of the spatial join, restructured
-// as a pure read: it re-checks the object's existing memberships against
-// current query state and probes the grid for newly satisfied candidate
-// queries, appending its findings to g. It never mutates engine state —
-// the property that makes the gather phase safe to run on several moved
-// objects concurrently.
-func (e *Engine) gatherMovedObject(os *objectState, g *movedGather) {
-	// Existing memberships: detach from queries the object no longer
-	// satisfies.
-	for qid := range os.queries {
-		qs := e.qrys[qid]
-		g.checks++
-		switch qs.kind {
-		case Range:
-			if !qs.region.Contains(os.loc) {
-				g.props = append(g.props, objectProposal{qs, os, false})
-			}
-		case KNN:
-			// Any movement of a member can reorder the k nearest.
-			g.dirty = append(g.dirty, qid)
-		case PredictiveRange:
-			if !e.predictiveMatch(qs, os) {
-				g.props = append(g.props, objectProposal{qs, os, false})
-			}
-		}
-	}
-
-	// Candidate queries registered in the cell of the new location.
-	g.os = os
-	e.g.VisitRegionsAt(os.loc, g.regionsAtCB)
-
-	// A predictive object additionally joins against predictive queries
-	// wherever its trajectory box reaches, not only at its current point.
-	if os.kind == Predictive && os.sweptValid {
-		e.g.VisitCells(os.swept, g.sweptCellCB)
-	}
-}
-
-// applyGather integrates a gather's findings: dirty marks, stats, and
-// membership proposals (deduplicated by setMember).
-func (e *Engine) applyGather(g *movedGather, out *[]Update) {
-	for _, qid := range g.dirty {
-		e.dirtyKNN[qid] = struct{}{}
-	}
-	e.stats.CandidateChecks += g.checks
-	for _, p := range g.props {
-		e.setMember(p.qs, p.os, p.in, out)
-	}
 }

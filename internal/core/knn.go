@@ -1,18 +1,14 @@
 package core
 
-import (
-	"slices"
-
-	"cqp/internal/geo"
-)
-
 // notQueryKey filters a grid search down to object entries. Package-level
 // so passing it as a callback never allocates a closure.
 func notQueryKey(k uint64) bool { return !keyIsQuery(k) }
 
 // recomputeKNN performs an exact k-nearest-neighbor search for a dirty
 // kNN query, emits the diff against the stored answer, and re-registers
-// the query's circular region in the grid.
+// the query's circular region in the grid. (The parallel phase-4 path
+// performs the same transitions split into gatherKNN/applyGatheredKNN;
+// see join.go.)
 //
 // Following the paper, a kNN query lives in the grid "as the smallest
 // circular region that contains the k nearest objects": a focal-centered
@@ -21,65 +17,47 @@ func notQueryKey(k uint64) bool { return !keyIsQuery(k) }
 // into the circle) and trigger this exact re-search; the emitted updates
 // are only the diff, e.g. (Q, −p2) (Q, +p1) when p1 displaces p2.
 //
-// The neighbor list, the next-answer set, and the drop/add diff all live
-// in engine scratch reused across recomputes, so steady-state kNN upkeep
-// does not allocate.
+// The neighbor list and the drop/add diff live in engine scratch reused
+// across recomputes, so steady-state kNN upkeep does not allocate. The
+// diff is emitted in search/answer order, not sorted: the step's
+// canonical sort fixes the stream, and no pair appears twice.
 func (e *Engine) recomputeKNN(qs *queryState, out *[]Update) {
 	e.stats.KNNRecomputes++
 
-	neighbors := e.g.KNearestAppend(e.knnBuf, qs.focal, qs.k, notQueryKey)
+	neighbors := e.g.KNearestAppend(e.knnBuf[:0], qs.focal, qs.k, notQueryKey)
 	e.knnBuf = neighbors
-
-	clear(e.knnNew)
-	newAnswer := e.knnNew
 	radius := 0.0
 	for _, n := range neighbors {
-		newAnswer[keyObject(n.ID)] = struct{}{}
 		if n.Dist > radius {
 			radius = n.Dist
 		}
 	}
 
-	// Emit the diff in object order (collect first: setMember mutates
-	// qs.answer; sort so the update stream never inherits map order).
+	// Diff against the stored answer (collected first: setMember mutates
+	// qs.answer mid-iteration otherwise).
 	drop, add := e.knnDrop[:0], e.knnAdd[:0]
-	for oid := range qs.answer {
-		if _, keep := newAnswer[oid]; !keep {
-			drop = append(drop, oid)
+	members := qs.answer.AppendTo(e.hBuf[:0])
+	e.hBuf = members
+	for _, h := range members {
+		if !neighborsContain(neighbors, h) {
+			drop = append(drop, h)
 		}
 	}
-	for oid := range newAnswer {
-		if _, had := qs.answer[oid]; !had {
-			add = append(add, oid)
+	for _, n := range neighbors {
+		if h := int32(n.ID >> 1); !qs.answer.Has(h) {
+			add = append(add, h)
 		}
 	}
-	slices.Sort(drop)
-	slices.Sort(add)
-	for _, oid := range drop {
-		e.setMember(qs, e.objs[oid], false, out)
+	for _, h := range drop {
+		e.setMember(qs, e.objsByH[h], false, out)
 	}
-	for _, oid := range add {
-		e.setMember(qs, e.objs[oid], true, out)
+	for _, h := range add {
+		// Pre-filtered against the answer above — provably absent.
+		e.setMemberNew(qs, e.objsByH[h], out)
 	}
 	e.knnDrop, e.knnAdd = drop, add
 
-	// Region maintenance: while the query is starved (fewer than k objects
-	// exist) any insertion anywhere can extend the answer, so the query
-	// watches the whole space.
-	var region geo.Rect
-	if len(newAnswer) < qs.k {
-		region = e.g.Bounds()
-	} else {
-		region = geo.Circle{C: qs.focal, R: radius}.BBox()
-	}
-	if qs.registered {
-		e.g.MoveRegion(qkey(qs.id), qs.region, region)
-	} else {
-		e.g.InsertRegion(qkey(qs.id), region)
-		qs.registered = true
-	}
-	qs.region = region
-	qs.radius = radius
+	e.reRegisterKNN(qs, len(neighbors), radius)
 }
 
 // KNNRadius returns the current circle radius of a kNN query (the

@@ -19,6 +19,16 @@ type engineMetrics struct {
 	stepLatency *obs.Histogram // full Step duration (needs a Clock)
 	stepUpdates *obs.Histogram // updates emitted per Step
 
+	// Parallel-join instruments (see join.go): total batches drained,
+	// batches stolen off other workers' deques, the distribution of
+	// batches drained per worker per phase (a tight distribution means
+	// the partition balanced; a wide one means stealing did the work),
+	// and the latency of the whole join (phases 2–4).
+	joinBatches   *obs.Counter
+	joinSteals    *obs.Counter
+	workerBatches *obs.Histogram
+	joinLatency   *obs.Histogram
+
 	steps         *obs.Counter
 	objectReports *obs.Counter
 	queryReports  *obs.Counter
@@ -44,6 +54,10 @@ func newEngineMetrics(reg *obs.Registry, clock obs.Clock) *engineMetrics {
 		tracer:         obs.NewTracer(clock),
 		stepLatency:    reg.Histogram("engine.step_ns", obs.DurationBuckets),
 		stepUpdates:    reg.Histogram("engine.step_updates", obs.SizeBuckets),
+		joinBatches:    reg.Counter("engine.join.batches"),
+		joinSteals:     reg.Counter("engine.join.steals"),
+		workerBatches:  reg.Histogram("engine.join.worker_batches", obs.SizeBuckets),
+		joinLatency:    reg.Histogram("engine.join_ns", obs.DurationBuckets),
 		steps:          reg.Counter("engine.steps"),
 		objectReports:  reg.Counter("engine.reports.objects"),
 		queryReports:   reg.Counter("engine.reports.queries"),

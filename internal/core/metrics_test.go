@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -85,31 +86,38 @@ func TestStepSteadyStateAllocsWithMetrics(t *testing.T) {
 // contractual allocation (the fresh result slice) disappears, so the
 // budget here is strictly below the Step budget.
 func TestStepAppendSteadyStateAllocs(t *testing.T) {
-	const objects, queries, moves = 10000, 10000, 100
-	e, rng := benchEngine(objects, queries, Range)
-	var buf []Update
-	churnAppend := func(tick float64) {
-		for n := 0; n < moves; n++ {
-			id := ObjectID(1 + rng.Intn(objects))
-			e.ReportObject(ObjectUpdate{
-				ID: id, Kind: Moving,
-				Loc: geo.Pt(rng.Float64(), rng.Float64()), T: tick,
+	// As with TestStepSteadyStateAllocs, the work-stealing join runs on
+	// engine-owned scratch and must fit the same budget as the serial
+	// path.
+	for _, par := range []int{0, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", par), func(t *testing.T) {
+			const objects, queries, moves = 10000, 10000, 100
+			e, rng := benchEngineP(objects, queries, Range, par)
+			var buf []Update
+			churnAppend := func(tick float64) {
+				for n := 0; n < moves; n++ {
+					id := ObjectID(1 + rng.Intn(objects))
+					e.ReportObject(ObjectUpdate{
+						ID: id, Kind: Moving,
+						Loc: geo.Pt(rng.Float64(), rng.Float64()), T: tick,
+					})
+				}
+				buf = e.StepAppend(buf[:0], tick)
+			}
+			for i := 0; i < 100; i++ {
+				churnAppend(float64(i))
+			}
+			tick := 100
+			avg := testing.AllocsPerRun(20, func() {
+				churnAppend(float64(tick))
+				tick++
 			})
-		}
-		buf = e.StepAppend(buf[:0], tick)
-	}
-	for i := 0; i < 100; i++ {
-		churnAppend(float64(i))
-	}
-	tick := 100
-	avg := testing.AllocsPerRun(20, func() {
-		churnAppend(float64(tick))
-		tick++
-	})
-	const budget = 49 // must beat Step's budget: the output slice is reused
-	t.Logf("steady-state StepAppend: %.1f allocs/tick (budget %d)", avg, budget)
-	if avg > budget {
-		t.Errorf("steady-state StepAppend allocates %.1f times per tick; budget is %d", avg, budget)
+			const budget = 49 // must beat Step's budget: the output slice is reused
+			t.Logf("steady-state StepAppend: %.1f allocs/tick (budget %d)", avg, budget)
+			if avg > budget {
+				t.Errorf("steady-state StepAppend allocates %.1f times per tick; budget is %d", avg, budget)
+			}
+		})
 	}
 }
 

@@ -79,6 +79,27 @@ func TestParallelStepEquivalence(t *testing.T) {
 	}
 }
 
+// TestParallelJoinBitIdentical is the determinism contract of the
+// work-stealing join, stated at full strength: for several seeds and
+// every worker count, the update stream is bit-identical — same
+// updates, same order, step by step — to the serial engine's. The
+// workload mixes all three query kinds, object removals, duplicate
+// reports, and query kind changes, so every gather/apply path runs.
+// Under -race (see CI's -cpu 1,4 run) this also hammers the steal
+// protocol.
+func TestParallelJoinBitIdentical(t *testing.T) {
+	for _, seed := range []int64{3, 17, 42, 88, 131} {
+		serial := driveRandom(MustNewEngine(Options{Bounds: geo.R(0, 0, 1, 1), GridN: 12}), seed, 30)
+		for _, workers := range []int{1, 2, 4, 8} {
+			opt := Options{Bounds: geo.R(0, 0, 1, 1), GridN: 12, Parallelism: workers}
+			got := driveRandom(MustNewEngine(opt), seed, 30)
+			if !streamsIdentical(serial, got) {
+				t.Errorf("seed %d workers %d: stream diverged from serial", seed, workers)
+			}
+		}
+	}
+}
+
 func TestParallelismValidation(t *testing.T) {
 	if _, err := NewEngine(Options{Bounds: geo.R(0, 0, 1, 1), Parallelism: -1}); err == nil {
 		t.Error("negative parallelism should fail")

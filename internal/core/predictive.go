@@ -67,19 +67,16 @@ func (e *Engine) applyPredictiveUpdate(qs *queryState, newRegion geo.Rect, t1, t
 	qs.t1, qs.t2 = t1, t2
 
 	// Negatives: members failing the predicate under the new region or
-	// window (drop is engine scratch; see applyRangeUpdate).
-	drop := e.dropBuf[:0]
-	for oid := range qs.answer {
-		os := e.objs[oid]
+	// window (members snapshotted first; see applyRangeUpdate).
+	members := qs.answer.AppendTo(e.hBuf[:0])
+	e.hBuf = members
+	for _, h := range members {
+		os := e.objsByH[h]
 		e.stats.CandidateChecks++
 		if !e.predictiveMatch(qs, os) {
-			drop = append(drop, os)
+			e.setMember(qs, os, false, out)
 		}
 	}
-	for _, os := range drop {
-		e.setMember(qs, os, false, out)
-	}
-	e.dropBuf = drop
 
 	// Positives: predictive objects whose trajectory boxes are registered
 	// in the cells the new region overlaps.
@@ -88,9 +85,9 @@ func (e *Engine) applyPredictiveUpdate(qs *queryState, newRegion geo.Rect, t1, t
 	e.curQS, e.curOut = nil, nil
 
 	if wasRegistered {
-		e.g.MoveRegion(qkey(qs.id), oldRegion, newRegion)
+		e.g.MoveRegion(qkeyH(qs.h, PredictiveRange), oldRegion, newRegion)
 	} else {
-		e.g.InsertRegion(qkey(qs.id), newRegion)
+		e.g.InsertRegion(qkeyH(qs.h, PredictiveRange), newRegion)
 		qs.registered = true
 	}
 }

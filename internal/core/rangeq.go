@@ -11,27 +11,27 @@ import "cqp/internal/geo"
 //     grid;
 //   - the overlap A_new ∩ A_old is not re-evaluated — its membership is
 //     already reflected in the stored answer.
+//
+// (The parallel phase-2 path performs the same transitions split into
+// gatherQuery/applyGatheredQuery; see join.go.)
 func (e *Engine) applyRangeUpdate(qs *queryState, newRegion geo.Rect, out *[]Update) {
 	oldRegion := qs.region
 	wasRegistered := qs.registered
 
 	// Negatives: members whose (current) location fell out of the region.
 	// The member set is exactly the objects in A_old, so testing members
-	// against A_new is the A_old − A_new evaluation. (drop is engine
-	// scratch: setMember mutates qs.answer, so members are collected
-	// before retraction, without allocating per update.)
-	drop := e.dropBuf[:0]
-	for oid := range qs.answer {
-		os := e.objs[oid]
+	// against A_new is the A_old − A_new evaluation. (Members are
+	// snapshotted into engine scratch first: setMember mutates qs.answer
+	// mid-walk otherwise.)
+	members := qs.answer.AppendTo(e.hBuf[:0])
+	e.hBuf = members
+	for _, h := range members {
+		os := e.objsByH[h]
 		e.stats.CandidateChecks++
 		if !newRegion.Contains(os.loc) {
-			drop = append(drop, os)
+			e.setMember(qs, os, false, out)
 		}
 	}
-	for _, os := range drop {
-		e.setMember(qs, os, false, out)
-	}
-	e.dropBuf = drop
 
 	// Positives: evaluate only the newly covered area.
 	var diff []geo.Rect
@@ -51,9 +51,9 @@ func (e *Engine) applyRangeUpdate(qs *queryState, newRegion geo.Rect, out *[]Upd
 
 	// Re-register the region in the shared grid.
 	if wasRegistered {
-		e.g.MoveRegion(qkey(qs.id), oldRegion, newRegion)
+		e.g.MoveRegion(qkeyH(qs.h, Range), oldRegion, newRegion)
 	} else {
-		e.g.InsertRegion(qkey(qs.id), newRegion)
+		e.g.InsertRegion(qkeyH(qs.h, Range), newRegion)
 		qs.registered = true
 	}
 	qs.region = newRegion

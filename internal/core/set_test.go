@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestAnswerSetAgainstMap drives an answerSet and a reference map with
+// the same random operation stream, crossing the packed→bitmap spill
+// boundary many times, and checks Has/Len/AppendTo agree throughout.
+func TestAnswerSetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var s answerSet
+	ref := map[int32]bool{}
+	for op := 0; op < 20000; op++ {
+		h := int32(rng.Intn(200))
+		switch rng.Intn(3) {
+		case 0, 1: // bias toward growth so the set spills
+			if got, want := s.Add(h), !ref[h]; got != want {
+				t.Fatalf("op %d: Add(%d) = %v, want %v", op, h, got, want)
+			}
+			ref[h] = true
+		case 2:
+			if got, want := s.Remove(h), ref[h]; got != want {
+				t.Fatalf("op %d: Remove(%d) = %v, want %v", op, h, got, want)
+			}
+			delete(ref, h)
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, s.Len(), len(ref))
+		}
+		if h2 := int32(rng.Intn(200)); s.Has(h2) != ref[h2] {
+			t.Fatalf("op %d: Has(%d) = %v, want %v", op, h2, s.Has(h2), ref[h2])
+		}
+	}
+	got := s.AppendTo(nil)
+	want := make([]int32, 0, len(ref))
+	for h := range ref {
+		want = append(want, h)
+	}
+	slices.Sort(got)
+	slices.Sort(want)
+	if !slices.Equal(got, want) {
+		t.Fatalf("AppendTo = %v, want %v", got, want)
+	}
+}
+
+// TestAnswerSetIterationDeterministic pins the iteration orders the
+// engine's determinism rests on: insertion order while packed, ascending
+// handle order once spilled.
+func TestAnswerSetIterationDeterministic(t *testing.T) {
+	var s answerSet
+	packed := []int32{9, 2, 31, 5}
+	for _, h := range packed {
+		s.Add(h)
+	}
+	if got := s.AppendTo(nil); !slices.Equal(got, packed) {
+		t.Fatalf("packed iteration = %v, want insertion order %v", got, packed)
+	}
+
+	// Push past the spill threshold with descending handles: iteration
+	// must switch to ascending handle order.
+	var spilled answerSet
+	for h := int32(2 * answerSpill); h > 0; h-- {
+		spilled.Add(h * 3)
+	}
+	got := spilled.AppendTo(nil)
+	if !slices.IsSorted(got) {
+		t.Fatalf("spilled iteration not ascending: %v", got)
+	}
+	if len(got) != 2*answerSpill {
+		t.Fatalf("spilled set lost elements: %d != %d", len(got), 2*answerSpill)
+	}
+}
+
+// TestAnswerSetClearReuse checks Clear retains storage but empties the
+// set in both representations.
+func TestAnswerSetClearReuse(t *testing.T) {
+	var s answerSet
+	for h := int32(0); h < 3*answerSpill; h++ {
+		s.Add(h)
+	}
+	if s.bits == nil {
+		t.Fatal("set should have spilled")
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", s.Len())
+	}
+	for h := int32(0); h < 3*answerSpill; h++ {
+		if s.Has(h) {
+			t.Fatalf("Has(%d) after Clear", h)
+		}
+	}
+	if !s.Add(7) {
+		t.Fatal("Add after Clear reported duplicate")
+	}
+}

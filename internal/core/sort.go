@@ -1,0 +1,95 @@
+package core
+
+import "slices"
+
+// canonicalize puts a step's appended updates into canonical emission
+// order: the same order SortUpdates produces, computed faster. The
+// public SortUpdates is a stable sort by (Query, Object); stability is
+// equivalent to sorting by the three-part key (Query, Object, original
+// position), and an unstable pattern-defeating sort over explicit keys
+// beats the stable sort's block merges by a wide margin at paper-point
+// volumes (tens of thousands of updates per step). When the step's IDs
+// fit, the three parts pack into one uint64 and the sort runs over bare
+// integers with no comparator indirection at all.
+//
+// The keys and the permutation scratch are engine-owned and reused
+// across steps, so canonicalization allocates nothing at steady state.
+func (e *Engine) canonicalize(upds []Update) {
+	n := len(upds)
+	if n < 2 {
+		return
+	}
+	tmp := e.sortTmp[:0]
+	if cap(tmp) < n {
+		tmp = make([]Update, 0, n)
+	}
+	tmp = append(tmp, upds...)
+
+	// Packed path: Query and Object in 22 bits each, position in 20.
+	const posBits, idMax = 20, 1 << 22
+	packable := n <= 1<<posBits
+	if packable {
+		for i := range upds {
+			if upds[i].Query >= idMax || upds[i].Object >= idMax {
+				packable = false
+				break
+			}
+		}
+	}
+	if packable {
+		keys := e.sortKeys[:0]
+		if cap(keys) < n {
+			keys = make([]uint64, 0, n)
+		}
+		for i, u := range upds {
+			keys = append(keys, uint64(u.Query)<<42|uint64(u.Object)<<posBits|uint64(i))
+		}
+		slices.Sort(keys)
+		for i, k := range keys {
+			upds[i] = tmp[k&(1<<posBits-1)]
+		}
+		e.sortKeys = keys
+	} else {
+		// Wide path: explicit key structs, same ordering.
+		keys := e.sortWide[:0]
+		if cap(keys) < n {
+			keys = make([]updSortKey, 0, n)
+		}
+		for i, u := range upds {
+			keys = append(keys, updSortKey{q: u.Query, o: u.Object, pos: int32(i)})
+		}
+		slices.SortFunc(keys, compareSortKeys)
+		for i := range keys {
+			upds[i] = tmp[keys[i].pos]
+		}
+		e.sortWide = keys
+	}
+	e.sortTmp = tmp[:0]
+}
+
+// updSortKey is the wide canonical-sort key: (Query, Object, original
+// position). Position breaks ties, which is exactly stability.
+type updSortKey struct {
+	q   QueryID
+	o   ObjectID
+	pos int32
+}
+
+func compareSortKeys(a, b updSortKey) int {
+	switch {
+	case a.q != b.q:
+		if a.q < b.q {
+			return -1
+		}
+		return 1
+	case a.o != b.o:
+		if a.o < b.o {
+			return -1
+		}
+		return 1
+	case a.pos < b.pos:
+		return -1
+	default:
+		return 1
+	}
+}

@@ -77,31 +77,49 @@ func (e *Engine) EvalFromScratch(q QueryID) ([]ObjectID, bool) {
 //     the oracle, allowing ties to differ).
 func (e *Engine) CheckConsistency(deep bool) error {
 	for qid, qs := range e.qrys {
-		for oid := range qs.answer {
-			os, ok := e.objs[oid]
-			if !ok {
-				return fmt.Errorf("query %d answer references unknown object %d", qid, oid)
+		var members []int32
+		members = qs.answer.AppendTo(members)
+		for _, h := range members {
+			if h < 0 || int(h) >= len(e.objsByH) || e.objsByH[h] == nil {
+				return fmt.Errorf("query %d answer references dead object handle %d", qid, h)
 			}
-			if _, back := os.queries[qid]; !back {
-				return fmt.Errorf("object %d missing back-reference to query %d", oid, qid)
+			os := e.objsByH[h]
+			if cur, ok := e.objs[os.id]; !ok || cur != os {
+				return fmt.Errorf("query %d answer references unknown object %d", qid, os.id)
+			}
+			if !slices.Contains(os.queries, qs) {
+				return fmt.Errorf("object %d missing back-reference to query %d", os.id, qid)
 			}
 		}
 	}
 	for oid, os := range e.objs {
-		for qid := range os.queries {
-			qs, ok := e.qrys[qid]
-			if !ok {
-				return fmt.Errorf("object %d references unknown query %d", oid, qid)
+		if os.h < 0 || int(os.h) >= len(e.objsByH) || e.objsByH[os.h] != os {
+			return fmt.Errorf("object %d handle %d does not round-trip through the handle table", oid, os.h)
+		}
+		for _, qs := range os.queries {
+			if cur, ok := e.qrys[qs.id]; !ok || cur != qs {
+				return fmt.Errorf("object %d references unknown query %d", oid, qs.id)
 			}
-			if _, in := qs.answer[oid]; !in {
-				return fmt.Errorf("object %d claims membership in query %d but is not in its answer", oid, qid)
+			if !qs.answer.Has(os.h) {
+				return fmt.Errorf("object %d claims membership in query %d but is not in its answer", oid, qs.id)
 			}
+		}
+	}
+	for qid, qs := range e.qrys {
+		if qs.h < 0 || int(qs.h) >= len(e.qrysByH) || e.qrysByH[qs.h] != qs {
+			return fmt.Errorf("query %d handle %d does not round-trip through the handle table", qid, qs.h)
 		}
 	}
 	if !deep {
 		return nil
 	}
-	for qid, qs := range e.qrys {
+	qids := make([]QueryID, 0, len(e.qrys))
+	for qid := range e.qrys {
+		qids = append(qids, qid)
+	}
+	slices.Sort(qids)
+	for _, qid := range qids {
+		qs := e.qrys[qid]
 		want, _ := e.EvalFromScratch(qid)
 		got, _ := e.Answer(qid)
 		if qs.kind == KNN {
