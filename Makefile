@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race chaos chaos-cluster fuzz cover bench bench-full bench-shard vet lint fmt examples clean
+.PHONY: all build test race chaos chaos-cluster fuzz cover bench bench-full bench-shard bench-server soak load-smoke vet lint fmt examples clean
 
 all: build vet lint test
 
@@ -83,6 +83,28 @@ LABEL ?= dev
 bench-core:
 	$(GO) test -bench=. -benchmem ./internal/grid/ ./internal/core/ | tee -a bench_results.txt
 	$(GO) run ./cmd/cqp-bench -exp core -label "$(LABEL)" | tee -a bench_results.txt
+
+# The sustained soak: minutes-scale open-loop load over the full wire
+# stack under the race detector, asserting zero lost updates, bounded
+# delivery p99, and bit-identical answers against a direct engine
+# replay (see internal/loadgen/soak_test.go). CI runs the same test in
+# its milliseconds-scale smoke form via plain `go test`.
+soak:
+	$(GO) test -race -count=1 -run TestSoak -v ./internal/loadgen/ -args -soak
+
+# The CI load smoke: one second of low-rate open-loop load through
+# cqp-load (in-process server), race-clean, requiring at least one
+# measured delivery and a clean shutdown.
+load-smoke:
+	$(GO) run -race ./cmd/cqp-load -rate 200 -duration 1s -min-delivered 1 -json=false
+
+# The server-capacity sweep: delivery-latency percentiles vs. offered
+# rate over the full wire stack, plus the shed-point probe; appends a
+# labelled run to BENCH_server.json (see EXPERIMENTS.md). Override
+# LABEL and RATES to tag or reshape the run.
+RATES ?= 200,400,800
+bench-server:
+	$(GO) run ./cmd/cqp-bench -exp server -label "$(LABEL)" -rates "$(RATES)" | tee -a bench_results.txt
 
 # Run every example once.
 examples:

@@ -16,6 +16,10 @@
 //	shard      spatial shard count sweep (writes BENCH_shard.json)
 //	core       single-engine steady-state Step cost sweep (appends a
 //	           labelled run to BENCH_core.json; see -label)
+//	server     open-loop server capacity: delivery-latency percentiles
+//	           vs. offered report rate plus the shed point, over the
+//	           full wire stack (appends a labelled run to
+//	           BENCH_server.json; see -rates, -label)
 //	all        everything above
 //
 // Examples:
@@ -39,8 +43,8 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: fig5a|fig5b|shared|qindex|gridsize|recovery|bulk|predictive|parallel|shard|core|all")
-		label       = flag.String("label", "", "run label recorded in BENCH_core.json for -exp core")
+		exp         = flag.String("exp", "all", "experiment: fig5a|fig5b|shared|qindex|gridsize|recovery|bulk|predictive|parallel|shard|core|server|all")
+		label       = flag.String("label", "", "run label recorded in BENCH_core.json / BENCH_server.json")
 		shards      = flag.String("shards", "1,2,4,8", "comma-separated shard counts for -exp shard")
 		parallelism = flag.String("parallelism", "", "comma-separated join worker counts: the sweep list for -exp parallel (default 1,2,4,8) and the per-point engine settings for -exp core (default 0 = serial; 0 is allowed)")
 		objects     = flag.Int("objects", 20000, "moving object population")
@@ -48,6 +52,11 @@ func main() {
 		ticks       = flag.Int("ticks", 8, "measured evaluation periods per point")
 		seed        = flag.Int64("seed", 1, "random seed")
 		paperScale  = flag.Bool("paper-scale", false, "use the paper's 100K objects x 100K queries")
+
+		rates    = flag.String("rates", "200,400,800", "comma-separated offered rates (reports/sec) for -exp server")
+		duration = flag.Duration("duration", 2*time.Second, "paced phase per server point for -exp server")
+		sessions = flag.Int("sessions", 4, "concurrent client sessions for -exp server")
+		slo      = flag.Duration("slo", time.Second, "delivery p99 SLO bounding the shed probe for -exp server")
 	)
 	flag.Parse()
 
@@ -77,9 +86,10 @@ func main() {
 	run("parallel", func() { parallelExp(base, *parallelism) })
 	run("shard", func() { shardExp(base, *shards) })
 	run("core", func() { coreExp(base, *label, *parallelism) })
+	run("server", func() { serverExp(*label, *rates, *duration, *sessions, *slo, *seed) })
 
 	switch *exp {
-	case "fig5a", "fig5b", "shared", "qindex", "gridsize", "recovery", "bulk", "predictive", "parallel", "shard", "core", "all":
+	case "fig5a", "fig5b", "shared", "qindex", "gridsize", "recovery", "bulk", "predictive", "parallel", "shard", "core", "server", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "cqp-bench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -304,5 +314,66 @@ func bulk(base bench.Fig5Config) {
 		fmt.Printf("%12d %12.1f %14.1f %8.1fx\n",
 			r.BatchSize, r.BulkMillis, r.OneByOneMS, r.OneByOneMS/r.BulkMillis)
 	}
+	fmt.Println()
+}
+
+// serverExp runs the open-loop server-capacity sweep and appends the
+// labelled run to BENCH_server.json: the rate-vs-latency curve of the
+// full wire stack plus the shed point found by the doubling probe.
+func serverExp(label, rates string, duration time.Duration, sessions int, slo time.Duration, seed int64) {
+	fmt.Println("=== Server capacity: open-loop load, delivery latency vs. offered rate ===")
+	var rr []float64
+	for _, f := range strings.Split(rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "cqp-bench: bad -rates entry %q\n", f)
+			os.Exit(2)
+		}
+		rr = append(rr, v)
+	}
+	cfg := bench.ServerSweepConfig{
+		Rates:     rr,
+		Duration:  duration,
+		Sessions:  sessions,
+		Seed:      seed,
+		SLO:       slo,
+		ProbeShed: true,
+	}
+	run, err := bench.RunServerSweep(cfg, label)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqp-bench: server sweep: %v\n", err)
+		os.Exit(1)
+	}
+	run.When = time.Now().UTC().Format("2006-01-02")
+
+	fmt.Printf("%10s %10s %10s %10s %10s %10s %8s\n",
+		"offered/s", "achieved", "delivered", "p50 ms", "p99 ms", "max lag", "sheds")
+	for _, p := range run.Points {
+		fmt.Printf("%10.0f %10.0f %10d %10.1f %10.1f %9.1fms %8d\n",
+			p.OfferedRate, p.AchievedRate, p.Delivered, p.P50Ms, p.P99Ms, p.MaxLagMs, p.Sheds)
+	}
+	if run.ShedPoint > 0 {
+		fmt.Printf("shed point: ~%.0f reports/sec (first rate to shed, drop, miss 90%% of offered, or blow the %v p99 SLO)\n", run.ShedPoint, slo)
+	} else {
+		fmt.Println("shed point: not reached within the probe range")
+	}
+
+	var runs []bench.ServerRun
+	if data, err := os.ReadFile("BENCH_server.json"); err == nil {
+		if err := json.Unmarshal(data, &runs); err != nil {
+			fmt.Fprintf(os.Stderr, "cqp-bench: parsing existing BENCH_server.json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	runs = append(runs, run)
+	data, err := json.MarshalIndent(runs, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_server.json", append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqp-bench: writing BENCH_server.json: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("\nwrote BENCH_server.json")
 	fmt.Println()
 }

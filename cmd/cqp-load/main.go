@@ -1,0 +1,123 @@
+// Command cqp-load is the open-loop load driver for cqp-server: it
+// fires object reports and query re-registrations at a fixed arrival
+// rate over concurrent client sessions and reports delivery-latency
+// percentiles (send → applied update), scheduling lag, and the server's
+// shed/drop counters.
+//
+// With -addr it drives a running server; without it, it starts an
+// in-process server (whose metrics then appear in the output), which is
+// what the CI load-smoke job runs:
+//
+//	cqp-load -rate 200 -duration 1s -min-delivered 1
+//
+// Against a real deployment:
+//
+//	cqp-server -addr :7171 -interval 100ms &
+//	cqp-load -addr 127.0.0.1:7171 -rate 1000 -duration 30s -sessions 16
+//
+// The process exits nonzero if any session fails mid-run or fewer than
+// -min-delivered updates were measured, so a passing exit code means
+// the full report→evaluate→stream→apply loop ran.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"cqp/internal/loadgen"
+	"cqp/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "server to drive (empty = start an in-process server)")
+		rate     = flag.Float64("rate", 100, "offered arrival rate, reports/sec")
+		duration = flag.Duration("duration", time.Second, "paced phase length")
+		sessions = flag.Int("sessions", 4, "concurrent client sessions")
+		objects  = flag.Int("objects", 500, "moving object population")
+		queries  = flag.Int("queries", 50, "continuous query population")
+		scenario = flag.String("scenario", "uniform", "movement preset: uniform|hotspot|fleet")
+		side     = flag.Float64("query-side", 0.05, "query square side length")
+		moveFrac = flag.Float64("query-move-frac", 0.05, "fraction of paced events that move a query")
+		scale    = flag.Float64("time-scale", 100, "scenario seconds per wall second")
+		seed     = flag.Int64("seed", 1, "random seed")
+
+		eval   = flag.Duration("eval", 10*time.Millisecond, "in-process server evaluation period")
+		grid   = flag.Int("grid", 16, "in-process server grid cells per axis")
+		outbox = flag.Int("outbox", 0, "in-process server per-session outbox depth (0 = server default)")
+		policy = flag.String("outbox-policy", "shed", "in-process server full-outbox behavior: shed|drop-newest")
+
+		converge     = flag.Duration("converge", 10*time.Second, "max time to wait for quiescence after the paced phase")
+		minDelivered = flag.Uint64("min-delivered", 0, "exit nonzero unless at least this many deliveries were measured")
+		jsonOut      = flag.Bool("json", true, "print the result as JSON (false = one human line)")
+	)
+	flag.Parse()
+
+	var pol server.OutboxPolicy
+	switch *policy {
+	case "shed":
+		pol = server.ShedSession
+	case "drop-newest":
+		pol = server.DropNewest
+	default:
+		fmt.Fprintf(os.Stderr, "cqp-load: unknown -outbox-policy %q (shed|drop-newest)\n", *policy)
+		os.Exit(2)
+	}
+
+	h, err := loadgen.New(loadgen.Config{
+		Addr:          *addr,
+		Rate:          *rate,
+		Duration:      *duration,
+		Sessions:      *sessions,
+		Objects:       *objects,
+		Queries:       *queries,
+		Scenario:      *scenario,
+		QuerySide:     *side,
+		QueryMoveFrac: *moveFrac,
+		TimeScale:     *scale,
+		Seed:          *seed,
+		EvalInterval:  *eval,
+		GridN:         *grid,
+		OutboxSize:    *outbox,
+		OutboxPolicy:  pol,
+		Logger:        log.New(os.Stderr, "cqp-load: server: ", 0),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cqp-load: %v\n", err)
+		os.Exit(1)
+	}
+	defer h.Close()
+
+	res, runErr := h.Run()
+	h.Converge(*converge)
+	res = h.Result(res.Elapsed)
+
+	if *jsonOut {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cqp-load: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Printf("%s: offered %.0f/s achieved %.0f/s, %d delivered, p50 %v p95 %v p99 %v, max lag %v, sheds %d dropped %d\n",
+			res.Scenario, res.Offered, res.Achieved, res.Delivered,
+			res.P50, res.P95, res.P99, res.MaxLag, res.Sheds, res.Dropped)
+	}
+	if err := h.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cqp-load: close: %v\n", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "cqp-load: %v\n", runErr)
+		os.Exit(1)
+	}
+	if res.Delivered < *minDelivered {
+		fmt.Fprintf(os.Stderr, "cqp-load: only %d deliveries measured (need %d)\n", res.Delivered, *minDelivered)
+		os.Exit(1)
+	}
+}

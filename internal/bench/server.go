@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"cqp/internal/loadgen"
+	"cqp/internal/obs"
+)
+
+// ServerPoint is one measured rate of the server-capacity experiment:
+// the full wire stack (server, sessions, framed protocol, subscriber
+// clients) held under open-loop load at a fixed offered rate, reporting
+// delivery-latency percentiles and the shed/drop counters.
+type ServerPoint struct {
+	OfferedRate   float64 `json:"offered_rate"`
+	AchievedRate  float64 `json:"achieved_rate"`
+	ObjectReports uint64  `json:"object_reports"`
+	QueryReports  uint64  `json:"query_reports"`
+	Delivered     uint64  `json:"delivered"`
+
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MaxLagMs float64 `json:"max_lag_ms"`
+
+	Sheds       uint64 `json:"sheds"`
+	Dropped     uint64 `json:"outbox_dropped"`
+	FullAnswers uint64 `json:"full_answers"`
+
+	// Metrics is the final flattened registry snapshot of the point's
+	// run: engine, server session, client, and load instruments in one
+	// view (the harness shares one registry across all tiers).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ServerRun is one appended entry of BENCH_server.json: a labelled
+// rate-vs-latency curve plus the measured shed point, with the
+// environment recorded the way BENCH_core.json and BENCH_shard.json do.
+type ServerRun struct {
+	Label       string  `json:"label"`
+	When        string  `json:"when,omitempty"`
+	Scenario    string  `json:"scenario"`
+	Sessions    int     `json:"sessions"`
+	Objects     int     `json:"objects"`
+	Queries     int     `json:"queries"`
+	DurationSec float64 `json:"duration_sec"`
+	SLOMs       float64 `json:"slo_ms"`
+
+	Points []ServerPoint `json:"points"`
+
+	// ShedPoint is the offered rate (reports/sec) at which the doubling
+	// probe first saw the server saturate: a session shed, a dropped
+	// frame, the achieved rate falling under 90% of offered, or p99
+	// blowing through the SLO. Zero when the probe was skipped or never
+	// saturated within its range.
+	ShedPoint float64 `json:"shed_point,omitempty"`
+
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Hardware   string `json:"hardware,omitempty"`
+}
+
+// ServerSweepConfig parameterizes RunServerSweep. Zero fields take the
+// documented defaults.
+type ServerSweepConfig struct {
+	Scenario  string        // movement preset (default fleet)
+	Rates     []float64     // offered rates to measure (default 200, 400, 800)
+	Duration  time.Duration // paced phase per point (default 2s)
+	Sessions  int           // concurrent client sessions (default 4)
+	Objects   int           // object population (default 500)
+	Queries   int           // query population (default 50)
+	QuerySide float64       // query square side (default 0.05)
+	TimeScale float64       // scenario seconds per wall second (default 100)
+	Seed      int64         // default 1
+	SLO       time.Duration // p99 target used by the shed probe (default 1s)
+
+	// ProbeShed, when true, follows the sweep with a doubling probe
+	// from the last rate to locate the shed point.
+	ProbeShed bool
+}
+
+func (c ServerSweepConfig) withDefaults() ServerSweepConfig {
+	if c.Scenario == "" {
+		c.Scenario = "fleet"
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{200, 400, 800}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	if c.Objects <= 0 {
+		c.Objects = 500
+	}
+	if c.Queries <= 0 {
+		c.Queries = 50
+	}
+	if c.QuerySide <= 0 {
+		c.QuerySide = 0.05
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.SLO <= 0 {
+		c.SLO = time.Second
+	}
+	return c
+}
+
+// harnessConfig maps one sweep point onto a loadgen config. Every point
+// gets a fresh registry and in-process server, so points are
+// independent measurements.
+func (c ServerSweepConfig) harnessConfig(rate float64) loadgen.Config {
+	return loadgen.Config{
+		Rate:         rate,
+		Duration:     c.Duration,
+		Sessions:     c.Sessions,
+		Objects:      c.Objects,
+		Queries:      c.Queries,
+		Scenario:     c.Scenario,
+		QuerySide:    c.QuerySide,
+		TimeScale:    c.TimeScale,
+		Seed:         c.Seed,
+		EvalInterval: 10 * time.Millisecond,
+		Metrics:      obs.NewRegistry(),
+	}
+}
+
+// RunServerPoint measures one offered rate end to end: run the paced
+// phase, quiesce, and snapshot.
+func RunServerPoint(cfg ServerSweepConfig, rate float64) (ServerPoint, error) {
+	cfg = cfg.withDefaults()
+	h, err := loadgen.New(cfg.harnessConfig(rate))
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	defer h.Close()
+	res, err := h.Run()
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	h.Converge(10 * time.Second)
+	res = h.Result(res.Elapsed)
+	return ServerPoint{
+		OfferedRate:   res.Offered,
+		AchievedRate:  res.Achieved,
+		ObjectReports: res.ObjectReports,
+		QueryReports:  res.QueryReports,
+		Delivered:     res.Delivered,
+		P50Ms:         float64(res.P50) / 1e6,
+		P95Ms:         float64(res.P95) / 1e6,
+		P99Ms:         float64(res.P99) / 1e6,
+		MaxLagMs:      float64(res.MaxLag) / 1e6,
+		Sheds:         res.Sheds,
+		Dropped:       res.Dropped,
+		FullAnswers:   res.FullAnswers,
+		Metrics:       h.Registry().Flatten(),
+	}, nil
+}
+
+// saturated is the shed-probe's stop predicate.
+func saturated(p ServerPoint, slo time.Duration) bool {
+	return p.Sheds > 0 || p.Dropped > 0 ||
+		p.AchievedRate < 0.9*p.OfferedRate ||
+		p.P99Ms > float64(slo)/1e6
+}
+
+// FindShedPoint doubles the offered rate from start until the server
+// saturates (see ServerRun.ShedPoint for the criteria) and returns the
+// first saturating rate, or 0 if none within 2^12×start.
+func FindShedPoint(cfg ServerSweepConfig, start float64) (float64, error) {
+	cfg = cfg.withDefaults()
+	// Probe points are short: the knee shows up quickly, and the sweep
+	// already measured the sustained behavior below it.
+	cfg.Duration = cfg.Duration / 2
+	if cfg.Duration < 500*time.Millisecond {
+		cfg.Duration = 500 * time.Millisecond
+	}
+	for rate, i := start, 0; i < 12; rate, i = rate*2, i+1 {
+		p, err := RunServerPoint(cfg, rate)
+		if err != nil {
+			return 0, err
+		}
+		if saturated(p, cfg.SLO) {
+			return rate, nil
+		}
+	}
+	return 0, nil
+}
+
+// RunServerSweep measures every configured rate and, when ProbeShed is
+// set, locates the shed point beyond them.
+func RunServerSweep(cfg ServerSweepConfig, label string) (ServerRun, error) {
+	cfg = cfg.withDefaults()
+	run := ServerRun{
+		Label:       label,
+		Scenario:    cfg.Scenario,
+		Sessions:    cfg.Sessions,
+		Objects:     cfg.Objects,
+		Queries:     cfg.Queries,
+		DurationSec: cfg.Duration.Seconds(),
+		SLOMs:       float64(cfg.SLO) / 1e6,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Hardware:    hardwareNote(),
+	}
+	for _, rate := range cfg.Rates {
+		p, err := RunServerPoint(cfg, rate)
+		if err != nil {
+			return run, fmt.Errorf("bench: server point at %g/s: %w", rate, err)
+		}
+		run.Points = append(run.Points, p)
+	}
+	if cfg.ProbeShed {
+		start := cfg.Rates[len(cfg.Rates)-1] * 2
+		shed, err := FindShedPoint(cfg, start)
+		if err != nil {
+			return run, fmt.Errorf("bench: shed probe: %w", err)
+		}
+		run.ShedPoint = shed
+	}
+	return run, nil
+}

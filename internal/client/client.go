@@ -138,6 +138,15 @@ type Options struct {
 	// Metrics, when non-nil, registers the client's frame and
 	// reconnection counters in the given registry.
 	Metrics *obs.Registry
+
+	// OnApplied, when non-nil, is invoked from the read loop immediately
+	// after a batch of incremental updates (EventUpdates or
+	// EventRecovered) has been folded into the local answers, before the
+	// corresponding event is delivered. Load harnesses use it to stamp
+	// delivery latency without racing the Events consumer. The callback
+	// runs without the client lock held but must be fast: it blocks the
+	// read loop.
+	OnApplied func(updates []core.Update)
 }
 
 // ErrClosed is returned by operations on a Close()d client.
@@ -503,6 +512,9 @@ func (c *Client) apply(msg wire.Message) {
 		return
 	}
 	c.mu.Unlock()
+	if c.opts.OnApplied != nil && (ev.Kind == EventUpdates || ev.Kind == EventRecovered) {
+		c.opts.OnApplied(ev.Updates)
+	}
 	c.events <- ev
 }
 

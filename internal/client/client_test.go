@@ -278,3 +278,45 @@ func TestRecoveryAcrossMultipleQueries(t *testing.T) {
 		t.Fatalf("Q2 after recovery: %v", a2)
 	}
 }
+
+func TestOnAppliedHook(t *testing.T) {
+	s := startServer(t)
+
+	applied := make(chan []core.Update, 16)
+	c, err := client.DialOptions(s.Addr().String(), client.Options{
+		OnApplied: func(updates []core.Update) {
+			cp := make([]core.Update, len(updates))
+			copy(cp, updates)
+			applied <- cp
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.RegisterQuery(core.QueryUpdate{ID: 1, Kind: core.Range, Region: geo.R(0, 0, 2, 2)})
+	c.ReportObject(core.ObjectUpdate{ID: 7, Kind: core.Moving, Loc: geo.Pt(1, 1)})
+
+	deadline := time.After(5 * time.Second)
+	for {
+		s.Evaluate()
+		select {
+		case batch := <-applied:
+			// The hook fires after the batch is folded into the local
+			// answer: the answer must already contain the object.
+			if len(batch) != 1 || batch[0].Object != 7 || !batch[0].Positive {
+				t.Fatalf("applied batch = %+v", batch)
+			}
+			if a, _ := c.Answer(1); len(a) != 1 || a[0] != 7 {
+				t.Fatalf("answer at hook delivery = %v", a)
+			}
+			// The event itself still arrives afterwards.
+			wait(t, c, client.EventUpdates)
+			return
+		case <-deadline:
+			t.Fatal("OnApplied never fired")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,539 @@
+// Package loadgen is the open-loop load harness for the location-aware
+// server: it drives a running cqp-server (or an in-process one) with
+// object reports and query re-registrations at a configured arrival
+// rate, spread over concurrent client sessions, and measures
+// update-delivery latency percentiles — the time from handing a report
+// to the wire until the resulting incremental update is folded into a
+// subscriber's answer.
+//
+// Open-loop means the arrival schedule is fixed up front: report n is
+// due at start + n/rate regardless of how fast the server absorbs the
+// previous ones. When the harness cannot keep the schedule (the send
+// path itself backs up) it does not silently stretch the test — it
+// records the scheduling lag, so coordinated omission is visible in the
+// results rather than hidden in them.
+//
+// Determinism: for a fixed Config the report *stream* (which object
+// moves where, in which order) is reproducible; only the pacing and the
+// measured latencies depend on the wall clock.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cqp/internal/client"
+	"cqp/internal/core"
+	"cqp/internal/geo"
+	"cqp/internal/obs"
+	"cqp/internal/server"
+)
+
+// Config parameterizes a Harness. The zero value is not runnable; use
+// the documented defaults via New.
+type Config struct {
+	// Addr is the server to drive. Empty starts an in-process server on
+	// a loopback port (owned and closed by the harness) — the mode the
+	// soak tests and BENCH sweeps use, since it exposes the server's
+	// metrics registry to the harness.
+	Addr string
+
+	// Rate is the target aggregate arrival rate in reports per second
+	// (object reports plus query re-registrations). Default 100.
+	Rate float64
+
+	// Duration is how long the paced phase runs. Default 1s.
+	Duration time.Duration
+
+	// Sessions is the number of concurrent client connections the load
+	// is spread over. Object i always reports through session
+	// i%Sessions, so the per-object FIFO the protocol assumes is
+	// preserved. Default 4.
+	Sessions int
+
+	// Objects and Queries size the populations. Defaults 500 and 50.
+	Objects, Queries int
+
+	// Scenario selects the movement preset: uniform, hotspot, or fleet
+	// (see NewScenario). Default uniform.
+	Scenario string
+
+	// QuerySide is the query square side length. Default 0.01.
+	QuerySide float64
+
+	// QueryMoveFrac is the fraction of paced events that re-register a
+	// moved query instead of reporting an object. Default 0.05.
+	QueryMoveFrac float64
+
+	// Seed drives scenario movement and event sampling. Default 1.
+	Seed int64
+
+	// TimeScale is scenario-seconds per wall-second: the factor by
+	// which scenario time (and thus movement) runs faster than the
+	// harness clock. Road-network travelers displace ~1e-4 of the space
+	// per scenario-second, so short wall-clock runs need a large scale
+	// to see boundary crossings at all. Default 1.
+	TimeScale float64
+
+	// EvalInterval is the in-process server's bulk evaluation period.
+	// Zero disables the ticker; the caller then drives Evaluate (tests
+	// do this for determinism). Ignored when Addr is set.
+	EvalInterval time.Duration
+
+	// GridN, OutboxSize, OutboxPolicy configure the in-process server
+	// (GridN default 16, OutboxSize default server default). Ignored
+	// when Addr is set.
+	GridN        int
+	OutboxSize   int
+	OutboxPolicy server.OutboxPolicy
+
+	// Record, when true, keeps every report the harness sent (in send
+	// order) for replay into a direct engine — the soak test's
+	// bit-identity oracle. Costs memory proportional to Rate×Duration.
+	Record bool
+
+	// Metrics receives the harness's and (in-process) server's
+	// instruments. Defaults to a fresh registry, readable via Registry.
+	Metrics *obs.Registry
+
+	// Logger receives server connection errors. Defaults to discard.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rate <= 0 {
+		c.Rate = 100
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	if c.Objects <= 0 {
+		c.Objects = 500
+	}
+	if c.Queries <= 0 {
+		c.Queries = 50
+	}
+	if c.Scenario == "" {
+		c.Scenario = "uniform"
+	}
+	if c.QuerySide <= 0 {
+		c.QuerySide = 0.01
+	}
+	if c.QueryMoveFrac < 0 || c.QueryMoveFrac > 1 {
+		c.QueryMoveFrac = 0.05
+	} else if c.QueryMoveFrac == 0 {
+		c.QueryMoveFrac = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	if c.GridN <= 0 {
+		c.GridN = 16
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Result summarizes one Run.
+type Result struct {
+	Scenario string        `json:"scenario"`
+	Offered  float64       `json:"offered_rate"`  // configured reports/sec
+	Achieved float64       `json:"achieved_rate"` // sent / elapsed
+	Elapsed  time.Duration `json:"elapsed_ns"`
+
+	ObjectReports uint64 `json:"object_reports"`
+	QueryReports  uint64 `json:"query_reports"`
+
+	// Delivered counts latency measurements: reports whose resulting
+	// update came back and was folded into a subscriber answer. Not
+	// every report yields an update (an object can move without
+	// entering or leaving any query region), so Delivered < sent is
+	// normal; Delivered == 0 at nontrivial rates is a red flag.
+	Delivered uint64 `json:"delivered"`
+
+	// UpdatesApplied is the total incremental updates clients folded
+	// in, including updates for objects whose latency stamp was already
+	// consumed or overwritten.
+	UpdatesApplied uint64 `json:"updates_applied"`
+
+	// Delivery latency percentiles (send timestamp → applied update).
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+
+	// MaxLag is the worst scheduling lag of the open-loop pacer: how
+	// far behind its fixed schedule the send loop fell. A MaxLag
+	// comparable to Duration means the harness, not the server, was the
+	// bottleneck and the latency numbers undercount reality.
+	MaxLag time.Duration `json:"max_lag_ns"`
+
+	// Server-side counters (in-process mode only; zero when driving a
+	// remote Addr whose registry is not visible).
+	Sheds       uint64 `json:"sheds"`
+	Dropped     uint64 `json:"outbox_dropped"`
+	FullAnswers uint64 `json:"full_answers"`
+	Reconnects  uint64 `json:"reconnects"`
+}
+
+// Harness drives one load scenario against one server.
+type Harness struct {
+	cfg Config
+	reg *obs.Registry
+	srv *server.Server // nil when driving a remote Addr
+	scn Scenario
+	rng *rand.Rand
+
+	clients []*client.Client
+	drainWG sync.WaitGroup
+
+	// stamps[i] is the nanotime of the latest *answer-changing* event
+	// involving object i+1 (a report that crossed a query boundary, or
+	// a query move that flipped the object's membership), 0 when
+	// already measured. OnApplied swaps it out so each event is
+	// measured at most once. Stamping only answer-changing events
+	// matters: a report that crosses no boundary yields no update, and
+	// a stamp left pending would later be consumed by an unrelated
+	// update, recording the idle gap as bogus multi-second "latency".
+	stamps []atomic.Int64
+
+	// Pacer-goroutine-only mirror of the engine's answer state, using
+	// the same geo.Rect.Contains predicate the engine evaluates with:
+	// latest object locations, latest query regions, and the
+	// object×query membership matrix that decides what gets stamped.
+	locs    []geo.Point
+	regions []geo.Rect
+	member  []bool // member[i*Queries+j]: object i+1 ∈ query j+1
+
+	latency  *obs.Histogram // load.delivery_ns
+	schedLag *obs.Histogram // load.sched_lag_ns
+	maxLagNs atomic.Int64
+	applied  *obs.Counter // shared client.updates.applied
+
+	objReports uint64 // pacer-goroutine only
+	qryReports uint64
+
+	// lastT[i], lastQ[j]: scenario time of the previous report, for
+	// advancing movement by the real inter-report gap.
+	lastT []float64
+	lastQ []float64
+
+	recObjs []core.ObjectUpdate // when cfg.Record
+	recQrys []core.QueryUpdate
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New builds a harness: starts the in-process server if needed, dials
+// cfg.Sessions clients, registers every query, and reports every
+// object's initial position (recorded, when recording) so answers have
+// a ground state before pacing begins.
+func New(cfg Config) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	scn, err := NewScenario(cfg.Scenario, cfg.Objects, cfg.Queries, cfg.QuerySide, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{
+		cfg:      cfg,
+		reg:      cfg.Metrics,
+		scn:      scn,
+		rng:      rand.New(rand.NewSource(cfg.Seed + 31)),
+		stamps:   make([]atomic.Int64, cfg.Objects),
+		locs:     make([]geo.Point, cfg.Objects),
+		regions:  make([]geo.Rect, cfg.Queries),
+		member:   make([]bool, cfg.Objects*cfg.Queries),
+		lastT:    make([]float64, cfg.Objects),
+		lastQ:    make([]float64, cfg.Queries),
+		latency:  cfg.Metrics.Histogram("load.delivery_ns", obs.DurationBuckets),
+		schedLag: cfg.Metrics.Histogram("load.sched_lag_ns", obs.DurationBuckets),
+		applied:  cfg.Metrics.Counter("client.updates.applied"),
+	}
+
+	addr := cfg.Addr
+	if addr == "" {
+		srv, err := server.Listen("127.0.0.1:0", server.Config{
+			Engine:       core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: cfg.GridN},
+			Interval:     cfg.EvalInterval,
+			OutboxSize:   cfg.OutboxSize,
+			OutboxPolicy: cfg.OutboxPolicy,
+			Metrics:      cfg.Metrics,
+			Logger:       cfg.Logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: start in-process server: %w", err)
+		}
+		h.srv = srv
+		addr = srv.Addr().String()
+	}
+
+	for s := 0; s < cfg.Sessions; s++ {
+		c, err := client.DialOptions(addr, client.Options{
+			Metrics:   cfg.Metrics,
+			OnApplied: h.onApplied,
+		})
+		if err != nil {
+			h.Close()
+			return nil, fmt.Errorf("loadgen: dial session %d: %w", s, err)
+		}
+		h.clients = append(h.clients, c)
+		h.drainWG.Add(1)
+		go func() {
+			defer h.drainWG.Done()
+			for range c.Events() {
+			}
+		}()
+	}
+
+	// Bootstrap: all queries, then all objects, at scenario time 0.
+	// Bootstrap traffic is unmeasured (no stamps); the membership
+	// matrix is seeded here so the paced phase stamps exactly the
+	// answer-changing events.
+	for j := 0; j < cfg.Queries; j++ {
+		u := core.QueryUpdate{ID: core.QueryID(j + 1), Kind: core.Range, Region: h.scn.QueryRegion(j, 0)}
+		h.regions[j] = u.Region
+		if cfg.Record {
+			h.recQrys = append(h.recQrys, u)
+		}
+		if err := h.queryOwner(j).RegisterQuery(u); err != nil {
+			h.Close()
+			return nil, fmt.Errorf("loadgen: bootstrap query %d: %w", j+1, err)
+		}
+	}
+	for i := 0; i < cfg.Objects; i++ {
+		u := core.ObjectUpdate{ID: core.ObjectID(i + 1), Kind: core.Moving, Loc: h.scn.ObjectLoc(i, 0)}
+		h.locs[i] = u.Loc
+		for j := 0; j < cfg.Queries; j++ {
+			h.member[i*cfg.Queries+j] = h.regions[j].Contains(u.Loc)
+		}
+		if cfg.Record {
+			h.recObjs = append(h.recObjs, u)
+		}
+		if err := h.objectOwner(i).ReportObject(u); err != nil {
+			h.Close()
+			return nil, fmt.Errorf("loadgen: bootstrap object %d: %w", i+1, err)
+		}
+	}
+	return h, nil
+}
+
+func (h *Harness) objectOwner(i int) *client.Client { return h.clients[i%len(h.clients)] }
+func (h *Harness) queryOwner(j int) *client.Client  { return h.clients[j%len(h.clients)] }
+
+// Registry returns the metrics registry the harness (and its in-process
+// server) report into.
+func (h *Harness) Registry() *obs.Registry { return h.reg }
+
+// Server returns the in-process server, or nil when driving a remote
+// address.
+func (h *Harness) Server() *server.Server { return h.srv }
+
+// Recorded returns the full report stream (bootstrap plus paced phase,
+// each slice in send order) when Config.Record was set. Per-object and
+// per-query order in these slices matches wire order exactly.
+func (h *Harness) Recorded() ([]core.ObjectUpdate, []core.QueryUpdate) {
+	return h.recObjs, h.recQrys
+}
+
+// onApplied runs on the client read loops: one latency observation per
+// object whose stamp is still pending. Swap(0) consumes the stamp so a
+// report is measured at most once, and updates for unstamped objects
+// (negative updates, re-evaluations) cost one atomic load each.
+func (h *Harness) onApplied(updates []core.Update) {
+	now := time.Now().UnixNano()
+	for _, u := range updates {
+		i := int(u.Object) - 1
+		if i < 0 || i >= len(h.stamps) {
+			continue
+		}
+		if t := h.stamps[i].Swap(0); t != 0 {
+			h.latency.Observe(now - t)
+		}
+	}
+}
+
+// Run executes the paced open-loop phase: cfg.Rate×cfg.Duration report
+// events on the fixed schedule start+n/rate, then assembles the Result
+// (without quiescing — call Converge first when exact totals matter).
+func (h *Harness) Run() (Result, error) {
+	cfg := h.cfg
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	start := time.Now()
+	for n := 0; n < total; n++ {
+		due := start.Add(time.Duration(n) * interval)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		lag := time.Since(due)
+		if lag > 0 {
+			h.schedLag.Observe(lag.Nanoseconds())
+			if lag.Nanoseconds() > h.maxLagNs.Load() {
+				h.maxLagNs.Store(lag.Nanoseconds())
+			}
+		} else {
+			h.schedLag.Observe(0)
+		}
+		now := time.Since(start).Seconds() * h.cfg.TimeScale
+		if err := h.sendOne(now); err != nil {
+			return h.result(cfg.Rate, time.Since(start)), fmt.Errorf("loadgen: event %d: %w", n, err)
+		}
+	}
+	return h.result(cfg.Rate, time.Since(start)), nil
+}
+
+// sendOne emits one paced event at scenario time now: usually an object
+// report, occasionally (QueryMoveFrac) a moved query re-registration.
+func (h *Harness) sendOne(now float64) error {
+	if h.rng.Float64() < h.cfg.QueryMoveFrac {
+		j := h.rng.Intn(h.cfg.Queries)
+		u := core.QueryUpdate{
+			ID: core.QueryID(j + 1), Kind: core.Range,
+			Region: h.scn.QueryRegion(j, now-h.lastQ[j]), T: now,
+		}
+		h.lastQ[j] = now
+		h.regions[j] = u.Region
+		// Stamp every object whose membership this move flips: their
+		// positive/negative updates are the move's deliverables.
+		stamp := time.Now().UnixNano()
+		for i := 0; i < h.cfg.Objects; i++ {
+			in := u.Region.Contains(h.locs[i])
+			if in != h.member[i*h.cfg.Queries+j] {
+				h.member[i*h.cfg.Queries+j] = in
+				h.stamps[i].Store(stamp)
+			}
+		}
+		if h.cfg.Record {
+			h.recQrys = append(h.recQrys, u)
+		}
+		h.qryReports++
+		return h.queryOwner(j).RegisterQuery(u)
+	}
+	i := h.rng.Intn(h.cfg.Objects)
+	u := core.ObjectUpdate{
+		ID: core.ObjectID(i + 1), Kind: core.Moving,
+		Loc: h.scn.ObjectLoc(i, now-h.lastT[i]), T: now,
+	}
+	h.lastT[i] = now
+	changed := false
+	for j := 0; j < h.cfg.Queries; j++ {
+		in := h.regions[j].Contains(u.Loc)
+		if in != h.member[i*h.cfg.Queries+j] {
+			h.member[i*h.cfg.Queries+j] = in
+			changed = true
+		}
+	}
+	h.locs[i] = u.Loc
+	if h.cfg.Record {
+		h.recObjs = append(h.recObjs, u)
+	}
+	h.objReports++
+	if changed {
+		h.stamps[i].Store(time.Now().UnixNano())
+	}
+	return h.objectOwner(i).ReportObject(u)
+}
+
+// Converge quiesces after Run: evaluation continues (driven explicitly
+// in-process, or by the remote server's own ticker) until the applied-
+// update counter is stable across three consecutive checks, or timeout.
+// It reports whether stability was reached.
+func (h *Harness) Converge(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	stable, last := 0, h.applied.Value()
+	for time.Now().Before(deadline) {
+		if h.srv != nil && h.cfg.EvalInterval == 0 {
+			h.srv.Evaluate()
+		}
+		time.Sleep(10 * time.Millisecond)
+		if v := h.applied.Value(); v == last {
+			if stable++; stable >= 3 {
+				return true
+			}
+		} else {
+			stable, last = 0, v
+		}
+	}
+	return false
+}
+
+// Answer returns the converged answer of query q as seen by the session
+// that owns it.
+func (h *Harness) Answer(q core.QueryID) ([]core.ObjectID, bool) {
+	j := int(q) - 1
+	if j < 0 || j >= h.cfg.Queries {
+		return nil, false
+	}
+	return h.queryOwner(j).Answer(q)
+}
+
+// NumQueries returns the configured query population.
+func (h *Harness) NumQueries() int { return h.cfg.Queries }
+
+func (h *Harness) result(offered float64, elapsed time.Duration) Result {
+	sent := h.objReports + h.qryReports
+	r := Result{
+		Scenario:       h.scn.Name(),
+		Offered:        offered,
+		Elapsed:        elapsed,
+		ObjectReports:  h.objReports,
+		QueryReports:   h.qryReports,
+		Delivered:      uint64(h.latency.Count()),
+		UpdatesApplied: h.applied.Value(),
+		P50:            time.Duration(h.latency.Quantile(0.50)),
+		P95:            time.Duration(h.latency.Quantile(0.95)),
+		P99:            time.Duration(h.latency.Quantile(0.99)),
+		MaxLag:         time.Duration(h.maxLagNs.Load()),
+		Reconnects:     h.reg.Counter("client.reconnects").Value(),
+	}
+	if elapsed > 0 {
+		r.Achieved = float64(sent) / elapsed.Seconds()
+	}
+	if h.srv != nil {
+		r.Sheds = h.reg.Counter("server.sheds").Value()
+		r.Dropped = h.reg.Counter("server.outbox_dropped").Value()
+		r.FullAnswers = h.reg.Counter("server.full_answers").Value()
+	}
+	return r
+}
+
+// Result assembles the current measurements without running the pacer —
+// used after an external Run/Converge sequence.
+func (h *Harness) Result(elapsed time.Duration) Result {
+	return h.result(h.cfg.Rate, elapsed)
+}
+
+// Close tears down the clients, their event drains, and the in-process
+// server. Safe to call more than once.
+func (h *Harness) Close() error {
+	h.closeOnce.Do(func() {
+		for _, c := range h.clients {
+			if err := c.Close(); err != nil && h.closeErr == nil {
+				h.closeErr = err
+			}
+		}
+		h.drainWG.Wait()
+		if h.srv != nil {
+			if err := h.srv.Close(); err != nil && h.closeErr == nil {
+				h.closeErr = err
+			}
+		}
+	})
+	return h.closeErr
+}

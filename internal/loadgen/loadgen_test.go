@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"cqp/internal/core"
+	"cqp/internal/geo"
+	"cqp/internal/testutil/leakcheck"
+)
+
+func TestMain(m *testing.M) { leakcheck.Main(m) }
+
+func TestScenarioPresetsDeterministicAndBounded(t *testing.T) {
+	unit := geo.R(0, 0, 1, 1)
+	for _, name := range ScenarioNames {
+		a, err := NewScenario(name, 50, 10, 0.01, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, _ := NewScenario(name, 50, 10, 0.01, 7)
+		for step := 0; step < 20; step++ {
+			for i := 0; i < 50; i++ {
+				pa, pb := a.ObjectLoc(i, 0.5), b.ObjectLoc(i, 0.5)
+				if pa != pb {
+					t.Fatalf("%s: object %d diverges at step %d: %v vs %v", name, i, step, pa, pb)
+				}
+				if !unit.Contains(pa) {
+					t.Fatalf("%s: object %d left the unit square: %v", name, i, pa)
+				}
+			}
+			for j := 0; j < 10; j++ {
+				ra, rb := a.QueryRegion(j, 0.5), b.QueryRegion(j, 0.5)
+				if ra != rb {
+					t.Fatalf("%s: query %d diverges at step %d", name, j, step)
+				}
+			}
+		}
+	}
+	if _, err := NewScenario("bogus", 1, 1, 0.01, 1); err == nil {
+		t.Error("unknown scenario should error")
+	}
+}
+
+func TestHarnessSmoke(t *testing.T) {
+	h, err := New(Config{
+		Rate:     400,
+		Duration: 250 * time.Millisecond,
+		Sessions: 2,
+		Objects:  100,
+		Queries:  20,
+		// Large query squares so nearly every object move crosses a
+		// region boundary and yields a measurable delivery.
+		QuerySide: 0.5,
+		Seed:      3,
+		// EvalInterval 0: this test drives Evaluate itself.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(5 * time.Millisecond):
+				h.Server().Evaluate()
+			}
+		}
+	}()
+
+	res, err := h.Run()
+	done <- struct{}{}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Converge(5 * time.Second) {
+		t.Fatal("harness never converged")
+	}
+	res = h.Result(res.Elapsed)
+
+	if res.ObjectReports == 0 {
+		t.Fatal("no object reports sent")
+	}
+	if res.Delivered == 0 {
+		t.Fatal("no deliveries measured")
+	}
+	if res.P99 < res.P50 {
+		t.Errorf("p99 %v < p50 %v", res.P99, res.P50)
+	}
+	if res.Sheds != 0 {
+		t.Errorf("unexpected sheds: %d", res.Sheds)
+	}
+	if res.Achieved <= 0 {
+		t.Errorf("achieved rate = %v", res.Achieved)
+	}
+}
+
+func TestHarnessAnswersMatchDirectEngineReplay(t *testing.T) {
+	h, err := New(Config{
+		Rate:      500,
+		Duration:  200 * time.Millisecond,
+		Sessions:  3,
+		Objects:   80,
+		Queries:   15,
+		QuerySide: 0.3,
+		Scenario:  "hotspot",
+		Seed:      11,
+		Record:    true,
+		GridN:     16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	stop := make(chan struct{})
+	tick := make(chan struct{})
+	go func() {
+		defer close(tick)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				h.Server().Evaluate()
+			}
+		}
+	}()
+	if _, err := h.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-tick
+	if !h.Converge(5 * time.Second) {
+		t.Fatal("harness never converged")
+	}
+
+	// Oracle: replay the recorded stream into a direct engine. Range
+	// answers depend only on each object's latest location and each
+	// query's latest region, so the answers must match bit for bit no
+	// matter how the server batched its evaluations.
+	objs, qrys := h.Recorded()
+	eng := core.MustNewEngine(core.Options{Bounds: geo.R(0, 0, 1, 1), GridN: 16})
+	for _, q := range qrys {
+		eng.ReportQuery(q)
+	}
+	for _, o := range objs {
+		eng.ReportObject(o)
+	}
+	eng.Step(1e9)
+
+	for j := 0; j < h.NumQueries(); j++ {
+		q := core.QueryID(j + 1)
+		want, _ := eng.Answer(q)
+		got, ok := h.Answer(q)
+		if !ok {
+			t.Fatalf("query %d unknown to harness", q)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %v want %v", q, got, want)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("query %d: got %v want %v", q, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cqp/internal/gen"
+	"cqp/internal/geo"
+	"cqp/internal/roadnet"
+)
+
+// Scenario supplies the positions a load harness reports: where each
+// moving object is and where each moving query's region sits, as both
+// advance through scenario time. Implementations are deterministic for
+// a given seed and are NOT safe for concurrent use — the harness calls
+// them from its single pacer goroutine only.
+//
+// Every scenario lives in the unit square [0,1)², matching the bounds
+// the in-process server is configured with.
+type Scenario interface {
+	// Name identifies the scenario in results and BENCH records.
+	Name() string
+
+	// ObjectLoc advances object i by dt scenario-seconds and returns
+	// its new location.
+	ObjectLoc(i int, dt float64) geo.Point
+
+	// QueryRegion advances query j by dt scenario-seconds and returns
+	// its new region.
+	QueryRegion(j int, dt float64) geo.Rect
+}
+
+// ScenarioNames lists the presets NewScenario accepts.
+var ScenarioNames = []string{"uniform", "hotspot", "fleet"}
+
+// NewScenario builds a preset by name:
+//
+//   - "uniform": objects random-walk uniformly over the whole space;
+//     queries are squares whose centers random-walk the same way. The
+//     no-skew baseline.
+//   - "hotspot": a rush-hour workload. A fraction of the population
+//     commutes into a small drifting hot cell, concentrating both
+//     reports and query overlap; the rest behaves like uniform.
+//   - "fleet": trip-structured movement. Objects are travelers on a
+//     generated road network (internal/gen, Brinkhoff-style): they
+//     route to destinations edge by edge at road-class speeds, and
+//     query centers are an independent traveler population, exactly
+//     like the paper's evaluation workload.
+func NewScenario(name string, objects, queries int, querySide float64, seed int64) (Scenario, error) {
+	if objects <= 0 || queries <= 0 {
+		return nil, fmt.Errorf("loadgen: scenario needs positive populations, got %d objects, %d queries", objects, queries)
+	}
+	if querySide <= 0 {
+		querySide = 0.01
+	}
+	switch name {
+	case "uniform":
+		return newWalkScenario("uniform", objects, queries, querySide, seed, 0), nil
+	case "hotspot":
+		return newWalkScenario("hotspot", objects, queries, querySide, seed, 0.6), nil
+	case "fleet":
+		net := roadnet.Generate(roadnet.Config{Seed: seed})
+		world := gen.MustNewWorld(gen.Config{Net: net, NumObjects: objects, Seed: seed})
+		centers := gen.MustNewWorld(gen.Config{Net: net, NumObjects: queries, Seed: seed + 7919})
+		// Scatter both populations along the edges so travelers do not
+		// all start exactly on intersections.
+		world.Advance(3600)
+		centers.Advance(3600)
+		return &fleetScenario{world: world, centers: centers, side: querySide}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown scenario %q (have %v)", name, ScenarioNames)
+	}
+}
+
+// walkScenario is the uniform/hotspot preset: independent bounded
+// random walks, with an optional commuter fraction biased toward a
+// drifting hotspot.
+type walkScenario struct {
+	name string
+	rng  *rand.Rand
+	objs []geo.Point
+	qctr []geo.Point
+	side float64
+
+	// speed is the walk step per scenario-second.
+	speed float64
+
+	// hotFrac of the objects are commuters; a commuter's step is pulled
+	// toward the hotspot center, which itself orbits the space slowly
+	// (the "rush hour" moves through town).
+	hotFrac float64
+	clock   float64
+}
+
+func newWalkScenario(name string, objects, queries int, querySide float64, seed int64, hotFrac float64) *walkScenario {
+	s := &walkScenario{
+		name:    name,
+		rng:     rand.New(rand.NewSource(seed)),
+		objs:    make([]geo.Point, objects),
+		qctr:    make([]geo.Point, queries),
+		side:    querySide,
+		speed:   0.02,
+		hotFrac: hotFrac,
+	}
+	for i := range s.objs {
+		s.objs[i] = geo.Pt(s.rng.Float64(), s.rng.Float64())
+	}
+	for j := range s.qctr {
+		s.qctr[j] = geo.Pt(s.rng.Float64(), s.rng.Float64())
+	}
+	return s
+}
+
+func (s *walkScenario) Name() string { return s.name }
+
+// hotCenter orbits a circle of radius 0.3 around the middle of the
+// space with a ~20 minute period.
+func (s *walkScenario) hotCenter() geo.Point {
+	theta := 2 * math.Pi * s.clock / 1200
+	return geo.Pt(0.5+0.3*math.Cos(theta), 0.5+0.3*math.Sin(theta))
+}
+
+func (s *walkScenario) step(p geo.Point, dt float64, toward geo.Point, pull float64) geo.Point {
+	if dt > 5 {
+		dt = 5 // cap a long-idle object's catch-up step
+	}
+	d := s.speed * dt
+	p.X += d * (2*s.rng.Float64() - 1 + pull*sign(toward.X-p.X))
+	p.Y += d * (2*s.rng.Float64() - 1 + pull*sign(toward.Y-p.Y))
+	return geo.Pt(clamp01(p.X), clamp01(p.Y))
+}
+
+func (s *walkScenario) ObjectLoc(i int, dt float64) geo.Point {
+	s.clock += dt / float64(len(s.objs)) // population-amortized scenario clock
+	pull := 0.0
+	var toward geo.Point
+	if s.hotFrac > 0 && float64(i%100) < s.hotFrac*100 {
+		pull, toward = 1.5, s.hotCenter()
+	}
+	s.objs[i] = s.step(s.objs[i], dt, toward, pull)
+	return s.objs[i]
+}
+
+func (s *walkScenario) QueryRegion(j int, dt float64) geo.Rect {
+	pull := 0.0
+	var toward geo.Point
+	if s.hotFrac > 0 && float64(j%100) < s.hotFrac*100 {
+		pull, toward = 1.5, s.hotCenter()
+	}
+	s.qctr[j] = s.step(s.qctr[j], dt, toward, pull)
+	return geo.RectAt(s.qctr[j], s.side)
+}
+
+// fleetScenario reports road-network travelers (internal/gen worlds).
+type fleetScenario struct {
+	world   *gen.World
+	centers *gen.World
+	side    float64
+}
+
+func (s *fleetScenario) Name() string { return "fleet" }
+
+func (s *fleetScenario) ObjectLoc(i int, dt float64) geo.Point {
+	s.world.AdvanceObject(i, dt)
+	loc, _ := s.world.Object(i)
+	return loc
+}
+
+func (s *fleetScenario) QueryRegion(j int, dt float64) geo.Rect {
+	s.centers.AdvanceObject(j, dt)
+	loc, _ := s.centers.Object(j)
+	return geo.RectAt(loc, s.side)
+}
+
+func clamp01(v float64) float64 {
+	return math.Min(math.Max(v, 0), 0.999999)
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	if v > 0 {
+		return 1
+	}
+	return 0
+}

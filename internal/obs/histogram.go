@@ -69,6 +69,73 @@ func (h *Histogram) Observe(v int64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.n.Load() }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed
+// distribution by linear interpolation inside the bucket that holds the
+// target rank, assuming observations are uniformly spread within each
+// bucket — the same estimate Prometheus's histogram_quantile computes.
+// The first bucket interpolates from 0, so ladders whose values can sit
+// far below the first bound (DurationBuckets at sub-100µs latencies)
+// underestimate low quantiles; that is inherent to fixed buckets.
+//
+// Edge cases: an empty histogram returns 0; q <= 0 returns the lower
+// edge of the first occupied bucket; q >= 1 the upper edge of the last
+// occupied one; and ranks landing in the overflow bucket return the
+// last finite bound, the largest value the ladder can resolve.
+//
+// Concurrent observers may add counts while Quantile scans; the bucket
+// counts are read once into a snapshot, so the estimate is consistent
+// with some recent state even mid-burst.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next && i < len(counts)-1 {
+			cum = next
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return float64(h.bounds[len(h.bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(h.bounds[i-1])
+		}
+		hi := float64(h.bounds[i])
+		frac := (rank - cum) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return lo + frac*(hi-lo)
+	}
+	return 0 // unreachable: total > 0 means some bucket was occupied
+}
+
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestQuantileUniform pins the interpolation against a uniform fill: one
+// observation per integer 1..100 over decade-free bounds 10,20,...,100.
+// Every bucket holds exactly 10 observations, so the q-quantile is
+// exactly 100q.
+func TestQuantileUniform(t *testing.T) {
+	bounds := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h := NewHistogram(bounds)
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0} {
+		almost(t, "Quantile", h.Quantile(q), 100*q)
+	}
+	almost(t, "Quantile(0)", h.Quantile(0), 0)
+}
+
+// TestQuantileSkewed pins a known two-bucket split: 90 observations in
+// (0,10], 10 in (10,20]. p50 lands mid-first-bucket, p95 mid-second.
+func TestQuantileSkewed(t *testing.T) {
+	h := NewHistogram([]int64{10, 20})
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	// rank(0.5) = 50 of 90 in bucket 0 → 10 * 50/90.
+	almost(t, "p50", h.Quantile(0.5), 10*50.0/90)
+	// rank(0.95) = 95: 5 into the 10-count second bucket → 10 + 10*5/10.
+	almost(t, "p95", h.Quantile(0.95), 15)
+	// rank(0.9) = 90: exactly exhausts bucket 0 → its upper edge.
+	almost(t, "p90", h.Quantile(0.9), 10)
+}
+
+// TestQuantileEdgeCases covers the degenerate shapes: empty histogram,
+// all mass in a single bucket, all mass in the overflow bucket, and
+// out-of-range q.
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty: no observations, every quantile is 0.
+	h := NewHistogram([]int64{10, 20})
+	almost(t, "empty p50", h.Quantile(0.5), 0)
+
+	// Single bucket occupied: interpolation spans that bucket only.
+	h = NewHistogram([]int64{10, 20})
+	for i := 0; i < 4; i++ {
+		h.Observe(12)
+	}
+	almost(t, "single-bucket p0", h.Quantile(0), 10)
+	almost(t, "single-bucket p50", h.Quantile(0.5), 15)
+	almost(t, "single-bucket p100", h.Quantile(1), 20)
+
+	// Overflow bucket: values beyond the last bound clamp to it — the
+	// ladder cannot resolve anything larger.
+	h = NewHistogram([]int64{10, 20})
+	h.Observe(1000)
+	h.Observe(5000)
+	almost(t, "overflow p50", h.Quantile(0.5), 20)
+	almost(t, "overflow p99", h.Quantile(0.99), 20)
+
+	// Mixed: half in a finite bucket, half overflowing. p25 interpolates
+	// the finite bucket; p75 clamps to the last bound.
+	h = NewHistogram([]int64{10, 20})
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(1000)
+	h.Observe(1000)
+	almost(t, "mixed p25", h.Quantile(0.25), 5)
+	almost(t, "mixed p75", h.Quantile(0.75), 20)
+
+	// q outside [0,1] clamps.
+	almost(t, "q<0", h.Quantile(-1), h.Quantile(0))
+	almost(t, "q>1", h.Quantile(2), h.Quantile(1))
+}
+
+// TestQuantileSingleBoundLadder exercises the smallest legal ladder: one
+// finite bound plus the implicit overflow.
+func TestQuantileSingleBoundLadder(t *testing.T) {
+	h := NewHistogram([]int64{100})
+	for i := 0; i < 10; i++ {
+		h.Observe(int64(i * 10)) // all ≤ 100
+	}
+	almost(t, "p50", h.Quantile(0.5), 50)
+	h.Observe(900) // one overflow
+	almost(t, "p100", h.Quantile(1), 100)
+}

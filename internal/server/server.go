@@ -56,6 +56,28 @@ const (
 	DefaultMaxFrame = 1 << 20
 )
 
+// OutboxPolicy selects what happens when a session's outbox is full at
+// enqueue time. The load harness (internal/loadgen) measures the shed
+// point — the arrival rate at which sessions start hitting a full
+// outbox — and these policies are the two ways to spend it.
+type OutboxPolicy int
+
+const (
+	// ShedSession (the default) disconnects the slow client. A shed
+	// client is simply an out-of-sync client: the wakeup protocol heals
+	// it on reconnect. This bounds per-session memory strictly and
+	// matches the paper's failure model.
+	ShedSession OutboxPolicy = iota
+
+	// DropNewest drops the frame but keeps the session connected. The
+	// skipped updates surface as a checksum mismatch on the client's
+	// next commit or wakeup, healing through the full-answer path.
+	// Suits deployments where reconnect storms cost more than the
+	// occasional full-answer heal; dropped frames are counted in
+	// server.outbox_dropped.
+	DropNewest
+)
+
 // Config parameterizes a Server.
 type Config struct {
 	// Engine configures the underlying query processor. Required.
@@ -121,7 +143,15 @@ type Config struct {
 	// OutboxSize is the per-session outbound queue depth; when a
 	// session's outbox is full the client is shed (disconnected) rather
 	// than allowed to stall evaluation. Defaults to DefaultOutboxSize.
+	// Size it from the measured shed point (see internal/loadgen and
+	// EXPERIMENTS.md "Server capacity"): depth ≈ burst frames per
+	// evaluation × evaluations a slow client may fall behind.
 	OutboxSize int
+
+	// OutboxPolicy selects the full-outbox behavior: ShedSession (the
+	// zero value) disconnects the client, DropNewest drops the frame
+	// and keeps the session.
+	OutboxPolicy OutboxPolicy
 
 	// MaxFrame caps inbound frame payloads. Defaults to DefaultMaxFrame.
 	MaxFrame uint32
@@ -154,6 +184,7 @@ type Server struct {
 	writeTimeout time.Duration
 	heartbeat    time.Duration
 	outboxSize   int
+	outboxPolicy OutboxPolicy
 	maxFrame     uint32
 	start        time.Time
 
@@ -258,6 +289,7 @@ func Listen(addr string, cfg Config) (*Server, error) {
 		writeTimeout: writeTimeout,
 		heartbeat:    cfg.HeartbeatInterval,
 		outboxSize:   outboxSize,
+		outboxPolicy: cfg.OutboxPolicy,
 		maxFrame:     maxFrame,
 		start:        time.Now(),
 		closed:       make(chan struct{}),
@@ -443,9 +475,10 @@ func (s *Server) evaluateLocked() int {
 
 // send enqueues a message on a session's outbox; the session's writer
 // goroutine performs the actual (deadline-bounded) write, so evaluation
-// never blocks on a slow peer. A full outbox sheds the client: it is
-// disconnected and recovers through the wakeup protocol. Caller holds
-// s.mu.
+// never blocks on a slow peer. A full outbox applies the configured
+// OutboxPolicy: shed the client (disconnect; it recovers through the
+// wakeup protocol) or drop the frame (the client heals through the
+// commit checksum handshake). Caller holds s.mu.
 func (s *Server) send(sess *session, m wire.Message) {
 	if s.draining || sess.isDead() {
 		return
@@ -453,6 +486,10 @@ func (s *Server) send(sess *session, m wire.Message) {
 	select {
 	case sess.outbox <- m:
 	default:
+		if s.outboxPolicy == DropNewest {
+			s.m.outboxDropped.Inc()
+			return
+		}
 		s.m.sheds.Inc()
 		s.logger.Printf("server: shedding slow client %v (outbox full)", sess.conn.RemoteAddr())
 		sess.markDead()
@@ -461,21 +498,61 @@ func (s *Server) send(sess *session, m wire.Message) {
 
 // sessionWriter drains one session's outbox onto its connection. It owns
 // the wire.Writer: no other goroutine writes to the connection.
+//
+// Each wakeup drains everything queued at that moment into one buffered
+// write: frames are encoded back to back (wire.Writer.WriteBuffered)
+// and flushed once, so a burst of B queued frames costs one syscall
+// rather than B. The byte stream is identical to per-frame writes —
+// framing is per message; flushing is not part of the encoding
+// (TestWriterBatchedDrainByteIdentical pins this). The write deadline
+// is set once per batch and bounds the whole drain.
 func (s *Server) sessionWriter(sess *session) {
 	defer close(sess.writerDone)
-	for m := range sess.outbox {
-		if sess.isDead() {
-			continue // drain without writing
+	open := true
+	for open {
+		m, ok := <-sess.outbox
+		if !ok {
+			break
 		}
-		if s.writeTimeout > 0 {
+		frames := 0
+		var bytes uint64
+		failed := false
+		if s.writeTimeout > 0 && !sess.isDead() {
 			sess.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 		}
-		if err := sess.w.Write(m); err != nil {
-			sess.markDead()
-			continue
+		for {
+			if !sess.isDead() && !failed {
+				if err := sess.w.WriteBuffered(m); err != nil {
+					sess.markDead()
+					failed = true
+				} else {
+					frames++
+					bytes += uint64(wire.EncodedSize(m))
+				}
+			}
+			// Greedy, non-blocking drain: batch whatever else is already
+			// queued; a closed outbox ends the outer loop after the flush.
+			select {
+			case m, ok = <-sess.outbox:
+				if !ok {
+					open = false
+				}
+			default:
+				ok = false
+			}
+			if !ok {
+				break
+			}
 		}
-		s.m.framesOut.Inc()
-		s.m.bytesOut.Add(uint64(wire.EncodedSize(m)))
+		if frames > 0 && !failed && !sess.isDead() {
+			if err := sess.w.Flush(); err != nil {
+				sess.markDead()
+			} else {
+				s.m.framesOut.Add(uint64(frames))
+				s.m.bytesOut.Add(bytes)
+				s.m.writeBatch.Observe(int64(frames))
+			}
+		}
 	}
 	// Outbox closed and drained (graceful shutdown or session teardown):
 	// closing the connection unblocks the session's read loop.

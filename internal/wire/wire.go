@@ -311,6 +311,20 @@ func NewWriter(w io.Writer) *Writer {
 
 // Write encodes one message and flushes it.
 func (w *Writer) Write(m Message) error {
+	if err := w.WriteBuffered(m); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// WriteBuffered encodes one message into the writer's buffer without
+// forcing a flush: the frame reaches the wire when the buffer fills or
+// Flush is called. Batching writers (the server's per-session outbox
+// drain) encode every queued frame back to back and flush once, turning
+// N frames into one buffered write. The byte stream is identical to N
+// individual Write calls — framing is per message, flushing is not part
+// of the encoding.
+func (w *Writer) WriteBuffered(m Message) error {
 	w.buf = appendMessage(w.buf[:0], m)
 	var header [5]byte
 	binary.LittleEndian.PutUint32(header[0:], uint32(len(w.buf)))
@@ -321,6 +335,11 @@ func (w *Writer) Write(m Message) error {
 	if _, err := w.w.Write(w.buf); err != nil {
 		return fmt.Errorf("wire: write payload: %w", err)
 	}
+	return nil
+}
+
+// Flush forces every buffered frame onto the underlying stream.
+func (w *Writer) Flush() error {
 	if err := w.w.Flush(); err != nil {
 		return fmt.Errorf("wire: flush: %w", err)
 	}

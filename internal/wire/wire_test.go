@@ -271,3 +271,69 @@ func TestEncodedSize(t *testing.T) {
 		t.Errorf("EncodedSize %d != actual %d", EncodedSize(m), buf.Len())
 	}
 }
+
+// TestWriteBufferedByteIdentical proves the batched write path produces
+// exactly the byte stream of the unbatched path: N frames encoded with
+// WriteBuffered and flushed once must equal the same N frames written
+// (and flushed) one by one. The server's session writer relies on this
+// to coalesce its outbox drain without changing the protocol.
+func TestWriteBufferedByteIdentical(t *testing.T) {
+	msgs := []Message{
+		UpdateBatch{Time: 1.5, Updates: []core.Update{
+			{Query: 1, Object: 2, Positive: true},
+			{Query: 3, Object: 4, Positive: false},
+		}},
+		Heartbeat{Time: 2.25},
+		FullAnswer{Query: 7, Time: 3, Objects: []core.ObjectID{1, 2, 3}},
+		CommitAck{Query: 7, Checksum: 0xFEED},
+		RecoveryDiff{Time: 4, Updates: []core.Update{{Query: 9, Object: 1, Positive: true}}},
+		UpdateBatch{Time: 5},
+	}
+
+	var unbatched bytes.Buffer
+	uw := NewWriter(&unbatched)
+	for _, m := range msgs {
+		if err := uw.Write(m); err != nil {
+			t.Fatalf("unbatched write %T: %v", m, err)
+		}
+	}
+
+	var batched bytes.Buffer
+	bw := NewWriter(&batched)
+	for _, m := range msgs {
+		if err := bw.WriteBuffered(m); err != nil {
+			t.Fatalf("buffered write %T: %v", m, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+
+	if !bytes.Equal(unbatched.Bytes(), batched.Bytes()) {
+		t.Fatalf("batched stream diverges from unbatched: %d vs %d bytes",
+			batched.Len(), unbatched.Len())
+	}
+
+	// And the batched stream decodes back to the same messages (compared
+	// through re-encoding: decode normalizes nil and empty slices).
+	reencode := func(m Message) []byte {
+		var b bytes.Buffer
+		if err := NewWriter(&b).Write(m); err != nil {
+			t.Fatalf("re-encode %T: %v", m, err)
+		}
+		return b.Bytes()
+	}
+	r := NewReader(bytes.NewReader(batched.Bytes()))
+	for i, want := range msgs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("decode frame %d: %v", i, err)
+		}
+		if !bytes.Equal(reencode(got), reencode(want)) {
+			t.Fatalf("frame %d: got %#v, want %#v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected clean EOF after %d frames, got %v", len(msgs), err)
+	}
+}
